@@ -1,0 +1,414 @@
+package wcoj
+
+// Benchmark harness: one benchmark per experiment row of DESIGN.md §2
+// (E1–E9), plus the ablations DESIGN.md §3 calls out. The same
+// workloads are runnable with human-readable tables via
+// `go run ./cmd/experiments`; recorded results live in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wcoj/internal/baseline"
+	"wcoj/internal/bounds"
+	"wcoj/internal/constraints"
+	"wcoj/internal/core"
+	"wcoj/internal/dataset"
+	"wcoj/internal/entropy"
+	"wcoj/internal/hypergraph"
+	"wcoj/internal/lftj"
+	"wcoj/internal/panda"
+	"wcoj/internal/relation"
+	"wcoj/internal/trie"
+)
+
+func benchTriangleQuery(b *testing.B, tri dataset.Triangle) *core.Query {
+	b.Helper()
+	q, err := core.NewQuery([]string{"A", "B", "C"}, []core.Atom{
+		{Name: "R", Vars: []string{"A", "B"}, Rel: tri.R},
+		{Name: "S", Vars: []string{"B", "C"}, Rel: tri.S},
+		{Name: "T", Vars: []string{"A", "C"}, Rel: tri.T},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkTable1Bounds (E1): polymatroid-bound computation per
+// constraint class of Table 1.
+func BenchmarkTable1Bounds(b *testing.B) {
+	tri := dataset.TriangleAGMTight(10000)
+	q := benchTriangleQuery(b, tri)
+	cardDC := constraints.Set{
+		constraints.Cardinality("R", []string{"A", "B"}, 1e4),
+		constraints.Cardinality("S", []string{"B", "C"}, 1e4),
+		constraints.Cardinality("T", []string{"A", "C"}, 1e4),
+	}
+	fdDC := append(cardDC.Clone(), constraints.FD("R", []string{"A"}, []string{"B"}))
+	genDC := append(cardDC.Clone(),
+		constraints.Degree("R", []string{"A"}, []string{"A", "B"}, 100),
+		constraints.Degree("S", []string{"B"}, []string{"B", "C"}, 100))
+	for _, c := range []struct {
+		name string
+		dc   constraints.Set
+	}{
+		{"cardinality", cardDC}, {"cardinality+fd", fdDC}, {"general-dc", genDC},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bounds.Polymatroid(q.Vars, c.dc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Infinite() {
+					b.Fatal("unexpected infinite bound")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2PANDA (E2): the Example 1 proof-sequence execution of
+// Table 2 across scales.
+func BenchmarkTable2PANDA(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		d := dataset.NewExample1(n, 4, 4, 0.4, 7)
+		st := panda.Example1Stats{
+			NAB: float64(d.R.Len()), NBC: float64(d.S.Len()), NCD: float64(d.T.Len()),
+			NACDgAC: 4, NABDgBD: 4,
+		}
+		ps := panda.Example1Sequence(st)
+		affil := panda.Affiliation{
+			{S: 0b0011}:            d.R,
+			{S: 0b0110}:            d.S,
+			{S: 0b1100}:            d.T,
+			{S: 0b1101, G: 0b0101}: d.W,
+			{S: 0b1011, G: 0b1010}: d.V,
+		}
+		filters := []*relation.Relation{d.R, d.S, d.T, d.W, d.V}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, est, err := panda.Execute(ps, panda.Example1Vars, affil, filters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if float64(est.Intermediate) > st.RuntimeBound()+1 {
+					b.Fatalf("intermediate %d exceeds bound %v", est.Intermediate, st.RuntimeBound())
+				}
+				_ = out
+			}
+		})
+	}
+}
+
+// BenchmarkTriangle (E3): WCOJ vs binary join plans on AGM-tight and
+// skewed triangle instances. The series shape is the paper's headline:
+// Θ(N^{3/2}) vs Θ(N²).
+func BenchmarkTriangle(b *testing.B) {
+	for _, kind := range []string{"agm", "skew"} {
+		for _, n := range []int{1000, 4000, 16000} {
+			var tri dataset.Triangle
+			if kind == "agm" {
+				tri = dataset.TriangleAGMTight(n)
+			} else {
+				tri = dataset.TriangleSkew(n)
+			}
+			q := benchTriangleQuery(b, tri)
+			b.Run(fmt.Sprintf("%s/n=%d/generic", kind, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.GenericJoinCount(q, core.GenericJoinOptions{Order: []string{"A", "B", "C"}}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/lftj", kind, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := lftj.Count(q, lftj.Options{Order: []string{"A", "B", "C"}}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if kind == "skew" && n > 4000 {
+				continue // binary plan is quadratic; keep the suite fast
+			}
+			b.Run(fmt.Sprintf("%s/n=%d/binary", kind, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := baseline.JoinOnly(q, nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTriangleHeavyLight (E4): Algorithm 2 vs Algorithm 1.
+func BenchmarkTriangleHeavyLight(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		tri := dataset.TriangleSkew(n)
+		b.Run(fmt.Sprintf("n=%d/alg2", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.TriangleHeavyLight(tri.R, tri.S, tri.T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/alg1", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.TriangleGenericJoin(tri.R, tri.S, tri.T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoomisWhitney (E5): WCOJ vs join-project on LW(k).
+func BenchmarkLoomisWhitney(b *testing.B) {
+	for _, k := range []int{3, 4, 5} {
+		n := 4000
+		if k >= 4 {
+			n = 1000
+		}
+		rels := dataset.LoomisWhitney(k, n)
+		var vars []string
+		for j := 0; j < k; j++ {
+			vars = append(vars, fmt.Sprintf("A%d", j))
+		}
+		var atoms []core.Atom
+		for _, r := range rels {
+			atoms = append(atoms, core.Atom{Name: r.Name(), Vars: r.Attrs(), Rel: r})
+		}
+		q, err := core.NewQuery(vars, atoms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d/wcoj", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GenericJoinCount(q, core.GenericJoinOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/joinproject", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.JoinProject(q, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlgorithm3 (E6): backtracking search under acyclic degree
+// constraints; the work tracks ∏ N^δ from LP (57).
+func BenchmarkAlgorithm3(b *testing.B) {
+	for _, deg := range []int{2, 4, 8} {
+		c := dataset.NewChain63(400/(deg*deg), deg, deg, deg, 3)
+		q, err := core.NewQuery([]string{"A", "B", "C", "D"}, []core.Atom{
+			{Name: "R", Vars: []string{"A"}, Rel: c.R},
+			{Name: "S", Vars: []string{"A", "B"}, Rel: c.S},
+			{Name: "T", Vars: []string{"B", "C"}, Rel: c.T},
+			{Name: "W", Vars: []string{"C", "A", "D"}, Rel: c.W},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc := constraints.Set{
+			constraints.Cardinality("R", []string{"A"}, float64(c.NA)),
+			constraints.Degree("S", []string{"A"}, []string{"A", "B"}, float64(c.NBgA)),
+			constraints.Degree("T", []string{"B"}, []string{"B", "C"}, float64(c.NCgB)),
+			constraints.Degree("W", []string{"C"}, []string{"C", "A", "D"}, float64(c.NADgC)),
+		}
+		acyclic, err := dc.MakeAcyclic(q.Vars)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BacktrackingCount(q, acyclic, core.BacktrackOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundsLP (E7): modular vs polymatroid LP across widths —
+// the poly-size vs 2^n-size contrast of Proposition 4.4 / Open
+// Problem 2.
+func BenchmarkBoundsLP(b *testing.B) {
+	for _, nv := range []int{3, 5, 7} {
+		vars := make([]string, nv)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("X%d", i)
+		}
+		dc := constraints.Set{constraints.Cardinality("R0", vars[:1], 1000)}
+		for i := 1; i < nv; i++ {
+			dc = append(dc, constraints.Degree(fmt.Sprintf("R%d", i),
+				[]string{vars[i-1]}, []string{vars[i-1], vars[i]}, 16))
+		}
+		b.Run(fmt.Sprintf("n=%d/modular", nv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bounds.Modular(vars, dc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/polymatroid", nv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bounds.Polymatroid(vars, dc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAcyclicRepair (E8): Proposition 5.2 repair of query (63).
+func BenchmarkAcyclicRepair(b *testing.B) {
+	dc := constraints.Set{
+		constraints.Cardinality("R", []string{"A"}, 100),
+		constraints.Degree("S", []string{"A"}, []string{"A", "B"}, 10),
+		constraints.Degree("T", []string{"B"}, []string{"B", "C"}, 10),
+		constraints.Degree("W", []string{"C"}, []string{"C", "A", "D"}, 10),
+	}
+	vars := []string{"A", "B", "C", "D"}
+	for i := 0; i < b.N; i++ {
+		out, err := dc.MakeAcyclic(vars)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.IsAcyclic() {
+			b.Fatal("repair failed")
+		}
+	}
+}
+
+// BenchmarkShearer (E9): LP verification of Shearer's inequality
+// (Corollary 5.5) on the triangle and C4.
+func BenchmarkShearer(b *testing.B) {
+	cases := []struct {
+		name  string
+		h     *hypergraph.Hypergraph
+		delta []float64
+	}{
+		{"triangle", hypergraph.LoomisWhitney(3), []float64{.5, .5, .5}},
+		{"C4", hypergraph.Cycle(4), []float64{.5, .5, .5, .5}},
+	}
+	for _, c := range cases {
+		masks := make([]uint32, c.h.NumEdges())
+		for e, edge := range c.h.Edges() {
+			m, err := entropy.MaskOf(edge.Vertices, c.h.Vertices())
+			if err != nil {
+				b.Fatal(err)
+			}
+			masks[e] = m
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := entropy.VerifyShearer(c.h.NumVertices(), masks, c.delta, 1e-6)
+				if err != nil || !ok {
+					b.Fatalf("shearer: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntersect: ablation of the galloping vs merging sorted-set
+// intersection (the Õ(min) assumption of Section 2).
+func BenchmarkIntersect(b *testing.B) {
+	big := make([]relation.Value, 1<<16)
+	for i := range big {
+		big[i] = relation.Value(2 * i)
+	}
+	small := make([]relation.Value, 1<<6)
+	for i := range small {
+		small[i] = relation.Value(1024 * i)
+	}
+	b.Run("gallop-unbalanced", func(b *testing.B) {
+		var dst []relation.Value
+		for i := 0; i < b.N; i++ {
+			dst = relation.IntersectSorted(dst[:0], small, big)
+		}
+	})
+	balanced := make([]relation.Value, 1<<16)
+	for i := range balanced {
+		balanced[i] = relation.Value(2*i + 1)
+	}
+	b.Run("merge-balanced", func(b *testing.B) {
+		var dst []relation.Value
+		for i := 0; i < b.N; i++ {
+			dst = relation.IntersectSorted(dst[:0], balanced, big)
+		}
+	})
+	// Leapfrog multiway intersection on three lists.
+	third := make([]relation.Value, 1<<12)
+	for i := range third {
+		third[i] = relation.Value(16 * i)
+	}
+	b.Run("leapfrog-3way", func(b *testing.B) {
+		ranges := []trie.LevelRange{
+			{Col: big, Lo: 0, Hi: len(big)},
+			{Col: third, Lo: 0, Hi: len(third)},
+			{Col: small, Lo: 0, Hi: len(small)},
+		}
+		var dst []relation.Value
+		for i := 0; i < b.N; i++ {
+			dst = trie.IntersectLevels(dst[:0], ranges)
+		}
+	})
+}
+
+// BenchmarkVariableOrder: ablation of variable-ordering heuristics on
+// the 4-cycle query (good orders keep adjacent variables together).
+func BenchmarkVariableOrder(b *testing.B) {
+	e := dataset.RandomGraph(2000, 8000, 11)
+	db := NewDatabase()
+	db.Put(e)
+	q, err := MustParse("Q(A,B,C,D) :- E(A,B), E(B,C), E(C,D), E(D,A)").Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ord := range []struct {
+		name  string
+		order []string
+	}{
+		{"adjacent", []string{"A", "B", "C", "D"}},
+		{"opposite", []string{"A", "C", "B", "D"}},
+	} {
+		b.Run(ord.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.GenericJoinCount(q, core.GenericJoinOptions{Order: ord.order}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAGMBoundComputation: the AGM LP itself (used by optimizers
+// per the paper's Section 1 discussion of estimation).
+func BenchmarkAGMBoundComputation(b *testing.B) {
+	for _, k := range []int{3, 5, 7} {
+		h := hypergraph.Clique(k)
+		sizes := make([]float64, h.NumEdges())
+		for i := range sizes {
+			sizes[i] = 1e6
+		}
+		b.Run(fmt.Sprintf("clique-k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bounds.AGM(h, sizes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if math.IsNaN(res.Bound) {
+					b.Fatal("NaN bound")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Command wcoj evaluates a conjunctive query over TSV relations with a
+// selectable join algorithm.
+//
+// Usage:
+//
+//	wcoj -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' \
+//	     -rel R=r.tsv -rel S=s.tsv -rel T=t.tsv \
+//	     [-algo generic-join|leapfrog-triejoin|backtracking|binary-join|binary-join-project] \
+//	     [-order A,B,C] [-count] [-out out.tsv]
+//
+// Each TSV file has an attribute header line followed by integer
+// tuples (see wcojgen to generate workloads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wcoj"
+	"wcoj/internal/relation"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func main() {
+	var (
+		queryStr = flag.String("query", "", "conjunctive query, e.g. 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)'")
+		algoStr  = flag.String("algo", "generic-join", "join algorithm")
+		orderStr = flag.String("order", "", "comma-separated variable order (optional)")
+		countOly = flag.Bool("count", false, "print only the output cardinality")
+		outPath  = flag.String("out", "", "write the result as TSV to this file")
+		rels     relFlags
+	)
+	flag.Var(&rels, "rel", "NAME=path.tsv (repeatable)")
+	flag.Parse()
+	if err := run(*queryStr, *algoStr, *orderStr, *countOly, *outPath, rels); err != nil {
+		fmt.Fprintln(os.Stderr, "wcoj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, rels relFlags) error {
+	if queryStr == "" {
+		return fmt.Errorf("missing -query")
+	}
+	algo, err := wcoj.ParseAlgorithm(algoStr)
+	if err != nil {
+		return err
+	}
+	db := wcoj.NewDatabase()
+	for _, spec := range rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := relation.ReadTSV(f, name)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		db.Put(r)
+	}
+	parsed, err := wcoj.Parse(queryStr)
+	if err != nil {
+		return err
+	}
+	q, err := parsed.Bind(db)
+	if err != nil {
+		return err
+	}
+	var order []string
+	if orderStr != "" {
+		order = strings.Split(orderStr, ",")
+	}
+	opts := wcoj.Options{Algorithm: algo, Order: order}
+
+	start := time.Now()
+	if countOnly {
+		n, stats, err := wcoj.Count(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("count=%d algo=%v elapsed=%v recursions=%d\n", n, algo, time.Since(start), stats.Recursions)
+		return nil
+	}
+	out, stats, err := wcoj.Execute(q, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("rows=%d algo=%v elapsed=%v intermediate=%d\n", out.Len(), algo, elapsed, stats.Intermediate)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return relation.WriteTSV(f, out)
+	}
+	// Print up to 20 rows to stdout.
+	limit := out.Len()
+	if limit > 20 {
+		limit = 20
+	}
+	fmt.Println(strings.Join(out.Attrs(), "\t"))
+	var row wcoj.Tuple
+	for i := 0; i < limit; i++ {
+		row = out.Tuple(i, row)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprint(int64(v))
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	if out.Len() > limit {
+		fmt.Printf("... (%d more rows; use -out to save)\n", out.Len()-limit)
+	}
+	return nil
+}

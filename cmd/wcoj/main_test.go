@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcoj/internal/dataset"
+	"wcoj/internal/relation"
+)
+
+func writeTri(t *testing.T) (string, relFlags) {
+	t.Helper()
+	dir := t.TempDir()
+	tri := dataset.TriangleAGMTight(100)
+	var flags relFlags
+	for _, r := range []*relation.Relation{tri.R, tri.S, tri.T} {
+		p := filepath.Join(dir, r.Name()+".tsv")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := relation.WriteTSV(f, r); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		flags = append(flags, r.Name()+"="+p)
+	}
+	return dir, flags
+}
+
+func TestRunCountAndMaterialize(t *testing.T) {
+	dir, flags := writeTri(t)
+	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+	for _, algo := range []string{"generic-join", "leapfrog-triejoin", "backtracking", "binary-join"} {
+		if err := run(q, algo, "", true, "", flags); err != nil {
+			t.Fatalf("count/%s: %v", algo, err)
+		}
+	}
+	out := filepath.Join(dir, "out.tsv")
+	if err := run(q, "generic-join", "A,B,C", false, out, flags); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := relation.ReadTSV(f, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1000 { // 10^3 on the AGM-tight instance
+		t.Fatalf("saved output = %d rows, want 1000", r.Len())
+	}
+	// Print path (no -out) also works.
+	if err := run(q, "generic-join", "", false, "", flags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	_, flags := writeTri(t)
+	if err := run("", "generic-join", "", true, "", flags); err == nil {
+		t.Fatal("missing query must fail")
+	}
+	if err := run("Q(A) :- R(A)", "nope", "", true, "", flags); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", relFlags{"bad"}); err == nil {
+		t.Fatal("bad -rel must fail")
+	}
+	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", relFlags{"R=/nonexistent"}); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", true, "", nil); err == nil {
+		t.Fatal("unbound relations must fail")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcoj/internal/dataset"
+	"wcoj/internal/relation"
+)
+
+func TestRunBounds(t *testing.T) {
+	dir := t.TempDir()
+	tri := dataset.TriangleAGMTight(64)
+	var flags relFlags
+	for _, r := range []*relation.Relation{tri.R, tri.S, tri.T} {
+		p := filepath.Join(dir, r.Name()+".tsv")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := relation.WriteTSV(f, r); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		flags = append(flags, r.Name()+"="+p)
+	}
+	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+	if err := run(q, true, true, flags); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(q, false, false, flags); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, false, flags); err == nil {
+		t.Fatal("missing query must fail")
+	}
+	if err := run(q, true, false, relFlags{"bad"}); err == nil {
+		t.Fatal("bad -rel must fail")
+	}
+}

@@ -1,0 +1,106 @@
+// Command wcojgen generates benchmark workloads as TSV files.
+//
+// Usage:
+//
+//	wcojgen -kind triangle-agm|triangle-skew|graph|powerlaw|lw|chain63|example1 \
+//	        -n 10000 [-k 3] [-seed 1] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wcoj/internal/dataset"
+	"wcoj/internal/relation"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "triangle-agm", "workload kind")
+		n    = flag.Int("n", 10000, "scale (tuples per relation, approximately)")
+		k    = flag.Int("k", 3, "query width (Loomis-Whitney only)")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *k, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wcojgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, k int, seed int64, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	save := func(r *relation.Relation, file string) error {
+		f, err := os.Create(filepath.Join(out, file))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := relation.WriteTSV(f, r); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d tuples\n", file, r.Len())
+		return nil
+	}
+	switch kind {
+	case "triangle-agm":
+		tri := dataset.TriangleAGMTight(n)
+		for _, p := range []struct {
+			r *relation.Relation
+			f string
+		}{{tri.R, "R.tsv"}, {tri.S, "S.tsv"}, {tri.T, "T.tsv"}} {
+			if err := save(p.r, p.f); err != nil {
+				return err
+			}
+		}
+	case "triangle-skew":
+		tri := dataset.TriangleSkew(n)
+		for _, p := range []struct {
+			r *relation.Relation
+			f string
+		}{{tri.R, "R.tsv"}, {tri.S, "S.tsv"}, {tri.T, "T.tsv"}} {
+			if err := save(p.r, p.f); err != nil {
+				return err
+			}
+		}
+	case "graph":
+		return save(dataset.RandomGraph(n/4+2, n, seed), "E.tsv")
+	case "powerlaw":
+		return save(dataset.PowerLawGraph(n/4+2, n, 1.5, seed), "E.tsv")
+	case "lw":
+		rels := dataset.LoomisWhitney(k, n)
+		for i, r := range rels {
+			if err := save(r, fmt.Sprintf("R%d.tsv", i)); err != nil {
+				return err
+			}
+		}
+	case "chain63":
+		c := dataset.NewChain63(n, 4, 4, 4, seed)
+		for _, p := range []struct {
+			r *relation.Relation
+			f string
+		}{{c.R, "R.tsv"}, {c.S, "S.tsv"}, {c.T, "T.tsv"}, {c.W, "W.tsv"}} {
+			if err := save(p.r, p.f); err != nil {
+				return err
+			}
+		}
+	case "example1":
+		d := dataset.NewExample1(n, 4, 4, 0.3, seed)
+		for _, p := range []struct {
+			r *relation.Relation
+			f string
+		}{{d.R, "R.tsv"}, {d.S, "S.tsv"}, {d.T, "T.tsv"}, {d.W, "W.tsv"}, {d.V, "V.tsv"}} {
+			if err := save(p.r, p.f); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{
+		"triangle-agm", "triangle-skew", "graph", "powerlaw", "lw", "chain63", "example1",
+	} {
+		out := filepath.Join(dir, kind)
+		if err := run(kind, 400, 3, 1, out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		entries, err := os.ReadDir(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("%s produced no files", kind)
+		}
+	}
+	if err := run("nope", 10, 3, 1, dir); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

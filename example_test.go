@@ -1,0 +1,96 @@
+package wcoj_test
+
+import (
+	"fmt"
+	"log"
+
+	"wcoj"
+)
+
+// ExampleExecute evaluates the triangle query on a six-edge graph with
+// Generic-Join.
+func ExampleExecute() {
+	db := wcoj.NewDatabase()
+	b := wcoj.NewRelationBuilder("E", "src", "dst")
+	for _, e := range [][2]wcoj.Value{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 1}, {2, 4}} {
+		if err := b.Add(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+
+	q, err := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _, err := wcoj.Execute(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		fmt.Println(out.Tuple(i, nil))
+	}
+	// Output:
+	// (1, 2, 3)
+	// (2, 3, 4)
+}
+
+// ExampleAGMBound prices the worst case of a query before running it.
+func ExampleAGMBound() {
+	db := wcoj.NewDatabase()
+	b := wcoj.NewRelationBuilder("E", "src", "dst")
+	for i := wcoj.Value(0); i < 10; i++ {
+		for j := wcoj.Value(0); j < 10; j++ {
+			if err := b.Add(i, j); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	db.Put(b.Build())
+	q, err := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agm, err := wcoj.AGMBound(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rho* = %.1f, bound = %.0f\n", agm.Rho, agm.Bound)
+	// Output:
+	// rho* = 1.5, bound = 1000
+}
+
+// ExampleModularBound shows the degree-constraint bound of
+// Proposition 4.4 with its dual exponents.
+func ExampleModularBound() {
+	db := wcoj.NewDatabase()
+	r := wcoj.NewRelationBuilder("R", "A")
+	s := wcoj.NewRelationBuilder("S", "A", "B")
+	for a := wcoj.Value(0); a < 4; a++ {
+		if err := r.Add(a); err != nil {
+			log.Fatal(err)
+		}
+		for j := wcoj.Value(0); j < 2; j++ {
+			if err := s.Add(a, 2*a+j); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	db.Put(r.Build())
+	db.Put(s.Build())
+	q, err := wcoj.MustParse("Q(A,B) :- R(A), S(A,B)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc := wcoj.ConstraintSet{
+		wcoj.Cardinality("R", []string{"A"}, 4),
+		wcoj.Degree("S", []string{"A"}, []string{"A", "B"}, 2),
+	}
+	bound, err := wcoj.ModularBound(q, dc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bound = %.0f tuples (delta = %.0f, %.0f)\n", bound.Bound, bound.Delta[0], bound.Delta[1])
+	// Output:
+	// bound = 8 tuples (delta = 1, 1)
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a tiny database, parse a conjunctive query, and
+// evaluate it with a worst-case optimal join.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wcoj"
+)
+
+func main() {
+	// A toy social network: follows(u, v).
+	db := wcoj.NewDatabase()
+	dict := db.Dict()
+	b := wcoj.NewRelationBuilder("Follows", "src", "dst")
+	edges := [][2]string{
+		{"alice", "bob"}, {"bob", "carol"}, {"alice", "carol"},
+		{"carol", "dave"}, {"dave", "alice"}, {"bob", "dave"},
+		{"carol", "alice"},
+	}
+	for _, e := range edges {
+		if err := b.Add(dict.ID(e[0]), dict.ID(e[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+
+	// Directed triangles: X follows Y follows Z, and X follows Z.
+	parsed, err := wcoj.Parse("Q(X,Y,Z) :- Follows(X,Y), Follows(Y,Z), Follows(X,Z)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := parsed.Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The AGM bound tells us the worst case before running anything.
+	agm, err := wcoj.AGMBound(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", parsed)
+	fmt.Printf("AGM bound: at most %.0f result tuples (ρ* = %.1f)\n", agm.Bound, agm.Rho)
+
+	out, stats, err := wcoj.Execute(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d triangles (%d search nodes):\n", out.Len(), stats.Recursions)
+	var row wcoj.Tuple
+	for i := 0; i < out.Len(); i++ {
+		row = out.Tuple(i, row)
+		fmt.Printf("  %s -> %s -> %s\n", dict.String(row[0]), dict.String(row[1]), dict.String(row[2]))
+	}
+}

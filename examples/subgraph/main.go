@@ -1,0 +1,76 @@
+// Subgraph: pattern matching beyond triangles — 4-cycles and 4-cliques
+// over a random graph, the "in-database graph processing" workload the
+// paper's introduction motivates. Shows how one edge relation binds to
+// several atoms, how the AGM bound scales with ρ* (2 for C4, 2 for K4
+// via 6 half-weight edges), and how variable order affects Generic-
+// Join's search work but not its output.
+//
+// Run with: go run ./examples/subgraph [-n 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"wcoj"
+	"wcoj/internal/dataset"
+)
+
+func main() {
+	nEdges := flag.Int("n", 30000, "number of edges")
+	flag.Parse()
+
+	e := dataset.RandomGraph(*nEdges/6+2, *nEdges, 42)
+	db := wcoj.NewDatabase()
+	db.Put(e)
+	fmt.Printf("graph: %d edges\n\n", e.Len())
+
+	patterns := []struct {
+		name  string
+		query string
+	}{
+		{"4-cycle", "Q(A,B,C,D) :- E(A,B), E(B,C), E(C,D), E(D,A)"},
+		{"4-clique", "Q(A,B,C,D) :- E(A,B), E(A,C), E(A,D), E(B,C), E(B,D), E(C,D)"},
+		{"diamond", "Q(A,B,C,D) :- E(A,B), E(B,C), E(C,D), E(A,C), E(B,D)"},
+	}
+	for _, p := range patterns {
+		q, err := wcoj.MustParse(p.query).Bind(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agm, err := wcoj.AGMBound(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		n, stats, err := wcoj.Count(q, wcoj.Options{Algorithm: wcoj.AlgoLeapfrog})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s ρ*=%.1f  AGM≤%.2e  matches=%-9d elapsed=%-10v nodes=%d\n",
+			p.name, agm.Rho, agm.Bound, n, time.Since(start).Round(time.Millisecond), stats.Recursions)
+	}
+
+	// Variable-order ablation on the 4-cycle: different orders explore
+	// different numbers of search nodes but produce identical output.
+	fmt.Println("\n4-cycle variable-order ablation (Generic-Join):")
+	q, err := wcoj.MustParse("Q(A,B,C,D) :- E(A,B), E(B,C), E(C,D), E(D,A)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, order := range [][]string{
+		{"A", "B", "C", "D"},
+		{"A", "C", "B", "D"},
+		{"B", "D", "A", "C"},
+	} {
+		start := time.Now()
+		n, stats, err := wcoj.Count(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin, Order: order})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  order %v: matches=%d nodes=%d elapsed=%v\n",
+			order, n, stats.Recursions, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,58 @@
+// Triangles: the social-network triangle-counting workload that
+// motivates Section 1.2 of the paper (R = S = T = E). Generates a
+// skewed power-law graph, counts triangles with every algorithm in the
+// library, and compares against the AGM bound — on skewed graphs the
+// one-pair-at-a-time baseline visibly degrades while the WCOJ
+// algorithms do not.
+//
+// Run with: go run ./examples/triangles [-n 200000] [-v 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"wcoj"
+	"wcoj/internal/dataset"
+)
+
+func main() {
+	nEdges := flag.Int("n", 200000, "number of edges")
+	nVerts := flag.Int("v", 20000, "number of vertices")
+	flag.Parse()
+
+	e := dataset.PowerLawGraph(*nVerts, *nEdges, 1.4, 1)
+	db := wcoj.NewDatabase()
+	db.Put(e)
+	fmt.Printf("graph: %d vertices, %d edges (power-law sources)\n", *nVerts, e.Len())
+
+	q, err := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agm, err := wcoj.AGMBound(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AGM bound: %.0f (= |E|^{3/2})\n\n", agm.Bound)
+
+	fmt.Printf("%-22s %-12s %-12s %-10s\n", "algorithm", "triangles", "elapsed", "max-inter")
+	for _, algo := range []wcoj.Algorithm{
+		wcoj.AlgoGenericJoin,
+		wcoj.AlgoLeapfrog,
+		wcoj.AlgoBacktracking,
+		wcoj.AlgoBinaryJoin,
+	} {
+		start := time.Now()
+		n, stats, err := wcoj.Count(q, wcoj.Options{Algorithm: algo})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-12d %-12v %-10d\n",
+			algo, n, time.Since(start).Round(time.Millisecond), stats.Intermediate)
+	}
+	fmt.Println("\n(WCOJ algorithms never build the quadratic wedge set the binary plan does)")
+}

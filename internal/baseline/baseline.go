@@ -1,0 +1,184 @@
+// Package baseline implements the one-pair-at-a-time join paradigm the
+// paper's worst-case optimal algorithms are compared against:
+// left-deep join-only plans, join-project plans (projecting onto the
+// variables still needed, the Grohe–Marx style plan), and simple plan
+// choosers. On AGM-tight instances these plans are provably
+// asymptotically slower (e.g. Θ(N²) vs Θ(N^{3/2}) on the triangle);
+// the benchmark harness measures exactly that gap.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"wcoj/internal/core"
+	"wcoj/internal/relation"
+)
+
+// JoinOnly evaluates the atoms with a left-deep plan of natural hash
+// joins in the given atom order (indexes into q.Atoms; nil means the
+// greedy ascending-size order), projecting onto head at the end.
+// head nil means all query variables. Stats.Intermediate records the
+// largest intermediate relation — the quantity that blows up to Θ(N²)
+// on hard triangle instances.
+func JoinOnly(q *core.Query, head []string, order []int) (*relation.Relation, *core.Stats, error) {
+	return leftDeep(q, head, order, false)
+}
+
+// JoinProject is JoinOnly with interleaved projections: after every
+// binary join the intermediate is projected onto the variables that
+// still matter (head variables plus variables of not-yet-joined
+// atoms). Join-project plans strictly dominate join-only plans [12] —
+// though on Loomis–Whitney queries they remain Ω(N^{1-1/k}) worse than
+// worst-case optimal algorithms [51].
+func JoinProject(q *core.Query, head []string, order []int) (*relation.Relation, *core.Stats, error) {
+	return leftDeep(q, head, order, true)
+}
+
+func leftDeep(q *core.Query, head []string, order []int, project bool) (*relation.Relation, *core.Stats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if head == nil {
+		head = q.Vars
+	}
+	if order == nil {
+		order = GreedyOrder(q)
+	}
+	if len(order) != len(q.Atoms) {
+		return nil, nil, fmt.Errorf("baseline: order covers %d of %d atoms", len(order), len(q.Atoms))
+	}
+	seen := make([]bool, len(q.Atoms))
+	for _, i := range order {
+		if i < 0 || i >= len(q.Atoms) || seen[i] {
+			return nil, nil, fmt.Errorf("baseline: order %v is not a permutation of atoms", order)
+		}
+		seen[i] = true
+	}
+
+	stats := &core.Stats{}
+	var cur *relation.Relation
+	for step, ai := range order {
+		a := q.Atoms[ai]
+		r, err := a.Rel.Rename(a.Name, a.Vars...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cur == nil {
+			cur = r
+		} else {
+			cur, err = relation.Join(cur, r)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if cur.Len() > stats.Intermediate {
+			stats.Intermediate = cur.Len()
+		}
+		if project && step < len(order)-1 {
+			needed := neededVars(q, head, order[step+1:], cur.Attrs())
+			if len(needed) < cur.Arity() {
+				cur, err = cur.Project(needed...)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	out, err := cur.Project(head...)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err = out.Rename(q.OutputName(), head...)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Output = out.Len()
+	return out, stats, nil
+}
+
+// neededVars returns the attributes of cur that are either in the head
+// or occur in a not-yet-joined atom.
+func neededVars(q *core.Query, head []string, remaining []int, attrs []string) []string {
+	keep := make(map[string]bool)
+	for _, v := range head {
+		keep[v] = true
+	}
+	for _, ai := range remaining {
+		for _, v := range q.Atoms[ai].Vars {
+			keep[v] = true
+		}
+	}
+	var out []string
+	for _, a := range attrs {
+		if keep[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// GreedyOrder returns atom indexes sorted by ascending relation size —
+// the classic "smallest relation first" heuristic.
+func GreedyOrder(q *core.Query) []int {
+	order := make([]int, len(q.Atoms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return q.Atoms[order[x]].Rel.Len() < q.Atoms[order[y]].Rel.Len()
+	})
+	return order
+}
+
+// BestPairwisePlan tries every left-deep atom permutation (feasible for
+// the ≤ 6-atom queries in this repository), returning the plan with
+// the smallest maximal intermediate. It is the strongest member of the
+// one-pair-at-a-time class we compare against: even with oracle
+// ordering, binary plans cannot beat the Ω(N²) lower bound on
+// AGM-tight triangle instances.
+func BestPairwisePlan(q *core.Query, head []string, project bool) (*relation.Relation, *core.Stats, []int, error) {
+	if len(q.Atoms) > 7 {
+		return nil, nil, nil, fmt.Errorf("baseline: exhaustive planning capped at 7 atoms, got %d", len(q.Atoms))
+	}
+	var bestRel *relation.Relation
+	var bestStats *core.Stats
+	var bestOrder []int
+	perm := make([]int, len(q.Atoms))
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(perm) {
+			ord := append([]int(nil), perm...)
+			var rel *relation.Relation
+			var st *core.Stats
+			var err error
+			if project {
+				rel, st, err = JoinProject(q, head, ord)
+			} else {
+				rel, st, err = JoinOnly(q, head, ord)
+			}
+			if err != nil {
+				return err
+			}
+			if bestStats == nil || st.Intermediate < bestStats.Intermediate {
+				bestRel, bestStats, bestOrder = rel, st, ord
+			}
+			return nil
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, nil, nil, err
+	}
+	return bestRel, bestStats, bestOrder, nil
+}

@@ -1,0 +1,261 @@
+// Package bounds implements the output-size bound calculators of
+// Section 4:
+//
+//   - the AGM bound (Corollary 4.2) via the weighted fractional edge
+//     cover LP (5)/(57);
+//   - the polymatroid bound (44) via the LP (68) over the full 2^n
+//     subset lattice with elemental Shannon inequalities;
+//   - the modular bound LP (54) with its dual (57), which by
+//     Proposition 4.4 coincides with the polymatroid bound when the
+//     degree constraints are acyclic, and whose dual coefficients
+//     δ_{Y|X} drive the runtime analysis of Algorithm 3 (Theorem 5.1).
+//
+// The entropic bound (43) is not computable (Open Problem 1); its role
+// is filled by the sandwich log|Q(D)| ≤ entropic ≤ polymatroid, with
+// the left side measured from concrete databases via package entropy.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"wcoj/internal/constraints"
+	"wcoj/internal/entropy"
+	"wcoj/internal/hypergraph"
+	"wcoj/internal/lp"
+)
+
+// AGMResult is the output of the AGM bound computation.
+type AGMResult struct {
+	// LogBound is log2 of the bound: Σ_F δ*_F log2|R_F|.
+	LogBound float64
+	// Bound is 2^LogBound, the tuple-count bound ∏ |R_F|^{δ*_F}.
+	Bound float64
+	// Cover is the optimal fractional edge cover δ*, in edge order.
+	Cover hypergraph.Cover
+	// Rho is the plain fractional edge cover number ρ*(H) (all-ones
+	// weights), so that Bound ≤ N^Rho for N = max|R_F|.
+	Rho float64
+}
+
+// AGM computes the AGM bound ∏_F |R_F|^{δ_F} minimized over fractional
+// edge covers δ of the query hypergraph (Corollary 4.2). sizes[i] is
+// |R_F| for edge i; every size must be ≥ 1 (an empty relation makes the
+// join empty — callers should short-circuit that case).
+func AGM(h *hypergraph.Hypergraph, sizes []float64) (*AGMResult, error) {
+	if len(sizes) != h.NumEdges() {
+		return nil, fmt.Errorf("bounds: %d sizes for %d edges", len(sizes), h.NumEdges())
+	}
+	w := make([]float64, len(sizes))
+	for i, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("bounds: size of edge %d is %v; sizes must be ≥ 1", i, s)
+		}
+		w[i] = math.Log2(s)
+	}
+	cover, logBound, err := h.WeightedFractionalEdgeCover(w)
+	if err != nil {
+		return nil, err
+	}
+	_, rho, err := h.FractionalEdgeCover()
+	if err != nil {
+		return nil, err
+	}
+	return &AGMResult{
+		LogBound: logBound,
+		Bound:    math.Exp2(logBound),
+		Cover:    cover,
+		Rho:      rho,
+	}, nil
+}
+
+// LPBound is the result of a bound LP in the entropy space.
+type LPBound struct {
+	// LogBound is the optimal h([n]) (log2 of the tuple-count bound).
+	LogBound float64
+	// Bound is 2^LogBound.
+	Bound float64
+	// H is the optimal set function (polymatroid or modular witness).
+	H *entropy.SetFunction
+	// Vars is the variable universe in mask order.
+	Vars []string
+	// Delta has one dual coefficient per degree constraint, aligned
+	// with the input constraint set; these are the Shannon-flow /
+	// Algorithm 3 coefficients δ_{Y|X} with Σ δ_{Y|X}·log2 N_{Y|X}
+	// = LogBound at optimality (strong duality, eq. (73)).
+	Delta []float64
+}
+
+// Infinite reports whether the bound is unbounded (some variable is not
+// bound by the constraints).
+func (b *LPBound) Infinite() bool { return math.IsInf(b.LogBound, 1) }
+
+// Polymatroid computes the polymatroid bound (44): max h([n]) over
+// h ∈ Γ_n ∩ H_DC via the LP (68) with elemental Shannon inequalities.
+// The LP has 2^n−1 variables; n is capped by entropy.MaxN. If some
+// query variable is unbound the result has LogBound = +Inf (the LP
+// would be unbounded).
+func Polymatroid(vars []string, dc constraints.Set) (*LPBound, error) {
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(vars)
+	if n == 0 {
+		return &LPBound{LogBound: 0, Bound: 1, H: entropy.NewSetFunction(0), Vars: nil,
+			Delta: make([]float64, len(dc))}, nil
+	}
+	if n > entropy.MaxN {
+		return nil, fmt.Errorf("bounds: %d variables exceeds the polymatroid LP cap %d", n, entropy.MaxN)
+	}
+	if !dc.AllBound(vars) {
+		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
+			Delta: make([]float64, len(dc))}, nil
+	}
+
+	numVars := 1<<uint(n) - 1 // h(S) for S != ∅
+	varOf := func(s uint32) int { return int(s) - 1 }
+	p := lp.NewProblem(lp.Maximize, numVars)
+	full := uint32(1)<<uint(n) - 1
+	p.SetObjective(varOf(full), 1)
+
+	// Degree constraints first so their duals are the leading entries.
+	for _, c := range dc {
+		ym, err := entropy.MaskOf(c.Y, vars)
+		if err != nil {
+			return nil, err
+		}
+		xm, err := entropy.MaskOf(c.X, vars)
+		if err != nil {
+			return nil, err
+		}
+		coef := make([]float64, numVars)
+		coef[varOf(ym)] += 1
+		if xm != 0 {
+			coef[varOf(xm)] -= 1
+		}
+		p.AddConstraint(coef, lp.LE, c.LogN())
+	}
+	for _, e := range entropy.Elemental(n) {
+		coef := make([]float64, numVars)
+		for s, c := range e.Terms {
+			if s == 0 {
+				continue
+			}
+			coef[varOf(s)] += c
+		}
+		p.AddConstraint(coef, lp.GE, 0)
+	}
+	s, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Status {
+	case lp.Unbounded:
+		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
+			Delta: make([]float64, len(dc))}, nil
+	case lp.Infeasible:
+		return nil, fmt.Errorf("bounds: polymatroid LP infeasible (should not happen: h=0 is feasible)")
+	}
+	h := entropy.NewSetFunction(n)
+	for m := uint32(1); m <= full; m++ {
+		h.Set(m, s.X[varOf(m)])
+		if m == full {
+			break
+		}
+	}
+	delta := make([]float64, len(dc))
+	for i := range dc {
+		d := s.Dual[i]
+		if d < 0 && d > -1e-9 {
+			d = 0
+		}
+		delta[i] = d
+	}
+	return &LPBound{
+		LogBound: s.Objective,
+		Bound:    math.Exp2(s.Objective),
+		H:        h,
+		Vars:     vars,
+		Delta:    delta,
+	}, nil
+}
+
+// Modular computes the modular bound via LP (54): max Σ_i v_i subject
+// to Σ_{i∈Y−X} v_i ≤ log2 N_{Y|X} per degree constraint, v ≥ 0. Its
+// dual is exactly LP (57). By Proposition 4.4 the optimum equals the
+// polymatroid (and entropic) bound whenever dc is acyclic. In general
+// Modular ≤ Polymatroid (M_n ⊆ Γ_n, chain (34)), so for *cyclic* DC
+// the modular value may undershoot the true worst case and is then not
+// a valid output-size bound — repair dc with
+// constraints.Set.MakeAcyclic first (Proposition 5.2).
+func Modular(vars []string, dc constraints.Set) (*LPBound, error) {
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(vars)
+	if !dc.AllBound(vars) {
+		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
+			Delta: make([]float64, len(dc))}, nil
+	}
+	p := lp.NewProblem(lp.Maximize, n)
+	for i := 0; i < n; i++ {
+		p.SetObjective(i, 1)
+	}
+	for _, c := range dc {
+		coef := make([]float64, n)
+		for _, y := range constraints.Minus(c.Y, c.X) {
+			for i, v := range vars {
+				if v == y {
+					coef[i] = 1
+				}
+			}
+		}
+		p.AddConstraint(coef, lp.LE, c.LogN())
+	}
+	s, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Status {
+	case lp.Unbounded:
+		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
+			Delta: make([]float64, len(dc))}, nil
+	case lp.Infeasible:
+		return nil, fmt.Errorf("bounds: modular LP infeasible (should not happen: v=0 is feasible)")
+	}
+	weights := make([]float64, n)
+	copy(weights, s.X)
+	h := entropy.Modular(weights)
+	delta := make([]float64, len(dc))
+	for i := range dc {
+		d := s.Dual[i]
+		if d < 0 && d > -1e-9 {
+			d = 0
+		}
+		delta[i] = d
+	}
+	return &LPBound{
+		LogBound: s.Objective,
+		Bound:    math.Exp2(s.Objective),
+		H:        h,
+		Vars:     vars,
+		Delta:    delta,
+	}, nil
+}
+
+// CardinalityConstraints derives the cardinality-only constraint set of
+// a query hypergraph from relation sizes: (∅, F, |R_F|) per edge.
+func CardinalityConstraints(h *hypergraph.Hypergraph, sizes []float64) (constraints.Set, error) {
+	if len(sizes) != h.NumEdges() {
+		return nil, fmt.Errorf("bounds: %d sizes for %d edges", len(sizes), h.NumEdges())
+	}
+	var dc constraints.Set
+	for i, e := range h.Edges() {
+		n := sizes[i]
+		if n < 1 {
+			n = 1
+		}
+		dc = append(dc, constraints.Cardinality(e.Name, e.Vertices, n))
+	}
+	return dc, nil
+}

@@ -1,0 +1,460 @@
+// Package constraints implements degree constraints (Definition 1 of
+// the paper), the constraint dependency graph G_DC (Definition 3),
+// acyclicity testing with compatible variable orders, bound-variable
+// analysis, and the Proposition 5.2 repair that turns a cyclic
+// constraint set DC into an acyclic DC′ implied by DC whose worst-case
+// output size stays finite.
+package constraints
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Constraint is a degree constraint (X, Y, N_{Y|X}): for every binding
+// of the X attributes, the guard relation contains at most N distinct
+// Y-bindings. X must be a strict subset of Y. A cardinality constraint
+// is the special case X = ∅; a functional dependency is N = 1.
+type Constraint struct {
+	X     []string
+	Y     []string
+	N     float64 // N_{Y|X} >= 1; math.Inf(1) means "no information"
+	Guard string  // name of the guarding relation/atom
+}
+
+// Cardinality returns the constraint |R| <= n for a guard over attrs.
+func Cardinality(guard string, attrs []string, n float64) Constraint {
+	return Constraint{X: nil, Y: append([]string(nil), attrs...), N: n, Guard: guard}
+}
+
+// FD returns the functional dependency X -> Y guarded by guard, i.e.
+// the degree constraint (X, X∪Y, 1).
+func FD(guard string, x, y []string) Constraint {
+	u := append([]string(nil), x...)
+	for _, a := range y {
+		if !contains(u, a) {
+			u = append(u, a)
+		}
+	}
+	return Constraint{X: append([]string(nil), x...), Y: u, N: 1, Guard: guard}
+}
+
+// Degree returns a general degree constraint (x, y, n).
+func Degree(guard string, x, y []string, n float64) Constraint {
+	return Constraint{X: append([]string(nil), x...), Y: append([]string(nil), y...), N: n, Guard: guard}
+}
+
+// IsCardinality reports whether the constraint has X = ∅.
+func (c Constraint) IsCardinality() bool { return len(c.X) == 0 }
+
+// IsFD reports whether N = 1 (a functional dependency).
+func (c Constraint) IsFD() bool { return c.N == 1 }
+
+// IsSimpleFD reports whether the constraint is a simple FD A_i -> A_j:
+// |X| = 1 and |Y-X| = 1 with N = 1 (Corollary 5.3).
+func (c Constraint) IsSimpleFD() bool {
+	return c.N == 1 && len(c.X) == 1 && len(minus(c.Y, c.X)) == 1
+}
+
+// LogN returns log2(N_{Y|X}), the coefficient n_{Y|X} of Section 5.2.
+func (c Constraint) LogN() float64 { return math.Log2(c.N) }
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("(%s ; %s ; %s ≤ %g)",
+		strings.Join(c.X, ","), strings.Join(c.Y, ","), c.Guard, c.N)
+}
+
+// validate checks the structural requirements of Definition 1.
+func (c Constraint) validate() error {
+	if hasDup(c.X) || hasDup(c.Y) {
+		return fmt.Errorf("constraints: %v has duplicate attributes", c)
+	}
+	for _, x := range c.X {
+		if !contains(c.Y, x) {
+			return fmt.Errorf("constraints: %v: X ⊄ Y", c)
+		}
+	}
+	if len(c.X) >= len(c.Y) {
+		return fmt.Errorf("constraints: %v: X must be a strict subset of Y", c)
+	}
+	if !(c.N >= 1) {
+		return fmt.Errorf("constraints: %v: N must be >= 1", c)
+	}
+	return nil
+}
+
+// Set is a collection of degree constraints (the DC of the paper).
+type Set []Constraint
+
+// Validate checks every constraint structurally.
+func (s Set) Validate() error {
+	for _, c := range s {
+		if err := c.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Vars returns the sorted set of all attributes mentioned by s.
+func (s Set) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range s {
+		for _, a := range c.Y {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		for _, a := range c.X {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for i, c := range s {
+		out[i] = Constraint{
+			X:     append([]string(nil), c.X...),
+			Y:     append([]string(nil), c.Y...),
+			N:     c.N,
+			Guard: c.Guard,
+		}
+	}
+	return out
+}
+
+// DependencyGraph returns the constraint dependency graph G_DC of
+// Definition 3 as an adjacency map: for every constraint and every
+// (x, y) ∈ X × (Y−X) there is a directed edge x -> y.
+func (s Set) DependencyGraph() map[string][]string {
+	adj := make(map[string][]string)
+	seen := make(map[string]map[string]bool)
+	for _, c := range s {
+		for _, x := range c.X {
+			for _, y := range minus(c.Y, c.X) {
+				if seen[x] == nil {
+					seen[x] = make(map[string]bool)
+				}
+				if seen[x][y] {
+					continue
+				}
+				seen[x][y] = true
+				adj[x] = append(adj[x], y)
+			}
+		}
+	}
+	for _, ys := range adj {
+		sort.Strings(ys)
+	}
+	return adj
+}
+
+// IsAcyclic reports whether G_DC is acyclic (Definition 3). A set with
+// only cardinality constraints has an empty graph and is acyclic.
+func (s Set) IsAcyclic() bool {
+	_, err := s.CompatibleOrder(nil)
+	return err == nil
+}
+
+// CompatibleOrder returns a topological ordering of the given variables
+// (plus any constraint variables not listed) compatible with DC, or an
+// error when G_DC has a cycle. Ties are broken by the order of vars and
+// then lexicographically, so the result is deterministic.
+func (s Set) CompatibleOrder(vars []string) ([]string, error) {
+	adj := s.DependencyGraph()
+	nodes := make(map[string]bool)
+	var order []string
+	addNode := func(v string) {
+		if !nodes[v] {
+			nodes[v] = true
+			order = append(order, v)
+		}
+	}
+	for _, v := range vars {
+		addNode(v)
+	}
+	for _, v := range s.Vars() {
+		addNode(v)
+	}
+	indeg := make(map[string]int, len(order))
+	for _, ys := range adj {
+		for _, y := range ys {
+			indeg[y]++
+		}
+	}
+	// Kahn's algorithm over the deterministic node order.
+	var out []string
+	ready := make([]string, 0, len(order))
+	inReady := make(map[string]bool)
+	for _, v := range order {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+			inReady[v] = true
+		}
+	}
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		out = append(out, v)
+		for _, y := range adj[v] {
+			indeg[y]--
+			if indeg[y] == 0 && !inReady[y] {
+				ready = append(ready, y)
+				inReady[y] = true
+			}
+		}
+	}
+	if len(out) != len(order) {
+		return nil, fmt.Errorf("constraints: dependency graph G_DC has a cycle")
+	}
+	return out, nil
+}
+
+// BoundVars returns the set of bound variables of Proposition 5.2: the
+// least fixpoint of "if all of X is bound then all of Y is bound"
+// (cardinality constraints seed the fixpoint since X = ∅).
+func (s Set) BoundVars() map[string]bool {
+	bound := make(map[string]bool)
+	for {
+		changed := false
+		for _, c := range s {
+			all := true
+			for _, x := range c.X {
+				if !bound[x] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, y := range c.Y {
+				if !bound[y] {
+					bound[y] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return bound
+		}
+	}
+}
+
+// AllBound reports whether every variable in vars is bound under s —
+// by Claim 1 of Proposition 5.2 this is equivalent to the worst-case
+// output size being finite.
+func (s Set) AllBound(vars []string) bool {
+	bound := s.BoundVars()
+	for _, v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// findCycleVars returns the set of variables on some directed cycle of
+// G_DC, or nil if the graph is acyclic.
+func (s Set) findCycleVars() map[string]bool {
+	adj := s.DependencyGraph()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	parent := make(map[string]string)
+	var cycle map[string]bool
+	var dfs func(v string) bool
+	dfs = func(v string) bool {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			case gray:
+				// Found a cycle w -> ... -> v -> w.
+				cycle = map[string]bool{w: true}
+				for u := v; u != w; u = parent[u] {
+					cycle[u] = true
+				}
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	var nodes []string
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// edgeCount returns the number of G_DC edges counted with multiplicity
+// per contributing constraint. Multiplicity (rather than the deduped
+// graph) is the progress measure of MakeAcyclic: shrinking Y−X in any
+// constraint with X ≠ ∅ strictly decreases it, guaranteeing
+// termination even when several constraints contribute the same edge.
+func (s Set) edgeCount() int {
+	n := 0
+	for _, c := range s {
+		n += len(c.X) * len(minus(c.Y, c.X))
+	}
+	return n
+}
+
+// MakeAcyclic implements the repair of Proposition 5.2: it returns an
+// acyclic constraint set DC′ such that (i) any database satisfying s
+// satisfies DC′ (each new constraint weakens an old one by shrinking Y
+// while keeping the same guard and bound), and (ii) the worst-case
+// output size over vars stays finite. It returns an error when the
+// original set already has unbounded variables (infinite bound, Claim 1)
+// or — which Proposition 5.2 rules out for bounded inputs — when no
+// repair step applies.
+func (s Set) MakeAcyclic(vars []string) (Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.AllBound(vars) {
+		return nil, fmt.Errorf("constraints: some variable is unbound; worst-case output size is infinite")
+	}
+	cur := s.Clone()
+	for {
+		cycle := cur.findCycleVars()
+		if cycle == nil {
+			return cur, nil
+		}
+		edges := cur.edgeCount()
+		found := false
+	search:
+		for i, c := range cur {
+			for _, y := range minus(c.Y, c.X) {
+				if !cycle[y] {
+					continue
+				}
+				trial := cur.replaceShrunk(i, y)
+				if !trial.AllBound(vars) {
+					continue
+				}
+				if trial.edgeCount() >= edges {
+					continue
+				}
+				cur = trial
+				found = true
+				break search
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("constraints: no boundedness-preserving repair step found")
+		}
+	}
+}
+
+// replaceShrunk returns a copy of s where constraint i has y removed
+// from its Y set (keeping N and the guard, per Claim 2). If Y−{y}
+// collapses to X the constraint is dropped (it became trivial).
+func (s Set) replaceShrunk(i int, y string) Set {
+	out := s.Clone()
+	ny := minus(out[i].Y, []string{y})
+	if len(minus(ny, out[i].X)) == 0 {
+		return append(out[:i], out[i+1:]...)
+	}
+	out[i].Y = ny
+	return out
+}
+
+// SimpleFDRepair implements Corollary 5.3: when s contains only
+// cardinality constraints and simple FDs, cycles in G_DC consist of
+// equality chains; dropping one FD per cycle preserves the worst-case
+// bound exactly. It returns an error if s contains any other kind of
+// constraint.
+func (s Set) SimpleFDRepair() (Set, error) {
+	for _, c := range s {
+		if !c.IsCardinality() && !c.IsSimpleFD() {
+			return nil, fmt.Errorf("constraints: %v is neither a cardinality constraint nor a simple FD", c)
+		}
+	}
+	cur := s.Clone()
+	for {
+		cycle := cur.findCycleVars()
+		if cycle == nil {
+			return cur, nil
+		}
+		// Remove one simple FD whose (x, y) edge lies on the cycle.
+		removed := false
+		for i, c := range cur {
+			if !c.IsSimpleFD() {
+				continue
+			}
+			x := c.X[0]
+			y := minus(c.Y, c.X)[0]
+			if cycle[x] && cycle[y] {
+				cur = append(cur[:i:i], cur[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("constraints: cycle without a removable simple FD")
+		}
+	}
+}
+
+func contains(xs []string, a string) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDup(xs []string) bool {
+	seen := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}
+
+// minus returns ys \ xs preserving order.
+func minus(ys, xs []string) []string {
+	var out []string
+	for _, y := range ys {
+		if !contains(xs, y) {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// Minus is the exported set difference used by sibling packages.
+func Minus(ys, xs []string) []string { return minus(ys, xs) }
+
+// ContainsVar is the exported membership test used by sibling packages.
+func ContainsVar(xs []string, a string) bool { return contains(xs, a) }

@@ -1,0 +1,320 @@
+package constraints
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	c := Cardinality("R", []string{"A", "B"}, 100)
+	if !c.IsCardinality() || c.N != 100 || c.Guard != "R" {
+		t.Fatalf("cardinality: %v", c)
+	}
+	fd := FD("R", []string{"A"}, []string{"B"})
+	if !fd.IsFD() || !fd.IsSimpleFD() {
+		t.Fatalf("fd: %v", fd)
+	}
+	if len(fd.Y) != 2 {
+		t.Fatalf("FD Y should be X∪Y: %v", fd.Y)
+	}
+	d := Degree("W", []string{"A", "C"}, []string{"A", "C", "D"}, 7)
+	if d.IsCardinality() || d.IsFD() || d.IsSimpleFD() {
+		t.Fatalf("degree: %v", d)
+	}
+	if math.Abs(d.LogN()-math.Log2(7)) > 1e-12 {
+		t.Fatal("LogN mismatch")
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Set{
+		Cardinality("R", []string{"A", "B"}, 10),
+		FD("R", []string{"A"}, []string{"B"}),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Set{{X: []string{"A"}, Y: []string{"A"}, N: 5, Guard: "R"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("X = Y must be rejected")
+	}
+	bad2 := Set{{X: []string{"A"}, Y: []string{"B"}, N: 5, Guard: "R"}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("X ⊄ Y must be rejected")
+	}
+	bad3 := Set{{X: nil, Y: []string{"A"}, N: 0, Guard: "R"}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("N < 1 must be rejected")
+	}
+	bad4 := Set{{X: nil, Y: []string{"A", "A"}, N: 2, Guard: "R"}}
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("duplicate attrs must be rejected")
+	}
+}
+
+func TestDependencyGraphAndAcyclicity(t *testing.T) {
+	// Cardinality-only: empty graph, acyclic.
+	s := Set{Cardinality("R", []string{"A", "B"}, 10)}
+	if len(s.DependencyGraph()) != 0 || !s.IsAcyclic() {
+		t.Fatal("cardinality-only must be acyclic with empty G_DC")
+	}
+	// A -> B and B -> A: cycle.
+	cyc := Set{
+		FD("R", []string{"A"}, []string{"B"}),
+		FD("S", []string{"B"}, []string{"A"}),
+	}
+	if cyc.IsAcyclic() {
+		t.Fatal("A->B, B->A must be cyclic")
+	}
+	// Chain A -> B -> C: acyclic with compatible order A,B,C.
+	chain := Set{
+		Cardinality("R", []string{"A"}, 10),
+		FD("S", []string{"A"}, []string{"B"}),
+		FD("T", []string{"B"}, []string{"C"}),
+	}
+	ord, err := chain.CompatibleOrder([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range ord {
+		pos[v] = i
+	}
+	if !(pos["A"] < pos["B"] && pos["B"] < pos["C"]) {
+		t.Fatalf("order %v not compatible", ord)
+	}
+}
+
+func TestBoundVars(t *testing.T) {
+	// Query (63): R(A), S(A,B), T(B,C), W(C,A,D) with N_A, N_B|A,
+	// N_C|B, N_AD|C. All variables bound.
+	s := query63()
+	bound := s.BoundVars()
+	for _, v := range []string{"A", "B", "C", "D"} {
+		if !bound[v] {
+			t.Fatalf("%s should be bound", v)
+		}
+	}
+	if !s.AllBound([]string{"A", "B", "C", "D"}) {
+		t.Fatal("AllBound should hold")
+	}
+	// Dropping the cardinality constraint on A unbinds everything.
+	if s[1:].AllBound([]string{"A", "B", "C", "D"}) {
+		t.Fatal("without the seed cardinality nothing is bound")
+	}
+}
+
+// query63 builds the degree constraints of query (63) in the paper.
+func query63() Set {
+	return Set{
+		Cardinality("R", []string{"A"}, 100),
+		Degree("S", []string{"A"}, []string{"A", "B"}, 10),
+		Degree("T", []string{"B"}, []string{"B", "C"}, 10),
+		Degree("W", []string{"C"}, []string{"C", "A", "D"}, 10),
+	}
+}
+
+func TestQuery63IsCyclicAndRepairable(t *testing.T) {
+	s := query63()
+	if s.IsAcyclic() {
+		t.Fatal("query (63) constraints are cyclic (A->B->C->A)")
+	}
+	vars := []string{"A", "B", "C", "D"}
+	repaired, err := s.MakeAcyclic(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repaired.IsAcyclic() {
+		t.Fatal("repair must be acyclic")
+	}
+	if !repaired.AllBound(vars) {
+		t.Fatal("repair must keep all variables bound")
+	}
+	// Every repaired constraint must weaken an original: same guard,
+	// same N, Y a subset of some original Y with the same X.
+	for _, c := range repaired {
+		ok := false
+		for _, o := range s {
+			if c.Guard != o.Guard || c.N != o.N {
+				continue
+			}
+			if !sameVars(c.X, o.X) {
+				continue
+			}
+			sub := true
+			for _, y := range c.Y {
+				if !contains(o.Y, y) {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("repaired constraint %v does not weaken any original", c)
+		}
+	}
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMakeAcyclicUnboundError(t *testing.T) {
+	s := Set{FD("S", []string{"A"}, []string{"B"})} // A never bound
+	if _, err := s.MakeAcyclic([]string{"A", "B"}); err == nil {
+		t.Fatal("unbound variables must be an error (infinite bound)")
+	}
+}
+
+func TestMakeAcyclicAlreadyAcyclic(t *testing.T) {
+	s := Set{
+		Cardinality("R", []string{"A", "B"}, 10),
+		FD("R", []string{"A"}, []string{"B"}),
+	}
+	out, err := s.MakeAcyclic([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(s) {
+		t.Fatalf("acyclic input should be returned intact, got %v", out)
+	}
+}
+
+func TestSimpleFDRepair(t *testing.T) {
+	// A <-> B equality cycle plus cardinalities: drop one direction.
+	s := Set{
+		Cardinality("R", []string{"A", "B"}, 100),
+		FD("R", []string{"A"}, []string{"B"}),
+		FD("R", []string{"B"}, []string{"A"}),
+	}
+	out, err := s.SimpleFDRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsAcyclic() {
+		t.Fatal("repair must be acyclic")
+	}
+	if len(out) != 2 {
+		t.Fatalf("exactly one FD should be dropped, got %v", out)
+	}
+	// Non-simple constraints are rejected.
+	bad := Set{Degree("W", []string{"A"}, []string{"A", "B", "C"}, 5)}
+	if _, err := bad.SimpleFDRepair(); err == nil {
+		t.Fatal("non-simple constraint must be rejected")
+	}
+}
+
+func TestVarsAndClone(t *testing.T) {
+	s := query63()
+	vars := s.Vars()
+	if len(vars) != 4 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	c := s.Clone()
+	c[0].Y[0] = "Z"
+	if s[0].Y[0] == "Z" {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestCompatibleOrderIncludesQueryVars(t *testing.T) {
+	s := Set{Cardinality("R", []string{"A"}, 5)}
+	ord, err := s.CompatibleOrder([]string{"Z", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ord) != 2 {
+		t.Fatalf("order %v should include both variables", ord)
+	}
+}
+
+func TestExportedHelpers(t *testing.T) {
+	if !ContainsVar([]string{"A", "B"}, "B") || ContainsVar([]string{"A"}, "B") {
+		t.Fatal("ContainsVar mismatch")
+	}
+	d := Minus([]string{"A", "B", "C"}, []string{"B"})
+	if len(d) != 2 || d[0] != "A" || d[1] != "C" {
+		t.Fatalf("Minus = %v", d)
+	}
+}
+
+// Property: MakeAcyclic on random bounded constraint sets always yields
+// an acyclic set, keeps every variable bound, and only weakens
+// constraints (each output Y ⊆ some input Y with equal X, N, guard).
+func TestPropertyMakeAcyclic(t *testing.T) {
+	varsAll := []string{"A", "B", "C", "D", "E"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		vars := varsAll[:n]
+		s := Set{Cardinality("R0", vars[:1+rng.Intn(n)], float64(2+rng.Intn(50)))}
+		m := 1 + rng.Intn(4)
+		for i := 0; i < m; i++ {
+			// Random (X, Y) with X ⊊ Y.
+			perm := rng.Perm(n)
+			ySize := 2 + rng.Intn(n-1)
+			if ySize > n {
+				ySize = n
+			}
+			y := make([]string, ySize)
+			for j := range y {
+				y[j] = vars[perm[j]]
+			}
+			xSize := 1 + rng.Intn(ySize-1)
+			x := y[:xSize]
+			s = append(s, Degree("G", x, y, float64(1+rng.Intn(20))))
+		}
+		if !s.AllBound(vars) {
+			return true // repair not required to succeed; skip
+		}
+		out, err := s.MakeAcyclic(vars)
+		if err != nil {
+			return false
+		}
+		if !out.IsAcyclic() || !out.AllBound(vars) {
+			return false
+		}
+		for _, c := range out {
+			ok := false
+			for _, o := range s {
+				if c.Guard == o.Guard && c.N == o.N && sameVars(c.X, o.X) && subset(c.Y, o.Y) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func subset(a, b []string) bool {
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"wcoj/internal/relation"
+	"wcoj/internal/trie"
+)
+
+// GenericJoinOptions configure a Generic-Join run.
+type GenericJoinOptions struct {
+	// Order is the global variable order; nil selects the degree-order
+	// heuristic (most-constrained variable first).
+	Order []string
+}
+
+// GenericJoin evaluates the query with the Generic-Join algorithm of
+// [52] (the generalization of Algorithm 1): fix a global variable
+// order; at each level intersect, across all atoms containing the
+// current variable, the distinct values compatible with the current
+// prefix binding; recurse per value. With sorted-trie intersections the
+// runtime is Õ(N^{ρ*}) — the AGM bound — by the Theorem 4.1 analysis.
+func GenericJoin(q *Query, opts GenericJoinOptions) (*relation.Relation, *Stats, error) {
+	stats := &Stats{}
+	out := relation.NewBuilder(q.OutputName(), q.Vars...)
+	err := genericJoinVisit(q, opts, stats, func(t relation.Tuple) error {
+		return out.Add(t...)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rel := out.Build()
+	stats.Output = rel.Len()
+	return rel, stats, nil
+}
+
+// GenericJoinCount runs Generic-Join without materializing the output,
+// returning only the result cardinality. This is the enumeration mode
+// the paper highlights: WCOJ algorithms can stream output tuples with
+// no intermediate state beyond the search stack.
+func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
+	stats := &Stats{}
+	n := 0
+	err := genericJoinVisit(q, opts, stats, func(relation.Tuple) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	stats.Output = n
+	return n, stats, nil
+}
+
+// gjAtom is the per-atom execution state of Generic-Join.
+type gjAtom struct {
+	trie *trie.Trie
+	// levelOf[d] is this atom's trie level bound when the global
+	// variable at depth d is bound, or -1 if the atom lacks that
+	// variable.
+	levelOf []int
+	// ranges[l] is the row range after binding the atom's first l
+	// variables; ranges[0] = [0, Len).
+	loStack []int
+	hiStack []int
+	depth   int // number of atom variables currently bound
+}
+
+func genericJoinVisit(q *Query, opts GenericJoinOptions, stats *Stats, emit func(relation.Tuple) error) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	order := opts.Order
+	if order == nil {
+		h, err := q.Hypergraph()
+		if err != nil {
+			return err
+		}
+		order = h.DegreeOrder()
+	}
+	if err := checkOrder(q, order); err != nil {
+		return err
+	}
+
+	atoms := make([]*gjAtom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		// Rename the relation's columns to the atom's variables so the
+		// trie order can be expressed in query-variable names.
+		rel, err := a.Rel.Rename(a.Name, a.Vars...)
+		if err != nil {
+			return fmt.Errorf("core: atom %s: %w", a.Name, err)
+		}
+		// The atom's trie order is the global order restricted to the
+		// atom's variables.
+		var atomOrder []string
+		for _, v := range order {
+			for _, av := range a.Vars {
+				if av == v {
+					atomOrder = append(atomOrder, v)
+					break
+				}
+			}
+		}
+		tr, err := trie.Build(rel, atomOrder)
+		if err != nil {
+			return fmt.Errorf("core: atom %s: %w", a.Name, err)
+		}
+		ga := &gjAtom{
+			trie:    tr,
+			levelOf: make([]int, len(order)),
+			loStack: make([]int, len(atomOrder)+1),
+			hiStack: make([]int, len(atomOrder)+1),
+		}
+		for d := range order {
+			ga.levelOf[d] = -1
+		}
+		for l, v := range atomOrder {
+			for d, ov := range order {
+				if ov == v {
+					ga.levelOf[d] = l
+				}
+			}
+		}
+		ga.loStack[0], ga.hiStack[0] = 0, tr.Len()
+		atoms[i] = ga
+	}
+
+	// participants[d] lists the atoms whose next level binds order[d].
+	participants := make([][]int, len(order))
+	for d := range order {
+		for i, ga := range atoms {
+			if ga.levelOf[d] >= 0 {
+				participants[d] = append(participants[d], i)
+			}
+		}
+		if len(participants[d]) == 0 {
+			return fmt.Errorf("core: variable %q occurs in no atom", order[d])
+		}
+	}
+
+	// Map search-order positions back to output positions.
+	outPos := make([]int, len(order))
+	for d, v := range order {
+		outPos[d] = -1
+		for i, qv := range q.Vars {
+			if qv == v {
+				outPos[d] = i
+			}
+		}
+		if outPos[d] < 0 {
+			return fmt.Errorf("core: order variable %q not in query", order[d])
+		}
+	}
+
+	binding := make(relation.Tuple, len(q.Vars))
+	scratch := make([][]relation.Value, len(order))
+	ranges := make([]trie.LevelRange, 0, len(q.Atoms))
+
+	var rec func(d int) error
+	rec = func(d int) error {
+		stats.Recursions++
+		if d == len(order) {
+			return emit(binding)
+		}
+		ranges = ranges[:0]
+		for _, ai := range participants[d] {
+			ga := atoms[ai]
+			l := ga.levelOf[d]
+			ranges = append(ranges, trie.LevelRange{
+				Col: ga.trie.Level(l),
+				Lo:  ga.loStack[l],
+				Hi:  ga.hiStack[l],
+			})
+		}
+		vals := trie.IntersectLevels(scratch[d][:0], ranges)
+		scratch[d] = vals
+		stats.IntersectValues += len(vals)
+		for _, v := range vals {
+			binding[outPos[d]] = v
+			ok := true
+			for _, ai := range participants[d] {
+				ga := atoms[ai]
+				l := ga.levelOf[d]
+				lo, hi := ga.trie.Range(l, ga.loStack[l], ga.hiStack[l], v)
+				if lo >= hi {
+					ok = false
+					break
+				}
+				ga.loStack[l+1], ga.hiStack[l+1] = lo, hi
+			}
+			if !ok {
+				continue // cannot happen: v came from the intersection
+			}
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		// IntersectLevels may have reallocated; keep the grown buffer
+		// but recursion below us used its own depth slot, so nothing
+		// to restore.
+		return nil
+	}
+	return rec(0)
+}
+
+// checkOrder verifies order is a permutation of the query variables.
+func checkOrder(q *Query, order []string) error {
+	if len(order) != len(q.Vars) {
+		return fmt.Errorf("core: order %v must cover all %d query variables", order, len(q.Vars))
+	}
+	seen := make(map[string]bool)
+	for _, v := range order {
+		if seen[v] {
+			return fmt.Errorf("core: order repeats variable %q", v)
+		}
+		seen[v] = true
+	}
+	for _, v := range q.Vars {
+		if !seen[v] {
+			return fmt.Errorf("core: order is missing variable %q", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package dataset implements the workload generators behind the
+// benchmark harness: random and power-law graphs, the AGM-tight and
+// skewed triangle instances of Section 2, Loomis–Whitney instances,
+// the OLAP-style chain data for query (63), and Example 1 instances
+// with controlled degrees. Generators are deterministic given a seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"wcoj/internal/relation"
+)
+
+// RandomGraph returns an Erdős–Rényi-style directed edge relation
+// E(src,dst) with m edges sampled uniformly over [n]×[n] (self-loops
+// removed, duplicates deduped by the builder).
+func RandomGraph(n, m int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("E", "src", "dst")
+	for i := 0; i < m; i++ {
+		u := relation.Value(rng.Intn(n))
+		v := relation.Value(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.Add(u, v)
+	}
+	return b.Build()
+}
+
+// PowerLawGraph returns a directed graph of ~m edges whose source
+// vertices follow a Zipf(s) distribution — the skewed-degree workloads
+// where WCOJ algorithms shine.
+func PowerLawGraph(n, m int, s float64, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	b := relation.NewBuilder("E", "src", "dst")
+	for i := 0; i < m; i++ {
+		u := relation.Value(z.Uint64())
+		v := relation.Value(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.Add(u, v)
+	}
+	return b.Build()
+}
+
+// Triangle bundles the three relations of the triangle query
+// Q(A,B,C) ← R(A,B), S(B,C), T(A,C).
+type Triangle struct {
+	R, S, T *relation.Relation
+}
+
+// TriangleAGMTight returns the AGM-tight instance: with k = ⌊√n⌋, each
+// relation is the complete bipartite set [k]×[k] (disjoint A/B/C value
+// spaces are unnecessary — attributes are distinct columns). Every
+// relation has k² ≈ n tuples and the output has k³ ≈ n^{3/2} tuples,
+// matching the AGM bound, so any algorithm must spend Ω(n^{3/2}).
+func TriangleAGMTight(n int) Triangle {
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	mk := func(name, a1, a2 string) *relation.Relation {
+		b := relation.NewBuilder(name, a1, a2)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				b.Add(relation.Value(i), relation.Value(j))
+			}
+		}
+		return b.Build()
+	}
+	return Triangle{
+		R: mk("R", "A", "B"),
+		S: mk("S", "B", "C"),
+		T: mk("T", "A", "C"),
+	}
+}
+
+// TriangleSkew returns the classic hard instance for one-pair-at-a-time
+// plans (Section 2 / "skew strikes back"): each relation is a double
+// star, e.g. R = {(a_0, b_j)} ∪ {(a_i, b_0)} for i,j ∈ [n/2]. Every
+// pairwise join has Θ(n²) tuples while the output has only Θ(n), so
+// binary plans are Θ(n²) but WCOJ algorithms run in Õ(n^{3/2}) — and
+// on this instance actually Õ(n).
+func TriangleSkew(n int) Triangle {
+	half := n / 2
+	if half < 1 {
+		half = 1
+	}
+	star := func(name, a1, a2 string) *relation.Relation {
+		b := relation.NewBuilder(name, a1, a2)
+		for i := 0; i < half; i++ {
+			b.Add(0, relation.Value(i)) // hub on the left
+			b.Add(relation.Value(i), 0) // hub on the right
+		}
+		return b.Build()
+	}
+	return Triangle{
+		R: star("R", "A", "B"),
+		S: star("S", "B", "C"),
+		T: star("T", "A", "C"),
+	}
+}
+
+// TriangleFromGraph binds one edge relation as all three triangle
+// atoms (the triangle-counting workload of Section 1.2, R = S = T = E).
+func TriangleFromGraph(e *relation.Relation) (Triangle, error) {
+	r, err := e.Rename("R", "A", "B")
+	if err != nil {
+		return Triangle{}, err
+	}
+	s, err := e.Rename("S", "B", "C")
+	if err != nil {
+		return Triangle{}, err
+	}
+	t, err := e.Rename("T", "A", "C")
+	if err != nil {
+		return Triangle{}, err
+	}
+	return Triangle{R: r, S: s, T: t}, nil
+}
+
+// LoomisWhitney returns the k relations of the Loomis–Whitney query
+// LW(k) (every atom contains all variables but one) on the AGM-tight
+// instance: each relation is the full cube [m]^{k-1} with
+// m = ⌊n^{1/(k-1)}⌋, giving |R_i| ≈ n and output ≈ n^{k/(k-1)} — the
+// family on which any join-project plan loses a factor Ω(N^{1-1/k})
+// to WCOJ algorithms [51].
+//
+// Variables are named A0..A{k-1}; relation Ri omits Ai.
+func LoomisWhitney(k, n int) []*relation.Relation {
+	m := int(math.Pow(float64(n), 1/float64(k-1)))
+	if m < 1 {
+		m = 1
+	}
+	var rels []*relation.Relation
+	for i := 0; i < k; i++ {
+		var attrs []string
+		for j := 0; j < k; j++ {
+			if j != i {
+				attrs = append(attrs, varName(j))
+			}
+		}
+		b := relation.NewBuilder(relName(i), attrs...)
+		tuple := make([]relation.Value, k-1)
+		var rec func(d int)
+		rec = func(d int) {
+			if d == k-1 {
+				b.Add(tuple...)
+				return
+			}
+			for v := 0; v < m; v++ {
+				tuple[d] = relation.Value(v)
+				rec(d + 1)
+			}
+		}
+		rec(0)
+		rels = append(rels, b.Build())
+	}
+	return rels
+}
+
+func varName(i int) string { return "A" + string(rune('0'+i)) }
+func relName(i int) string { return "R" + string(rune('0'+i)) }
+
+// Chain63 is the data for the paper's query (63):
+// Q(A,B,C,D) ← R(A), S(A,B), T(B,C), W(C,A,D) with degree constraints
+// N_A (R), N_B|A (S), N_C|B (T), N_AD|C (W).
+type Chain63 struct {
+	R, S, T, W *relation.Relation
+	// The constraint values realized by the data.
+	NA, NBgA, NCgB, NADgC int
+}
+
+// NewChain63 generates chain data: |R| = nA values of A; each A value
+// has degB successors B; each B value degC successors C; each C value
+// degAD (A,D) pairs. Values are arranged modulo small domains so the
+// chain closes and joins are non-trivial.
+func NewChain63(nA, degB, degC, degAD int, seed int64) Chain63 {
+	rng := rand.New(rand.NewSource(seed))
+	br := relation.NewBuilder("R", "A")
+	for a := 0; a < nA; a++ {
+		br.Add(relation.Value(a))
+	}
+	domB := nA * degB
+	bs := relation.NewBuilder("S", "A", "B")
+	for a := 0; a < nA; a++ {
+		for j := 0; j < degB; j++ {
+			bs.Add(relation.Value(a), relation.Value((a*degB+j*7)%domB))
+		}
+	}
+	domC := nA * degC
+	bt := relation.NewBuilder("T", "B", "C")
+	for b := 0; b < domB; b++ {
+		for j := 0; j < degC; j++ {
+			bt.Add(relation.Value(b), relation.Value((b*degC+j*5)%domC))
+		}
+	}
+	bw := relation.NewBuilder("W", "C", "A", "D")
+	for c := 0; c < domC; c++ {
+		for j := 0; j < degAD; j++ {
+			bw.Add(relation.Value(c), relation.Value(rng.Intn(nA)), relation.Value(j))
+		}
+	}
+	return Chain63{
+		R: br.Build(), S: bs.Build(), T: bt.Build(), W: bw.Build(),
+		NA: nA, NBgA: degB, NCgB: degC, NADgC: degAD,
+	}
+}
+
+// Example1Data bundles the five relations of the paper's Example 1.
+type Example1Data struct {
+	R, S, T, W, V *relation.Relation
+}
+
+// NewExample1 generates an Example 1 instance: R(A,B), S(B,C), T(C,D)
+// with ~n random tuples over a domain sized for non-trivial joins, and
+// W(A,C,D), V(A,B,D) with per-key degrees bounded by degW and degV
+// (realizing the constraints N_ACD|AC ≤ degW and N_ABD|BD ≤ degV).
+// skew > 0 concentrates S's B values to exercise the heavy/light
+// partition.
+func NewExample1(n, degW, degV int, skew float64, seed int64) Example1Data {
+	rng := rand.New(rand.NewSource(seed))
+	dom := int(math.Sqrt(float64(n))) + 2
+	pick := func() relation.Value { return relation.Value(rng.Intn(dom)) }
+	pickSkew := func() relation.Value {
+		if skew > 0 && rng.Float64() < skew {
+			return 0 // heavy hitter
+		}
+		return relation.Value(rng.Intn(dom))
+	}
+	br := relation.NewBuilder("R", "A", "B")
+	bs := relation.NewBuilder("S", "B", "C")
+	bt := relation.NewBuilder("T", "C", "D")
+	for i := 0; i < n; i++ {
+		br.Add(pick(), pickSkew())
+		bs.Add(pickSkew(), pick())
+		bt.Add(pick(), pick())
+	}
+	bw := relation.NewBuilder("W", "A", "C", "D")
+	bv := relation.NewBuilder("V", "A", "B", "D")
+	for a := 0; a < dom; a++ {
+		for c := 0; c < dom; c++ {
+			for j := 0; j < degW; j++ {
+				bw.Add(relation.Value(a), relation.Value(c), relation.Value(rng.Intn(dom)))
+			}
+		}
+	}
+	for b := 0; b < dom; b++ {
+		for d := 0; d < dom; d++ {
+			for j := 0; j < degV; j++ {
+				bv.Add(relation.Value(rng.Intn(dom)), relation.Value(b), relation.Value(d))
+			}
+		}
+	}
+	return Example1Data{R: br.Build(), S: bs.Build(), T: bt.Build(), W: bw.Build(), V: bv.Build()}
+}
+
+// FDInstance returns a relation R(A,B,C) of n tuples satisfying the
+// functional dependency A→B (B is a deterministic function of A), used
+// by the Table 1 experiments on FD-constrained bounds.
+func FDInstance(n, domA, domC int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("R", "A", "B", "C")
+	for i := 0; i < n; i++ {
+		a := rng.Intn(domA)
+		b.Add(relation.Value(a), relation.Value(a*a%domA), relation.Value(rng.Intn(domC)))
+	}
+	return b.Build()
+}

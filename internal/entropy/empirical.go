@@ -1,0 +1,81 @@
+package entropy
+
+import (
+	"fmt"
+	"math"
+)
+
+// FromTuples returns the entropy function H of the uniform distribution
+// over the given tuples (each of width n). This is exactly the
+// distribution used in the entropy argument of Sections 2 and 4.2: pick
+// a tuple of the output Q(D) uniformly; then H[full] = log2 |Q(D)| and
+// H[Y|X] ≤ log2 N_{Y|X} for every satisfied degree constraint.
+// Duplicate tuples are an error (the argument needs a uniform
+// distribution over a set).
+func FromTuples(n int, tuples [][]int64) (*SetFunction, error) {
+	if n < 0 || n > MaxN {
+		return nil, fmt.Errorf("entropy: n = %d out of range", n)
+	}
+	f := NewSetFunction(n)
+	if len(tuples) == 0 {
+		return f, nil
+	}
+	seen := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		if len(t) != n {
+			return nil, fmt.Errorf("entropy: tuple width %d, want %d", len(t), n)
+		}
+		k := key(t, f.Full())
+		if seen[k] {
+			return nil, fmt.Errorf("entropy: duplicate tuple %v", t)
+		}
+		seen[k] = true
+	}
+	total := float64(len(tuples))
+	full := f.Full()
+	for s := uint32(1); s <= full; s++ {
+		counts := make(map[string]int)
+		for _, t := range tuples {
+			counts[key(t, s)]++
+		}
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / total
+			h -= p * math.Log2(p)
+		}
+		f.vals[s] = h
+		if s == full {
+			break
+		}
+	}
+	return f, nil
+}
+
+// key serializes the projection of t onto mask s.
+func key(t []int64, s uint32) string {
+	b := make([]byte, 0, 8*len(t))
+	for i, v := range t {
+		if s&(1<<uint(i)) == 0 {
+			continue
+		}
+		for k := 0; k < 8; k++ {
+			b = append(b, byte(v>>(8*k)))
+		}
+	}
+	return string(b)
+}
+
+// SupportBound returns log2 of the support size of the marginal on
+// mask s — the right-hand side of inequality (31). For the uniform
+// distribution built by FromTuples the support of the marginal on s is
+// the number of distinct projections.
+func SupportBound(n int, tuples [][]int64, s uint32) float64 {
+	supp := make(map[string]bool)
+	for _, t := range tuples {
+		supp[key(t, s)] = true
+	}
+	if len(supp) == 0 {
+		return 0
+	}
+	return math.Log2(float64(len(supp)))
+}

@@ -1,0 +1,344 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModularIsPolymatroid(t *testing.T) {
+	f := Modular([]float64{1, 2, 3})
+	if !f.IsModular(1e-12) || !f.IsPolymatroid(1e-12) || !f.IsSubadditive(1e-12) {
+		t.Fatal("modular functions are polymatroids and subadditive")
+	}
+	if f.Get(0b111) != 6 || f.Get(0b101) != 4 {
+		t.Fatalf("values wrong: %v", f.Values())
+	}
+	if f.Conditional(0b100, 0b001) != 3 {
+		t.Fatalf("h(C|A) = %v, want 3", f.Conditional(0b100, 0b001))
+	}
+}
+
+func TestRankFunctionIsPolymatroid(t *testing.T) {
+	// The rank function of the uniform matroid U_{2,3}: h(S)=min(|S|,2).
+	f := NewSetFunction(3)
+	for s := uint32(1); s < 8; s++ {
+		c := 0
+		for i := 0; i < 3; i++ {
+			if s&(1<<uint(i)) != 0 {
+				c++
+			}
+		}
+		if c > 2 {
+			c = 2
+		}
+		f.Set(s, float64(c))
+	}
+	if !f.IsPolymatroid(1e-12) {
+		t.Fatal("matroid rank is a polymatroid")
+	}
+	if f.IsModular(1e-12) {
+		t.Fatal("U_{2,3} rank is not modular")
+	}
+}
+
+func TestViolations(t *testing.T) {
+	// Not monotone.
+	f := NewSetFunction(2)
+	f.Set(0b01, 2)
+	f.Set(0b10, 1)
+	f.Set(0b11, 1) // h(AB) < h(A)
+	if f.IsMonotone(1e-12) {
+		t.Fatal("should violate monotonicity")
+	}
+	// Not submodular: h strictly supermodular.
+	g := NewSetFunction(2)
+	g.Set(0b01, 1)
+	g.Set(0b10, 1)
+	g.Set(0b11, 3) // 3 + 0 > 1 + 1
+	if g.IsSubmodular(1e-12) {
+		t.Fatal("should violate submodularity")
+	}
+	if g.IsSubadditive(1e-12) {
+		t.Fatal("should violate subadditivity")
+	}
+	// Non-zero at empty set.
+	z := NewSetFunction(1)
+	z.Set(0, 1)
+	z.Set(1, 2)
+	if z.IsZeroAtEmpty(1e-12) || z.IsPolymatroid(1e-12) {
+		t.Fatal("h(∅) != 0 is not a polymatroid here")
+	}
+	neg := NewSetFunction(1)
+	neg.Set(1, -1)
+	if neg.IsNonNegative(1e-12) {
+		t.Fatal("negative value must be detected")
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	f, err := FromValues([]float64{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 2 || f.Get(0b11) != 2 {
+		t.Fatalf("FromValues: n=%d", f.N())
+	}
+	if _, err := FromValues([]float64{0, 1, 2}); err == nil {
+		t.Fatal("non-power-of-two length must fail")
+	}
+	c := f.Clone()
+	c.Set(1, 9)
+	if f.Get(1) == 9 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	uni := []string{"A", "B", "C"}
+	m, err := MaskOf([]string{"A", "C"}, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0b101 {
+		t.Fatalf("mask = %b", m)
+	}
+	if _, err := MaskOf([]string{"Z"}, uni); err == nil {
+		t.Fatal("unknown variable must fail")
+	}
+	vars := MaskVars(0b110, uni)
+	if len(vars) != 2 || vars[0] != "B" || vars[1] != "C" {
+		t.Fatalf("MaskVars = %v", vars)
+	}
+}
+
+func TestElementalCount(t *testing.T) {
+	// n=3: monotonicity 3·2^2=12, submodularity C(3,2)·2^1=6.
+	es := Elemental(3)
+	mono, sub := 0, 0
+	for _, e := range es {
+		switch e.Kind {
+		case "monotone":
+			mono++
+		case "submodular":
+			sub++
+		}
+	}
+	if mono != 12 || sub != 6 {
+		t.Fatalf("mono=%d sub=%d, want 12/6", mono, sub)
+	}
+}
+
+func TestShearerTriangle(t *testing.T) {
+	// Triangle: h(ABC) ≤ ½h(AB) + ½h(BC) + ½h(AC) is valid.
+	edges := []uint32{0b011, 0b110, 0b101}
+	ok, err := VerifyShearer(3, edges, []float64{0.5, 0.5, 0.5}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Shearer with (.5,.5,.5) must hold for the triangle")
+	}
+	// (.4,.5,.5) is not a fractional cover of vertex A... actually
+	// A ∈ {AB, AC}: .4+.5 = .9 < 1 — invalid.
+	ok, err = VerifyShearer(3, edges, []float64{0.4, 0.5, 0.5}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("sub-cover coefficients must fail")
+	}
+	if _, err := VerifyShearer(3, edges, []float64{1}, 1e-7); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestShearerEquivalenceWithCover(t *testing.T) {
+	// Corollary 5.5 on the 4-cycle: h(full) ≤ Σ δ_F h(F) iff δ covers.
+	edges := []uint32{0b0011, 0b0110, 0b1100, 0b1001}
+	// δ = (.5,.5,.5,.5) covers C4.
+	ok, err := VerifyShearer(4, edges, []float64{.5, .5, .5, .5}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("C4 half-weights are a cover; Shearer must hold")
+	}
+	// δ = (1,0,1,0) also covers (opposite edges).
+	ok, err = VerifyShearer(4, edges, []float64{1, 0, 1, 0}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("opposite-edge weights cover C4")
+	}
+	// δ = (1,0,0,1) leaves vertex A2 uncovered... A2 ∈ edges {A1A2, A2A3}
+	// = masks 0110, 1100 with weights 0,0 — not a cover.
+	ok, err = VerifyShearer(4, edges, []float64{1, 0, 0, 1}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-cover must fail Shearer")
+	}
+}
+
+func TestHoldsForAllPolymatroidsCertificate(t *testing.T) {
+	// h(A) + h(B) − h(AB) ≥ 0 is subadditivity: valid.
+	ok, _, err := HoldsForAllPolymatroids(2, LinearForm{0b01: 1, 0b10: 1, 0b11: -1}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("subadditivity is Shannon-type")
+	}
+	// h(A) − h(B) ≥ 0 is not valid.
+	ok, min, err := HoldsForAllPolymatroids(2, LinearForm{0b01: 1, 0b10: -1}, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || min >= 0 {
+		t.Fatalf("h(A) ≥ h(B) is invalid; min = %v", min)
+	}
+}
+
+func TestFromTuplesUniform(t *testing.T) {
+	// Four tuples over (A,B): independent uniform bits.
+	tuples := [][]int64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	f, err := FromTuples(2, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Get(0b01)-1) > 1e-12 || math.Abs(f.Get(0b10)-1) > 1e-12 {
+		t.Fatalf("marginals: %v", f.Values())
+	}
+	if math.Abs(f.Get(0b11)-2) > 1e-12 {
+		t.Fatalf("joint: %v", f.Get(0b11))
+	}
+	if !f.IsPolymatroid(1e-9) {
+		t.Fatal("entropy functions are polymatroids")
+	}
+}
+
+func TestFromTuplesCorrelated(t *testing.T) {
+	// A = B: h(A)=h(B)=h(AB)=1.
+	f, err := FromTuples(2, [][]int64{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []uint32{0b01, 0b10, 0b11} {
+		if math.Abs(f.Get(s)-1) > 1e-12 {
+			t.Fatalf("h(%b) = %v, want 1", s, f.Get(s))
+		}
+	}
+}
+
+func TestFromTuplesErrors(t *testing.T) {
+	if _, err := FromTuples(2, [][]int64{{1}}); err == nil {
+		t.Fatal("wrong width must fail")
+	}
+	if _, err := FromTuples(1, [][]int64{{1}, {1}}); err == nil {
+		t.Fatal("duplicates must fail")
+	}
+	f, err := FromTuples(2, nil)
+	if err != nil || f.Get(0b11) != 0 {
+		t.Fatal("empty tuple set is the zero function")
+	}
+}
+
+func TestSupportBound(t *testing.T) {
+	tuples := [][]int64{{0, 0}, {0, 1}, {1, 0}}
+	// Support of A is {0,1}: bound = 1 bit.
+	if got := SupportBound(2, tuples, 0b01); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("support bound = %v", got)
+	}
+	if got := SupportBound(2, nil, 0b01); got != 0 {
+		t.Fatalf("empty support bound = %v", got)
+	}
+	// Entropy ≤ support bound (inequality (31)).
+	f, _ := FromTuples(2, tuples)
+	if f.Get(0b01) > SupportBound(2, tuples, 0b01)+1e-12 {
+		t.Fatal("H[A] must be ≤ log2 |supp(A)|")
+	}
+}
+
+// Property: empirical entropy functions are always polymatroids and
+// satisfy H[full] = log2(#tuples).
+func TestPropertyEmpiricalEntropyPolymatroid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		seen := make(map[[3]int64]bool)
+		var tuples [][]int64
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			var k [3]int64
+			t := make([]int64, n)
+			for j := range t {
+				t[j] = int64(rng.Intn(4))
+				k[j] = t[j]
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tuples = append(tuples, t)
+		}
+		h, err := FromTuples(n, tuples)
+		if err != nil {
+			return false
+		}
+		if !h.IsPolymatroid(1e-9) {
+			return false
+		}
+		want := math.Log2(float64(len(tuples)))
+		return math.Abs(h.Get(h.Full())-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shearer verification agrees with the fractional-cover
+// criterion on random small hypergraphs (Corollary 5.5).
+func TestPropertyShearerIffCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2) // 2..3 keeps the LP fast
+		m := 1 + rng.Intn(3)
+		full := uint32(1)<<uint(n) - 1
+		edges := make([]uint32, m)
+		for i := range edges {
+			edges[i] = uint32(1+rng.Intn(int(full))) & full
+			if edges[i] == 0 {
+				edges[i] = 1
+			}
+		}
+		delta := make([]float64, m)
+		for i := range delta {
+			delta[i] = float64(rng.Intn(5)) / 4.0
+		}
+		// Cover criterion.
+		isCover := true
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for i, e := range edges {
+				if e&(1<<uint(v)) != 0 {
+					sum += delta[i]
+				}
+			}
+			if sum < 1-1e-9 {
+				isCover = false
+				break
+			}
+		}
+		ok, err := VerifyShearer(n, edges, delta, 1e-6)
+		if err != nil {
+			return false
+		}
+		return ok == isCover
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package entropy implements the information-theoretic machinery of
+// Sections 3.2 and 4: set functions over the subset lattice 2^[n],
+// membership tests for the cones M_n (modular), Γ_n (polymatroids) and
+// SA_n (subadditive), elemental Shannon inequalities, Shannon-type
+// inequality verification by LP, Shearer's lemma, and empirical
+// entropy of concrete distributions.
+//
+// Subsets of [n] are represented as bitmasks (uint32); a set function
+// is a dense vector of 2^n values indexed by mask. n is capped at 20,
+// far beyond the sizes any of the bound LPs need.
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wcoj/internal/lp"
+)
+
+// MaxN is the largest supported universe size.
+const MaxN = 20
+
+// SetFunction is a function h : 2^[n] -> R stored densely by subset
+// bitmask. By convention h(∅) = 0 for the functions this repository
+// manipulates, but the representation does not force it (tests for the
+// cone-membership predicates exercise violations).
+type SetFunction struct {
+	n    int
+	vals []float64
+}
+
+// NewSetFunction returns the all-zero set function on [n].
+func NewSetFunction(n int) *SetFunction {
+	if n < 0 || n > MaxN {
+		panic(fmt.Sprintf("entropy: n = %d out of range [0,%d]", n, MaxN))
+	}
+	return &SetFunction{n: n, vals: make([]float64, 1<<uint(n))}
+}
+
+// FromValues wraps a dense value vector (length must be a power of two).
+func FromValues(vals []float64) (*SetFunction, error) {
+	n := bits.TrailingZeros(uint(len(vals)))
+	if len(vals) == 0 || 1<<uint(n) != len(vals) || n > MaxN {
+		return nil, fmt.Errorf("entropy: value vector length %d is not a power of two ≤ 2^%d", len(vals), MaxN)
+	}
+	v := make([]float64, len(vals))
+	copy(v, vals)
+	return &SetFunction{n: n, vals: v}, nil
+}
+
+// N returns the universe size.
+func (f *SetFunction) N() int { return f.n }
+
+// Full returns the mask of the full set [n].
+func (f *SetFunction) Full() uint32 { return uint32(1)<<uint(f.n) - 1 }
+
+// Get returns h(S) for the subset mask S.
+func (f *SetFunction) Get(s uint32) float64 { return f.vals[s] }
+
+// Set assigns h(S) = v.
+func (f *SetFunction) Set(s uint32, v float64) { f.vals[s] = v }
+
+// Conditional returns h(Y|X) = h(Y∪X) − h(X), the chain rule (29).
+func (f *SetFunction) Conditional(y, x uint32) float64 {
+	return f.vals[y|x] - f.vals[x]
+}
+
+// Values returns the underlying dense vector (not a copy).
+func (f *SetFunction) Values() []float64 { return f.vals }
+
+// Clone returns a deep copy.
+func (f *SetFunction) Clone() *SetFunction {
+	g := NewSetFunction(f.n)
+	copy(g.vals, f.vals)
+	return g
+}
+
+// Modular returns the modular function f(S) = Σ_{i∈S} w_i (the cone
+// M_n of Definition 2).
+func Modular(w []float64) *SetFunction {
+	f := NewSetFunction(len(w))
+	for s := uint32(1); s <= f.Full(); s++ {
+		var sum float64
+		for i := 0; i < f.n; i++ {
+			if s&(1<<uint(i)) != 0 {
+				sum += w[i]
+			}
+		}
+		f.vals[s] = sum
+	}
+	return f
+}
+
+// IsZeroAtEmpty reports h(∅) ≈ 0.
+func (f *SetFunction) IsZeroAtEmpty(tol float64) bool {
+	return math.Abs(f.vals[0]) <= tol
+}
+
+// IsNonNegative reports h ≥ −tol pointwise.
+func (f *SetFunction) IsNonNegative(tol float64) bool {
+	for _, v := range f.vals {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMonotone reports h(X) ≤ h(Y) + tol whenever X ⊆ Y (property (32)).
+// Checked in elemental form: h(S) ≤ h(S∪{i}).
+func (f *SetFunction) IsMonotone(tol float64) bool {
+	full := f.Full()
+	for s := uint32(0); s <= full; s++ {
+		for i := 0; i < f.n; i++ {
+			b := uint32(1) << uint(i)
+			if s&b != 0 {
+				continue
+			}
+			if f.vals[s] > f.vals[s|b]+tol {
+				return false
+			}
+		}
+		if s == full {
+			break
+		}
+	}
+	return true
+}
+
+// IsSubmodular reports h(X∪Y) + h(X∩Y) ≤ h(X) + h(Y) + tol for all
+// X, Y (property (33)). Checked in elemental form:
+// h(S∪{i}) + h(S∪{j}) ≥ h(S∪{i,j}) + h(S).
+func (f *SetFunction) IsSubmodular(tol float64) bool {
+	full := f.Full()
+	for s := uint32(0); s <= full; s++ {
+		for i := 0; i < f.n; i++ {
+			bi := uint32(1) << uint(i)
+			if s&bi != 0 {
+				continue
+			}
+			for j := i + 1; j < f.n; j++ {
+				bj := uint32(1) << uint(j)
+				if s&bj != 0 {
+					continue
+				}
+				if f.vals[s|bi]+f.vals[s|bj] < f.vals[s|bi|bj]+f.vals[s]-tol {
+					return false
+				}
+			}
+		}
+		if s == full {
+			break
+		}
+	}
+	return true
+}
+
+// IsSubadditive reports h(X∪Y) ≤ h(X) + h(Y) + tol for disjoint X, Y
+// (the cone SA_n).
+func (f *SetFunction) IsSubadditive(tol float64) bool {
+	full := f.Full()
+	for x := uint32(1); x <= full; x++ {
+		rest := full &^ x
+		for y := rest; y > 0; y = (y - 1) & rest {
+			if f.vals[x|y] > f.vals[x]+f.vals[y]+tol {
+				return false
+			}
+		}
+		if x == full {
+			break
+		}
+	}
+	return true
+}
+
+// IsModular reports f(S) = Σ_{i∈S} f({i}) within tol.
+func (f *SetFunction) IsModular(tol float64) bool {
+	full := f.Full()
+	for s := uint32(0); s <= full; s++ {
+		var sum float64
+		for i := 0; i < f.n; i++ {
+			if s&(1<<uint(i)) != 0 {
+				sum += f.vals[1<<uint(i)]
+			}
+		}
+		if math.Abs(f.vals[s]-sum) > tol {
+			return false
+		}
+		if s == full {
+			break
+		}
+	}
+	return true
+}
+
+// IsPolymatroid reports membership in Γ_n: h(∅)=0, monotone,
+// submodular (Definition 2; non-negativity follows from h(∅)=0 and
+// monotonicity).
+func (f *SetFunction) IsPolymatroid(tol float64) bool {
+	return f.IsZeroAtEmpty(tol) && f.IsMonotone(tol) && f.IsSubmodular(tol)
+}
+
+// MaskOf converts a variable-name set to a bitmask given the universe
+// ordering. Unknown names yield an error.
+func MaskOf(vars []string, universe []string) (uint32, error) {
+	var m uint32
+	for _, v := range vars {
+		found := false
+		for i, u := range universe {
+			if u == v {
+				m |= 1 << uint(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("entropy: variable %q not in universe %v", v, universe)
+		}
+	}
+	return m, nil
+}
+
+// MaskVars converts a bitmask back to variable names.
+func MaskVars(m uint32, universe []string) []string {
+	var out []string
+	for i, u := range universe {
+		if m&(1<<uint(i)) != 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// ElementalInequality is one elemental Shannon inequality expressed as
+// Σ Coef[S]·h(S) ≥ 0 over subset masks.
+type ElementalInequality struct {
+	// Terms maps subset mask -> coefficient.
+	Terms map[uint32]float64
+	Kind  string // "monotone" or "submodular"
+}
+
+// Elemental returns the elemental Shannon inequalities on [n]:
+// monotonicity h(S∪{i}) − h(S) ≥ 0 and submodularity
+// h(S∪{i}) + h(S∪{j}) − h(S∪{i,j}) − h(S) ≥ 0. Together with h(∅)=0
+// they generate all Shannon-type inequalities (the cone Γ_n).
+func Elemental(n int) []ElementalInequality {
+	var out []ElementalInequality
+	full := uint32(1)<<uint(n) - 1
+	for s := uint32(0); ; s++ {
+		for i := 0; i < n; i++ {
+			bi := uint32(1) << uint(i)
+			if s&bi != 0 {
+				continue
+			}
+			out = append(out, ElementalInequality{
+				Terms: map[uint32]float64{s | bi: 1, s: -1},
+				Kind:  "monotone",
+			})
+			for j := i + 1; j < n; j++ {
+				bj := uint32(1) << uint(j)
+				if s&bj != 0 {
+					continue
+				}
+				out = append(out, ElementalInequality{
+					Terms: map[uint32]float64{s | bi: 1, s | bj: 1, s | bi | bj: -1, s: -1},
+					Kind:  "submodular",
+				})
+			}
+		}
+		if s == full {
+			break
+		}
+	}
+	return out
+}
+
+// LinearForm is a linear expression Σ Coef[S]·h(S) over subset masks.
+type LinearForm map[uint32]float64
+
+// HoldsForAllPolymatroids reports whether the inequality form ≥ 0 holds
+// for every polymatroid on [n], decided by LP: minimize the form over
+// Γ_n normalized by h(full) ≤ 1 (the cone makes the unnormalized
+// problem scale-invariant). It returns the LP certificate value (the
+// minimum; ≥ −tol means the inequality is valid).
+func HoldsForAllPolymatroids(n int, form LinearForm, tol float64) (bool, float64, error) {
+	// Variables: h(S) for S = 1..2^n-1 (h(∅) fixed to 0 by omission).
+	numVars := 1<<uint(n) - 1
+	varOf := func(s uint32) int { return int(s) - 1 }
+	p := lp.NewProblem(lp.Minimize, numVars)
+	for s, c := range form {
+		if s == 0 {
+			continue
+		}
+		p.SetObjective(varOf(s), c)
+	}
+	for _, e := range Elemental(n) {
+		coef := make([]float64, numVars)
+		for s, c := range e.Terms {
+			if s == 0 {
+				continue
+			}
+			coef[varOf(s)] += c
+		}
+		p.AddConstraint(coef, lp.GE, 0)
+	}
+	// Normalization: h(S) ≤ 1 for the full set bounds everything by
+	// monotonicity.
+	full := uint32(1)<<uint(n) - 1
+	norm := make([]float64, numVars)
+	norm[varOf(full)] = 1
+	p.AddConstraint(norm, lp.LE, 1)
+	s, err := lp.Solve(p)
+	if err != nil {
+		return false, 0, err
+	}
+	if s.Status != lp.Optimal {
+		return false, 0, fmt.Errorf("entropy: inequality LP is %v", s.Status)
+	}
+	return s.Objective >= -tol, s.Objective, nil
+}
+
+// VerifyShearer checks Shearer's inequality h([n]) ≤ Σ_F δ_F·h(F) over
+// all polymatroids for the given edge masks and coefficients
+// (Corollary 5.5: valid iff δ is a fractional edge cover).
+func VerifyShearer(n int, edges []uint32, delta []float64, tol float64) (bool, error) {
+	if len(edges) != len(delta) {
+		return false, fmt.Errorf("entropy: %d edges but %d coefficients", len(edges), len(delta))
+	}
+	form := LinearForm{}
+	full := uint32(1)<<uint(n) - 1
+	form[full] -= 1
+	for i, e := range edges {
+		form[e] += delta[i]
+	}
+	ok, _, err := HoldsForAllPolymatroids(n, form, tol)
+	return ok, err
+}

@@ -1,0 +1,429 @@
+// Package hypergraph implements query (multi-)hypergraphs and the
+// combinatorial machinery around them: the fractional edge cover
+// polytope and ρ*, integral edge covers, GYO acyclicity, and simple
+// variable-ordering utilities. The fractional edge cover number ρ*(H)
+// is the exponent in the AGM bound |Q| ≤ N^{ρ*(H)}.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wcoj/internal/lp"
+)
+
+// Edge is a named hyperedge: the attribute set of one query atom.
+// Multi-hypergraphs are supported — two edges may have identical
+// vertex sets (and even identical names, though distinct names make
+// diagnostics clearer).
+type Edge struct {
+	Name     string
+	Vertices []string
+}
+
+// Hypergraph is a multi-hypergraph over named vertices (variables).
+type Hypergraph struct {
+	vertices []string
+	vindex   map[string]int
+	edges    []Edge
+	// membership[e] is the sorted vertex-index set of edge e.
+	membership [][]int
+}
+
+// New builds a hypergraph. Every edge vertex must appear in vertices;
+// vertices not covered by any edge are allowed (they make ρ* infinite,
+// which FractionalEdgeCover reports as Infeasible).
+func New(vertices []string, edges []Edge) (*Hypergraph, error) {
+	h := &Hypergraph{
+		vertices: append([]string(nil), vertices...),
+		vindex:   make(map[string]int, len(vertices)),
+	}
+	for i, v := range h.vertices {
+		if _, dup := h.vindex[v]; dup {
+			return nil, fmt.Errorf("hypergraph: duplicate vertex %q", v)
+		}
+		h.vindex[v] = i
+	}
+	for _, e := range edges {
+		var mem []int
+		seen := make(map[int]bool)
+		for _, v := range e.Vertices {
+			i, ok := h.vindex[v]
+			if !ok {
+				return nil, fmt.Errorf("hypergraph: edge %q uses unknown vertex %q", e.Name, v)
+			}
+			if !seen[i] {
+				seen[i] = true
+				mem = append(mem, i)
+			}
+		}
+		sort.Ints(mem)
+		h.edges = append(h.edges, Edge{Name: e.Name, Vertices: append([]string(nil), e.Vertices...)})
+		h.membership = append(h.membership, mem)
+	}
+	return h, nil
+}
+
+// Vertices returns the vertex names. The slice must not be modified.
+func (h *Hypergraph) Vertices() []string { return h.vertices }
+
+// NumVertices returns the number of vertices.
+func (h *Hypergraph) NumVertices() int { return len(h.vertices) }
+
+// Edges returns the edges. The slice must not be modified.
+func (h *Hypergraph) Edges() []Edge { return h.edges }
+
+// NumEdges returns the number of edges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// VertexIndex returns the index of a vertex name, or -1.
+func (h *Hypergraph) VertexIndex(v string) int {
+	if i, ok := h.vindex[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgeContains reports whether edge e contains vertex index v.
+func (h *Hypergraph) EdgeContains(e, v int) bool {
+	mem := h.membership[e]
+	i := sort.SearchInts(mem, v)
+	return i < len(mem) && mem[i] == v
+}
+
+// EdgesOf returns the indexes of edges containing vertex index v.
+func (h *Hypergraph) EdgesOf(v int) []int {
+	var out []int
+	for e := range h.edges {
+		if h.EdgeContains(e, v) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	for i, e := range h.edges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%s)", e.Name, strings.Join(e.Vertices, ","))
+	}
+	return b.String()
+}
+
+// Cover is a fractional edge cover: one weight per edge, in edge order.
+type Cover []float64
+
+// FractionalEdgeCover solves the LP min Σδ_F subject to
+// Σ_{F∋v} δ_F ≥ 1 for every vertex v, δ ≥ 0, and returns the optimal
+// cover and its value ρ*(H). If some vertex is in no edge the LP is
+// infeasible and an error is returned.
+func (h *Hypergraph) FractionalEdgeCover() (Cover, float64, error) {
+	return h.WeightedFractionalEdgeCover(nil)
+}
+
+// WeightedFractionalEdgeCover minimizes Σ δ_F·w_F over fractional edge
+// covers. A nil weight vector means all-ones (plain ρ*). This is the
+// AGM LP (5)/(57) with w_F = log|R_F|.
+func (h *Hypergraph) WeightedFractionalEdgeCover(w []float64) (Cover, float64, error) {
+	m := h.NumEdges()
+	if w != nil && len(w) != m {
+		return nil, 0, fmt.Errorf("hypergraph: %d weights for %d edges", len(w), m)
+	}
+	p := lp.NewProblem(lp.Minimize, m)
+	for j := 0; j < m; j++ {
+		if w == nil {
+			p.SetObjective(j, 1)
+		} else {
+			p.SetObjective(j, w[j])
+		}
+	}
+	for v := range h.vertices {
+		coef := make([]float64, m)
+		any := false
+		for e := range h.edges {
+			if h.EdgeContains(e, v) {
+				coef[e] = 1
+				any = true
+			}
+		}
+		if !any {
+			return nil, 0, fmt.Errorf("hypergraph: vertex %q is in no edge; edge cover is infeasible", h.vertices[v])
+		}
+		p.AddConstraint(coef, lp.GE, 1)
+	}
+	s, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("hypergraph: edge cover LP is %v", s.Status)
+	}
+	return Cover(s.X), s.Objective, nil
+}
+
+// IsFractionalEdgeCover reports whether delta covers every vertex:
+// Σ_{F∋v} δ_F ≥ 1 - tol for all v, δ ≥ -tol.
+func (h *Hypergraph) IsFractionalEdgeCover(delta Cover, tol float64) bool {
+	if len(delta) != h.NumEdges() {
+		return false
+	}
+	for _, d := range delta {
+		if d < -tol {
+			return false
+		}
+	}
+	for v := range h.vertices {
+		sum := 0.0
+		for e := range h.edges {
+			if h.EdgeContains(e, v) {
+				sum += delta[e]
+			}
+		}
+		if sum < 1-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IntegralEdgeCover returns a minimum-size integral edge cover (a set
+// of edges covering every vertex) and its size. It runs an exact
+// branch-and-bound, feasible for the query sizes in this repository
+// (≤ ~25 edges). Returns an error when no cover exists.
+func (h *Hypergraph) IntegralEdgeCover() ([]int, int, error) {
+	n := h.NumVertices()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > 63 {
+		return nil, 0, fmt.Errorf("hypergraph: integral cover supports up to 63 vertices, got %d", n)
+	}
+	full := uint64(1)<<uint(n) - 1
+	masks := make([]uint64, h.NumEdges())
+	var union uint64
+	for e, mem := range h.membership {
+		for _, v := range mem {
+			masks[e] |= 1 << uint(v)
+		}
+		union |= masks[e]
+	}
+	if union != full {
+		return nil, 0, fmt.Errorf("hypergraph: some vertex is in no edge")
+	}
+	best := make([]int, 0)
+	bestSize := h.NumEdges() + 1
+	var cur []int
+	var rec func(covered uint64)
+	rec = func(covered uint64) {
+		if covered == full {
+			if len(cur) < bestSize {
+				bestSize = len(cur)
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= bestSize {
+			return
+		}
+		// Branch on the lowest uncovered vertex: some chosen edge must
+		// contain it.
+		var v int
+		for v = 0; v < n; v++ {
+			if covered&(1<<uint(v)) == 0 {
+				break
+			}
+		}
+		for e, m := range masks {
+			if m&(1<<uint(v)) == 0 {
+				continue
+			}
+			cur = append(cur, e)
+			rec(covered | m)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	if bestSize > h.NumEdges() {
+		return nil, 0, fmt.Errorf("hypergraph: no integral cover found")
+	}
+	sort.Ints(best)
+	return best, bestSize, nil
+}
+
+// IsAcyclicGYO reports whether the hypergraph is α-acyclic, by the GYO
+// ear-removal procedure: repeatedly delete vertices that occur in only
+// one edge and edges contained in another edge; the hypergraph is
+// acyclic iff everything is eventually deleted.
+func (h *Hypergraph) IsAcyclicGYO() bool {
+	// Work on copies of vertex sets as maps.
+	edges := make([]map[int]bool, 0, h.NumEdges())
+	for _, mem := range h.membership {
+		s := make(map[int]bool, len(mem))
+		for _, v := range mem {
+			s[v] = true
+		}
+		edges = append(edges, s)
+	}
+	alive := make([]bool, len(edges))
+	for i := range alive {
+		alive[i] = true
+	}
+	for {
+		changed := false
+		// Rule 1: remove vertices occurring in exactly one live edge.
+		count := make(map[int]int)
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				count[v]++
+			}
+		}
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				if count[v] == 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Rule 2: remove edges contained in another live edge (or empty).
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			if len(e) == 0 {
+				alive[i] = false
+				changed = true
+				continue
+			}
+			for j, f := range edges {
+				if i == j || !alive[j] {
+					continue
+				}
+				if containsAll(f, e) && (len(f) > len(e) || i > j) {
+					alive[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range alive {
+		if alive[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsAll(super, sub map[int]bool) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	for v := range sub {
+		if !super[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeOrder returns the vertex names ordered by decreasing number of
+// incident edges (a common variable-ordering heuristic for WCOJ
+// evaluation: most-constrained first). Ties break by vertex order.
+func (h *Hypergraph) DegreeOrder() []string {
+	type vd struct {
+		v   int
+		deg int
+	}
+	ds := make([]vd, h.NumVertices())
+	for v := range h.vertices {
+		ds[v] = vd{v, len(h.EdgesOf(v))}
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].deg > ds[j].deg })
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = h.vertices[d.v]
+	}
+	return out
+}
+
+// LoomisWhitney returns the Loomis–Whitney hypergraph LW(k): k vertices
+// and k edges, edge i containing all vertices except i. LW(3) is the
+// triangle. These are the queries of [51,52] for which any join-project
+// plan is suboptimal by Ω(N^{1-1/k}).
+func LoomisWhitney(k int) *Hypergraph {
+	vs := make([]string, k)
+	for i := range vs {
+		vs[i] = fmt.Sprintf("A%d", i)
+	}
+	edges := make([]Edge, k)
+	for i := range edges {
+		var ev []string
+		for j := 0; j < k; j++ {
+			if j != i {
+				ev = append(ev, vs[j])
+			}
+		}
+		edges[i] = Edge{Name: fmt.Sprintf("R%d", i), Vertices: ev}
+	}
+	h, err := New(vs, edges)
+	if err != nil {
+		panic(err) // construction is internally consistent
+	}
+	return h
+}
+
+// Clique returns the k-clique hypergraph: k vertices, an edge per pair.
+func Clique(k int) *Hypergraph {
+	vs := make([]string, k)
+	for i := range vs {
+		vs[i] = fmt.Sprintf("A%d", i)
+	}
+	var edges []Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, Edge{
+				Name:     fmt.Sprintf("R%d_%d", i, j),
+				Vertices: []string{vs[i], vs[j]},
+			})
+		}
+	}
+	h, err := New(vs, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cycle returns the k-cycle hypergraph: edges (A_i, A_{i+1 mod k}).
+func Cycle(k int) *Hypergraph {
+	vs := make([]string, k)
+	for i := range vs {
+		vs[i] = fmt.Sprintf("A%d", i)
+	}
+	edges := make([]Edge, k)
+	for i := range edges {
+		edges[i] = Edge{
+			Name:     fmt.Sprintf("R%d", i),
+			Vertices: []string{vs[i], vs[(i+1)%k]},
+		}
+	}
+	h, err := New(vs, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

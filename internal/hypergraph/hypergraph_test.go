@@ -1,0 +1,316 @@
+package hypergraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Hypergraph {
+	t.Helper()
+	h, err := New([]string{"A", "B", "C"}, []Edge{
+		{Name: "R", Vertices: []string{"A", "B"}},
+		{Name: "S", Vertices: []string{"B", "C"}},
+		{Name: "T", Vertices: []string{"A", "C"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New([]string{"A", "A"}, nil); err == nil {
+		t.Fatal("duplicate vertex should fail")
+	}
+	if _, err := New([]string{"A"}, []Edge{{Name: "R", Vertices: []string{"B"}}}); err == nil {
+		t.Fatal("unknown edge vertex should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	h := triangle(t)
+	if h.NumVertices() != 3 || h.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", h.NumVertices(), h.NumEdges())
+	}
+	if h.VertexIndex("B") != 1 || h.VertexIndex("Z") != -1 {
+		t.Fatal("VertexIndex mismatch")
+	}
+	if !h.EdgeContains(0, 0) || h.EdgeContains(0, 2) {
+		t.Fatal("EdgeContains mismatch")
+	}
+	if got := h.EdgesOf(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("EdgesOf(A) = %v", got)
+	}
+	if h.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestFractionalEdgeCoverTriangle(t *testing.T) {
+	h := triangle(t)
+	cov, rho, err := h.FractionalEdgeCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1.5) > 1e-6 {
+		t.Fatalf("ρ*(triangle) = %v, want 1.5", rho)
+	}
+	if !h.IsFractionalEdgeCover(cov, 1e-6) {
+		t.Fatalf("optimal cover %v must be feasible", cov)
+	}
+}
+
+func TestFractionalEdgeCoverLW(t *testing.T) {
+	// ρ*(LW(k)) = k/(k-1).
+	for k := 3; k <= 6; k++ {
+		h := LoomisWhitney(k)
+		_, rho, err := h.FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k) / float64(k-1)
+		if math.Abs(rho-want) > 1e-6 {
+			t.Fatalf("ρ*(LW(%d)) = %v, want %v", k, rho, want)
+		}
+	}
+}
+
+func TestFractionalEdgeCoverClique(t *testing.T) {
+	// ρ*(K_k) = k/2 (half on a perfect fractional matching of pairs).
+	for k := 3; k <= 6; k++ {
+		h := Clique(k)
+		_, rho, err := h.FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rho-float64(k)/2) > 1e-6 {
+			t.Fatalf("ρ*(K_%d) = %v, want %v", k, rho, float64(k)/2)
+		}
+	}
+}
+
+func TestFractionalEdgeCoverCycle(t *testing.T) {
+	// ρ*(C_k) = k/2.
+	for k := 3; k <= 7; k++ {
+		h := Cycle(k)
+		_, rho, err := h.FractionalEdgeCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rho-float64(k)/2) > 1e-6 {
+			t.Fatalf("ρ*(C_%d) = %v, want %v", k, rho, float64(k)/2)
+		}
+	}
+}
+
+func TestWeightedCover(t *testing.T) {
+	h := triangle(t)
+	// Make T free: optimum then covers C via T, and A,B via R or cheapest mix.
+	cov, obj, err := h.WeightedFractionalEdgeCover([]float64{1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsFractionalEdgeCover(cov, 1e-6) {
+		t.Fatal("weighted cover infeasible")
+	}
+	// With w=(1,1,0): covering B needs δ_R+δ_S >= 1 at cost 1; A and C
+	// can ride on T. Optimum cost = 1.
+	if math.Abs(obj-1) > 1e-6 {
+		t.Fatalf("weighted objective = %v, want 1", obj)
+	}
+	if _, _, err := h.WeightedFractionalEdgeCover([]float64{1}); err == nil {
+		t.Fatal("wrong weight length should fail")
+	}
+}
+
+func TestUncoveredVertex(t *testing.T) {
+	h, err := New([]string{"A", "B"}, []Edge{{Name: "R", Vertices: []string{"A"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.FractionalEdgeCover(); err == nil {
+		t.Fatal("uncovered vertex must make the LP infeasible")
+	}
+	if _, _, err := h.IntegralEdgeCover(); err == nil {
+		t.Fatal("uncovered vertex must make integral cover fail")
+	}
+}
+
+func TestIsFractionalEdgeCover(t *testing.T) {
+	h := triangle(t)
+	if !h.IsFractionalEdgeCover(Cover{0.5, 0.5, 0.5}, 1e-9) {
+		t.Fatal("(.5,.5,.5) covers the triangle")
+	}
+	if h.IsFractionalEdgeCover(Cover{0.5, 0.5, 0.4}, 1e-9) {
+		t.Fatal("(.5,.5,.4) does not cover the triangle")
+	}
+	if h.IsFractionalEdgeCover(Cover{1, 1}, 1e-9) {
+		t.Fatal("wrong-length cover must be rejected")
+	}
+	if h.IsFractionalEdgeCover(Cover{-1, 1, 1}, 1e-9) {
+		t.Fatal("negative weights must be rejected")
+	}
+}
+
+func TestIntegralEdgeCover(t *testing.T) {
+	h := triangle(t)
+	cover, size, err := h.IntegralEdgeCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 || len(cover) != 2 {
+		t.Fatalf("integral cover of triangle = %v (size %d), want size 2", cover, size)
+	}
+	// LW(3) also needs 2 edges.
+	_, size, err = LoomisWhitney(3).IntegralEdgeCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Fatalf("integral cover of LW(3) = %d, want 2", size)
+	}
+	// Empty hypergraph.
+	e, _ := New(nil, nil)
+	if _, size, err := e.IntegralEdgeCover(); err != nil || size != 0 {
+		t.Fatalf("empty: size=%d err=%v", size, err)
+	}
+}
+
+func TestGYO(t *testing.T) {
+	if triangle(t).IsAcyclicGYO() {
+		t.Fatal("triangle is cyclic")
+	}
+	// A path R(A,B), S(B,C) is acyclic.
+	p, err := New([]string{"A", "B", "C"}, []Edge{
+		{Name: "R", Vertices: []string{"A", "B"}},
+		{Name: "S", Vertices: []string{"B", "C"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsAcyclicGYO() {
+		t.Fatal("path must be acyclic")
+	}
+	// A star R(A,B), S(A,C), T(A,D) is acyclic.
+	s, err := New([]string{"A", "B", "C", "D"}, []Edge{
+		{Name: "R", Vertices: []string{"A", "B"}},
+		{Name: "S", Vertices: []string{"A", "C"}},
+		{Name: "T", Vertices: []string{"A", "D"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsAcyclicGYO() {
+		t.Fatal("star must be acyclic")
+	}
+	// 4-cycle is cyclic; 4-cycle with a chord spanning edge is acyclic.
+	if Cycle(4).IsAcyclicGYO() {
+		t.Fatal("C4 is cyclic")
+	}
+	chord, err := New([]string{"A0", "A1", "A2", "A3"}, []Edge{
+		{Name: "R0", Vertices: []string{"A0", "A1"}},
+		{Name: "R1", Vertices: []string{"A1", "A2"}},
+		{Name: "R2", Vertices: []string{"A2", "A3"}},
+		{Name: "R3", Vertices: []string{"A3", "A0"}},
+		{Name: "Big", Vertices: []string{"A0", "A1", "A2", "A3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chord.IsAcyclicGYO() {
+		t.Fatal("C4 + spanning edge must be acyclic")
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	// Star: A has degree 3, others 1.
+	s, err := New([]string{"B", "A", "C", "D"}, []Edge{
+		{Name: "R", Vertices: []string{"A", "B"}},
+		{Name: "S", Vertices: []string{"A", "C"}},
+		{Name: "T", Vertices: []string{"A", "D"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := s.DegreeOrder()
+	if ord[0] != "A" {
+		t.Fatalf("DegreeOrder = %v, want A first", ord)
+	}
+}
+
+// Property: LP optimum is a feasible cover and never exceeds the
+// integral cover size; and ρ* >= n / max|F| (each edge covers at most
+// max|F| vertices).
+func TestPropertyCoverSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		vs := make([]string, n)
+		for i := range vs {
+			vs[i] = string(rune('A' + i))
+		}
+		m := 1 + rng.Intn(6)
+		edges := make([]Edge, 0, m)
+		covered := make([]bool, n)
+		maxE := 0
+		for e := 0; e < m; e++ {
+			var ev []string
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					ev = append(ev, vs[v])
+					covered[v] = true
+				}
+			}
+			if len(ev) == 0 {
+				ev = append(ev, vs[rng.Intn(n)])
+				covered[New2Index(vs, ev[0])] = true
+			}
+			if len(ev) > maxE {
+				maxE = len(ev)
+			}
+			edges = append(edges, Edge{Name: "E", Vertices: ev})
+		}
+		for v := 0; v < n; v++ {
+			if !covered[v] {
+				edges = append(edges, Edge{Name: "fix", Vertices: []string{vs[v]}})
+				if maxE < 1 {
+					maxE = 1
+				}
+			}
+		}
+		h, err := New(vs, edges)
+		if err != nil {
+			return false
+		}
+		cov, rho, err := h.FractionalEdgeCover()
+		if err != nil {
+			return false
+		}
+		if !h.IsFractionalEdgeCover(cov, 1e-6) {
+			return false
+		}
+		_, isize, err := h.IntegralEdgeCover()
+		if err != nil {
+			return false
+		}
+		if rho > float64(isize)+1e-6 {
+			return false
+		}
+		return rho >= float64(n)/float64(maxE)-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// New2Index is a test helper mapping a vertex name back to its slice index.
+func New2Index(vs []string, name string) int {
+	for i, v := range vs {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,158 @@
+// Package lp implements a small, dependency-free linear programming
+// solver used by the output-size bound calculators.
+//
+// The solver is a dense two-phase primal simplex with Bland's
+// anti-cycling rule. It supports minimization and maximization over
+// non-negative variables with <=, >= and = constraints, and reports
+// dual values for every constraint at optimality. Problem sizes in this
+// repository are modest (the largest is the polymatroid-bound LP over
+// the 2^n lattice for n up to ~12), for which dense simplex is more
+// than adequate.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction of a Problem.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Constraint is a single linear constraint sum_j Coef[j]*x_j Op RHS.
+// Coef may be shorter than the number of variables; missing entries are
+// treated as zero.
+type Constraint struct {
+	Coef []float64
+	Op   Op
+	RHS  float64
+}
+
+// Problem is a linear program over variables x_0..x_{n-1} >= 0.
+type Problem struct {
+	Sense       Sense
+	NumVars     int
+	Objective   []float64 // length NumVars; missing entries are zero
+	Constraints []Constraint
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective value in the problem's own sense
+	X         []float64 // primal values, length NumVars
+	Dual      []float64 // dual value per constraint (sign convention: y for min c'x s.t. Ax>=b is >=0)
+}
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+// NewProblem returns an empty problem with n variables.
+func NewProblem(sense Sense, n int) *Problem {
+	return &Problem{Sense: sense, NumVars: n, Objective: make([]float64, n)}
+}
+
+// SetObjective sets the objective coefficient of variable j.
+func (p *Problem) SetObjective(j int, c float64) {
+	p.Objective[j] = c
+}
+
+// AddConstraint appends a constraint. The coefficient slice is copied.
+func (p *Problem) AddConstraint(coef []float64, op Op, rhs float64) {
+	c := make([]float64, len(coef))
+	copy(c, coef)
+	p.Constraints = append(p.Constraints, Constraint{Coef: c, Op: op, RHS: rhs})
+}
+
+// AddSparse appends a constraint given sparse (index, value) pairs.
+func (p *Problem) AddSparse(idx []int, val []float64, op Op, rhs float64) {
+	coef := make([]float64, p.NumVars)
+	for k, j := range idx {
+		coef[j] += val[k]
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coef: coef, Op: op, RHS: rhs})
+}
+
+func (p *Problem) validate() error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("%w: negative variable count", ErrBadProblem)
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("%w: objective longer than variable count", ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coef) > p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients for %d variables",
+				ErrBadProblem, i, len(c.Coef), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("%w: constraint %d has non-finite RHS", ErrBadProblem, i)
+		}
+		for _, v := range c.Coef {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: constraint %d has non-finite coefficient", ErrBadProblem, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves the problem and returns a Solution. An error is returned
+// only for structurally invalid problems; infeasibility and
+// unboundedness are reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return solveSimplex(p)
+}

@@ -1,0 +1,323 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), z = 36.
+	p := NewProblem(Maximize, 2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 36, 1e-6, "objective")
+	approx(t, s.X[0], 2, 1e-6, "x")
+	approx(t, s.X[1], 6, 1e-6, "y")
+}
+
+func TestSolveSimpleMin(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (8/5, 6/5), z = 14/5.
+	p := NewProblem(Minimize, 2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]float64{1, 2}, GE, 4)
+	p.AddConstraint([]float64{3, 1}, GE, 6)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 14.0/5, 1e-6, "objective")
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x <= 6 -> x=6, y=4, z=24.
+	p := NewProblem(Minimize, 2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, LE, 6)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 24, 1e-6, "objective")
+	approx(t, s.X[0], 6, 1e-6, "x")
+	approx(t, s.X[1], 4, 1e-6, "y")
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(Minimize, 1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]float64{1, -1}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := NewProblem(Minimize, 1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]float64{-1}, LE, -3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 3, 1e-6, "objective")
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classically degenerate LP; Bland's rule must terminate.
+	p := NewProblem(Maximize, 4)
+	p.Objective = []float64{0.75, -150, 0.02, -6}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 0.05, 1e-6, "objective (Beale's example)")
+}
+
+func TestDualsSimple(t *testing.T) {
+	// max 3x + 5y with the Dantzig example; duals are (0, 1.5, 1).
+	p := NewProblem(Maximize, 2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Dual[0], 0, 1e-6, "dual 0")
+	approx(t, s.Dual[1], 1.5, 1e-6, "dual 1")
+	approx(t, s.Dual[2], 1, 1e-6, "dual 2")
+	// Strong duality: y'b = objective.
+	yb := s.Dual[0]*4 + s.Dual[1]*12 + s.Dual[2]*18
+	approx(t, yb, s.Objective, 1e-6, "strong duality")
+}
+
+func TestDualsMinGE(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6. Duals satisfy y'b = 14/5.
+	p := NewProblem(Minimize, 2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]float64{1, 2}, GE, 4)
+	p.AddConstraint([]float64{3, 1}, GE, 6)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb := s.Dual[0]*4 + s.Dual[1]*6
+	approx(t, yb, s.Objective, 1e-6, "strong duality")
+	if s.Dual[0] < -1e-9 || s.Dual[1] < -1e-9 {
+		t.Fatalf("duals for min/GE should be non-negative: %v", s.Dual)
+	}
+}
+
+func TestFractionalEdgeCoverTriangle(t *testing.T) {
+	// The triangle AGM LP (5): min a+b+c s.t. a+b>=1, a+c>=1, b+c>=1.
+	// Optimum is (1/2,1/2,1/2) with value 3/2.
+	p := NewProblem(Minimize, 3)
+	for j := 0; j < 3; j++ {
+		p.SetObjective(j, 1)
+	}
+	p.AddConstraint([]float64{1, 1, 0}, GE, 1)
+	p.AddConstraint([]float64{1, 0, 1}, GE, 1)
+	p.AddConstraint([]float64{0, 1, 1}, GE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Objective, 1.5, 1e-6, "rho* of triangle")
+}
+
+func TestAddSparse(t *testing.T) {
+	p := NewProblem(Maximize, 3)
+	p.SetObjective(2, 1)
+	p.AddSparse([]int{2}, []float64{1}, LE, 7)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Objective, 7, 1e-6, "sparse constraint")
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := NewProblem(Minimize, 1)
+	p.AddConstraint([]float64{1, 2}, LE, 3) // too many coefficients
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for oversized constraint")
+	}
+	q := NewProblem(Minimize, 1)
+	q.AddConstraint([]float64{math.NaN()}, LE, 1)
+	if _, err := Solve(q); err == nil {
+		t.Fatal("expected error for NaN coefficient")
+	}
+	r := NewProblem(Minimize, 1)
+	r.AddConstraint([]float64{1}, LE, math.Inf(1))
+	if _, err := Solve(r); err == nil {
+		t.Fatal("expected error for infinite RHS")
+	}
+}
+
+func TestZeroVariables(t *testing.T) {
+	p := NewProblem(Minimize, 0)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Fatalf("empty problem: %+v", s)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Redundant rows force a leftover artificial in the basis.
+	p := NewProblem(Maximize, 2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{2, 2}, EQ, 4) // redundant copy
+	p.AddConstraint([]float64{1, 0}, LE, 1.5)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	approx(t, s.Objective, 1.5, 1e-6, "objective with redundant rows")
+}
+
+// TestPropertyDualityRandom checks weak/strong duality on random feasible
+// bounded LPs: min c'x, Ax >= b, x >= 0 with c > 0, A >= 0, b >= 0.
+func TestPropertyDualityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := NewProblem(Minimize, n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, 0.1+rng.Float64()*5)
+		}
+		for i := 0; i < m; i++ {
+			coef := make([]float64, n)
+			nonzero := false
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					coef[j] = rng.Float64() * 3
+					if coef[j] > 0 {
+						nonzero = true
+					}
+				}
+			}
+			if !nonzero {
+				coef[rng.Intn(n)] = 1
+			}
+			p.AddConstraint(coef, GE, rng.Float64()*10)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Strong duality.
+		yb := 0.0
+		for i, c := range p.Constraints {
+			yb += s.Dual[i] * c.RHS
+		}
+		if math.Abs(yb-s.Objective) > 1e-5*(1+math.Abs(s.Objective)) {
+			return false
+		}
+		// Dual feasibility: y'A <= c and y >= 0.
+		for i := range p.Constraints {
+			if s.Dual[i] < -1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			ya := 0.0
+			for i, c := range p.Constraints {
+				ya += s.Dual[i] * c.Coef[j]
+			}
+			if ya > p.Objective[j]+1e-5 {
+				return false
+			}
+		}
+		// Primal feasibility of reported X.
+		for _, c := range p.Constraints {
+			ax := 0.0
+			for j := 0; j < n; j++ {
+				ax += c.Coef[j] * s.X[j]
+			}
+			if ax < c.RHS-1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Op.String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status.String mismatch")
+	}
+}

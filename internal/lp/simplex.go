@@ -1,0 +1,357 @@
+package lp
+
+import "math"
+
+// eps is the numerical tolerance used throughout the simplex.
+const eps = 1e-9
+
+// tableau is a dense simplex tableau in canonical form.
+//
+// Layout: rows 0..m-1 are constraints, columns 0..total-1 are variables
+// (structural, then slack/surplus, then artificial), column total is the
+// RHS. basis[i] is the variable basic in row i.
+type tableau struct {
+	m, n     int // constraints, structural variables
+	total    int // structural + slack + artificial
+	a        [][]float64
+	basis    []int
+	slackOf  []int // slackOf[i] = column of the slack/surplus var of row i, or -1
+	artOf    []int // artOf[i] = column of the artificial var of row i, or -1
+	initCol  []int // initCol[i] = column of the initial identity (slack or artificial) of row i
+	artStart int   // first artificial column
+}
+
+// solveSimplex converts p to canonical form and runs the two-phase
+// primal simplex method.
+func solveSimplex(p *Problem) (*Solution, error) {
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Normalize rows so every RHS is non-negative.
+	rows := make([]Constraint, m)
+	flipped := make([]bool, m)
+	for i, c := range p.Constraints {
+		coef := make([]float64, n)
+		copy(coef, c.Coef)
+		row := Constraint{Coef: coef, Op: c.Op, RHS: c.RHS}
+		if row.RHS < 0 || (row.RHS == 0 && row.Op == GE) {
+			// Negative RHS rows are negated to make RHS non-negative.
+			// GE rows with zero RHS are also negated into LE rows: they
+			// then take a slack basis directly instead of an artificial
+			// variable, which keeps phase 1 small (the polymatroid
+			// bound LPs consist almost entirely of such rows).
+			for j := range row.Coef {
+				row.Coef[j] = -row.Coef[j]
+			}
+			row.RHS = -row.RHS
+			switch row.Op {
+			case LE:
+				row.Op = GE
+			case GE:
+				row.Op = LE
+			}
+			flipped[i] = true
+		}
+		rows[i] = row
+	}
+
+	// Count slack and artificial variables.
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.Op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		m:        m,
+		n:        n,
+		total:    n + nSlack + nArt,
+		basis:    make([]int, m),
+		slackOf:  make([]int, m),
+		artOf:    make([]int, m),
+		initCol:  make([]int, m),
+		artStart: n + nSlack,
+	}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.total+1)
+	}
+
+	slackCol := n
+	artCol := t.artStart
+	for i, r := range rows {
+		copy(t.a[i], r.Coef)
+		t.a[i][t.total] = r.RHS
+		t.slackOf[i], t.artOf[i] = -1, -1
+		switch r.Op {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.slackOf[i] = slackCol
+			t.basis[i] = slackCol
+			t.initCol[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			t.slackOf[i] = slackCol
+			slackCol++
+			t.a[i][artCol] = 1
+			t.artOf[i] = artCol
+			t.basis[i] = artCol
+			t.initCol[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.artOf[i] = artCol
+			t.basis[i] = artCol
+			t.initCol[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, t.total)
+		for j := t.artStart; j < t.total; j++ {
+			phase1[j] = 1
+		}
+		status, obj := t.run(phase1, t.artStart)
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded
+			// here indicates numerical trouble, treat as infeasible.
+			return &Solution{Status: Infeasible}, nil
+		}
+		if obj > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial variables out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artStart; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is redundant: all structural/slack coefficients
+				// are ~0; the artificial stays basic at value 0.
+				t.a[i][t.total] = 0
+			}
+		}
+	}
+
+	// Phase 2: optimize the real objective (as minimization).
+	minObj := make([]float64, t.total)
+	for j := 0; j < n && j < len(p.Objective); j++ {
+		if p.Sense == Maximize {
+			minObj[j] = -p.Objective[j]
+		} else {
+			minObj[j] = p.Objective[j]
+		}
+	}
+	status, obj := t.run(minObj, t.artStart)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	sol := &Solution{Status: Optimal, X: make([]float64, n), Dual: make([]float64, m)}
+	for i, b := range t.basis {
+		if b < n {
+			sol.X[b] = t.a[i][t.total]
+		}
+	}
+	if p.Sense == Maximize {
+		sol.Objective = -obj
+	} else {
+		sol.Objective = obj
+	}
+
+	// Duals: y = c_B * B^{-1}. The columns of B^{-1} are the final
+	// tableau columns of the initial identity columns. Signs: row i's
+	// initial identity column entered with coefficient +1, so
+	// y_i = sum_k cB[k] * a[k][initCol[i]]. For rows we flipped during
+	// normalization the dual sign flips back.
+	cB := make([]float64, m)
+	for i, b := range t.basis {
+		if b < len(minObj) {
+			cB[i] = minObj[b]
+		}
+	}
+	for i := 0; i < m; i++ {
+		y := 0.0
+		col := t.initCol[i]
+		for k := 0; k < m; k++ {
+			y += cB[k] * t.a[k][col]
+		}
+		if flipped[i] {
+			y = -y
+		}
+		if p.Sense == Maximize {
+			y = -y
+		}
+		sol.Dual[i] = y
+	}
+	return sol, nil
+}
+
+// run performs simplex iterations minimizing obj over the current
+// tableau. Columns >= forbidden with non-basic status are never chosen
+// as entering variables (used to lock out artificials in phase 2).
+// It returns the status and the achieved objective value.
+//
+// Pricing: a reduced-cost row is maintained incrementally and the
+// entering column is the most negative entry (Dantzig's rule), which
+// keeps iteration counts low on the 2^n-lattice bound LPs. If the
+// iteration count grows suspiciously (possible cycling on degenerate
+// bases), pricing falls back to Bland's rule, which guarantees
+// termination.
+func (t *tableau) run(obj []float64, forbidden int) (Status, float64) {
+	m := t.m
+	// The reduced-cost row z_j = c_j − c_B·a[.][j] is maintained
+	// incrementally and recomputed from scratch whenever the tableau
+	// looks optimal, so floating-point drift cannot cause premature
+	// termination.
+	z := make([]float64, t.total)
+	refresh := func() {
+		for j := 0; j < t.total; j++ {
+			if j < len(obj) {
+				z[j] = obj[j]
+			} else {
+				z[j] = 0
+			}
+		}
+		for i := 0; i < m; i++ {
+			b := t.basis[i]
+			var cb float64
+			if b < len(obj) {
+				cb = obj[b]
+			}
+			if cb == 0 {
+				continue
+			}
+			row := t.a[i]
+			for j := 0; j < t.total; j++ {
+				z[j] -= cb * row[j]
+			}
+		}
+	}
+	refresh()
+
+	allowed := func(j int) bool {
+		return j < forbidden || j < t.artStart || t.isBasic(j)
+	}
+
+	maxIter := 200 * (t.total + m + 10)
+	blandAfter := 20 * (t.total + m + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		pick := func() int {
+			if iter < blandAfter {
+				// Dantzig: most negative reduced cost.
+				best, enter := -eps, -1
+				for j := 0; j < t.total; j++ {
+					if z[j] < best && allowed(j) {
+						best = z[j]
+						enter = j
+					}
+				}
+				return enter
+			}
+			// Bland: lowest index with negative reduced cost.
+			for j := 0; j < t.total; j++ {
+				if z[j] < -eps && allowed(j) {
+					return j
+				}
+			}
+			return -1
+		}
+		enter := pick()
+		if enter < 0 {
+			// Looks optimal; recompute reduced costs exactly to rule
+			// out incremental drift before declaring optimality.
+			refresh()
+			enter = pick()
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; tie-break on lowest basis index (Bland-safe).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			aij := t.a[i][enter]
+			if aij > eps {
+				ratio := t.a[i][t.total] / aij
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+		// Update the reduced-cost row exactly like a tableau row.
+		f := z[enter]
+		if f != 0 {
+			row := t.a[leave]
+			for j := 0; j < t.total; j++ {
+				z[j] -= f * row[j]
+			}
+		}
+		z[enter] = 0
+	}
+
+	// Objective value = c_B * x_B.
+	obj2 := 0.0
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < len(obj) {
+			obj2 += obj[b] * t.a[i][t.total]
+		}
+	}
+	return Optimal, obj2
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave via Gaussian elimination.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	row := t.a[leave]
+	inv := 1 / piv
+	for j := 0; j <= t.total; j++ {
+		row[j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.total; j++ {
+			ri[j] -= f * row[j]
+		}
+	}
+	t.basis[leave] = enter
+}

@@ -1,0 +1,96 @@
+package panda
+
+import "math"
+
+// Example 1 of the paper: the query
+//
+//	Q(A,B,C,D) ← R(A,B), S(B,C), T(C,D), W(A,C,D), V(A,B,D)
+//
+// with degree constraints N_AB (R), N_BC (S), N_CD (T), N_ACD|AC (W),
+// N_ABD|BD (V), and the Shannon-flow inequality
+//
+//	h(ABCD) ≤ ½[h(AB) + h(BC) + h(CD) + h(ACD|AC) + h(ABD|BD)]
+//
+// proved by the Table 2 proof sequence, which PANDA executes in time
+// Õ(sqrt(N_BC·N_CD·N_ABD|BD·N_AB·N_ACD|AC)) using the threshold
+// θ = sqrt(N_BC·N_CD·N_ABD|BD / (N_AB·N_ACD|AC)).
+
+// Example1Vars is the variable universe of Example 1 in mask order.
+var Example1Vars = []string{"A", "B", "C", "D"}
+
+// Masks for the Example 1 variable sets.
+const (
+	mA    uint32 = 1 << 0
+	mB    uint32 = 1 << 1
+	mC    uint32 = 1 << 2
+	mD    uint32 = 1 << 3
+	mAB          = mA | mB
+	mBC          = mB | mC
+	mCD          = mC | mD
+	mAC          = mA | mC
+	mBD          = mB | mD
+	mABC         = mA | mB | mC
+	mBCD         = mB | mC | mD
+	mACD         = mA | mC | mD
+	mABD         = mA | mB | mD
+	mABCD        = mA | mB | mC | mD
+)
+
+// Example1Stats carries the degree-constraint statistics of Example 1.
+type Example1Stats struct {
+	NAB, NBC, NCD float64 // cardinalities of R, S, T
+	NACDgAC       float64 // deg_W(ACD|AC)
+	NABDgBD       float64 // deg_V(ABD|BD)
+}
+
+// Theta returns the paper's partition threshold
+// θ = sqrt(N_BC·N_CD·N_ABD|BD / (N_AB·N_ACD|AC)) (Table 2 caption).
+func (st Example1Stats) Theta() float64 {
+	return math.Sqrt(st.NBC * st.NCD * st.NABDgBD / (st.NAB * st.NACDgAC))
+}
+
+// RuntimeBound returns the PANDA runtime bound (75):
+// sqrt(N_BC·N_CD·N_ABD|BD·N_AB·N_ACD|AC).
+func (st Example1Stats) RuntimeBound() float64 {
+	return math.Sqrt(st.NBC * st.NCD * st.NABDgBD * st.NAB * st.NACDgAC)
+}
+
+// Example1Sequence returns the Table 2 proof sequence. All rule weights
+// are 1 and the target h(ABCD) is produced with weight 2, which is the
+// inequality above scaled by two. The decomposition step carries θ
+// from the supplied statistics.
+func Example1Sequence(st Example1Stats) *ProofSequence {
+	return &ProofSequence{
+		N:            4,
+		Vars:         Example1Vars,
+		Target:       mABCD,
+		TargetWeight: 2,
+		Initial: map[Term]float64{
+			{S: mAB}:          1,
+			{S: mBC}:          1,
+			{S: mCD}:          1,
+			{S: mACD, G: mAC}: 1,
+			{S: mABD, G: mBD}: 1,
+		},
+		Steps: []Step{
+			// 1. decomposition h(BC) → h(B) + h(BC|B); partition S.
+			{Kind: Decomposition, Y: mBC, X: mB, W: 1, Theta: st.Theta()},
+			// 2. submodularity h(CD) → h(BCD|B); T re-affiliates.
+			{Kind: Submodularity, Y: mCD, X: mB, W: 1},
+			// 3. composition h(B) + h(BCD|B) → h(BCD); I1 ← Sheavy ⋈ T.
+			{Kind: Composition, Y: mBCD, X: mB, W: 1},
+			// 4. submodularity h(ABD|BD) → h(ABCD|BCD); V re-affiliates.
+			{Kind: Submodularity, Y: mABD, X: mBCD, W: 1},
+			// 5. composition h(BCD) + h(ABCD|BCD) → h(ABCD); output1 ← I1 ⋈ V.
+			{Kind: Composition, Y: mABCD, X: mBCD, W: 1},
+			// 6. submodularity h(BC|B) → h(ABC|AB); Slight re-affiliates.
+			{Kind: Submodularity, Y: mBC, X: mAB, W: 1},
+			// 7. composition h(AB) + h(ABC|AB) → h(ABC); I2 ← R ⋈ Slight.
+			{Kind: Composition, Y: mABC, X: mAB, W: 1},
+			// 8. submodularity h(ACD|AC) → h(ABCD|ABC); W re-affiliates.
+			{Kind: Submodularity, Y: mACD, X: mABC, W: 1},
+			// 9. composition h(ABC) + h(ABCD|ABC) → h(ABCD); output2 ← I2 ⋈ W.
+			{Kind: Composition, Y: mABCD, X: mABC, W: 1},
+		},
+	}
+}

@@ -1,0 +1,196 @@
+package panda
+
+import (
+	"fmt"
+	"math"
+
+	"wcoj/internal/entropy"
+	"wcoj/internal/relation"
+)
+
+// Affiliation maps conditional polymatroid terms to the relations
+// "affiliated" with them, in the sense of Section 5.2.3: the relation
+// guards the degree constraint whose term appears in the Shannon-flow
+// inequality. Relation attributes must be named by the universe
+// variables.
+type Affiliation map[Term]*relation.Relation
+
+// ExecStats reports executor counters.
+type ExecStats struct {
+	// Branches is the number of heavy/light branches at completion.
+	Branches int
+	// Intermediate is the largest intermediate relation produced by a
+	// composition (join) step — the quantity the Shannon-flow analysis
+	// bounds, cf. (76).
+	Intermediate int
+	// Joins and Partitions count executed relational operations.
+	Joins      int
+	Partitions int
+	// Output is the number of result tuples after filtering.
+	Output int
+}
+
+type branch struct {
+	affil Affiliation
+}
+
+func (b *branch) clone() *branch {
+	nb := &branch{affil: make(Affiliation, len(b.affil))}
+	for t, r := range b.affil {
+		nb.affil[t] = r
+	}
+	return nb
+}
+
+// Execute interprets the proof sequence over concrete relations
+// (Table 2): a decomposition step partitions the affiliated relation
+// into heavy/light parts and forks the execution into two branches; a
+// submodularity step re-affiliates a relation with a bigger term
+// (NOOP); a composition step joins the two affiliated relations. At
+// the end every branch must affiliate the target term with a relation
+// over all universe variables; the union of branch outputs, semijoined
+// against every filter relation, is returned. When the filters are the
+// query's atoms the result is exactly Q(D).
+//
+// Decomposition steps use Step.Theta as the heavy/light threshold; a
+// zero Theta defaults to sqrt of the partitioned relation's size.
+func Execute(ps *ProofSequence, vars []string, initial Affiliation, filters []*relation.Relation) (*relation.Relation, *ExecStats, error) {
+	if len(vars) != ps.N {
+		return nil, nil, fmt.Errorf("panda: %d variable names for universe size %d", len(vars), ps.N)
+	}
+	if err := ps.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("panda: refusing to execute an invalid sequence: %w", err)
+	}
+	stats := &ExecStats{}
+	root := &branch{affil: make(Affiliation, len(initial))}
+	for t, r := range initial {
+		if !t.Valid() {
+			return nil, nil, fmt.Errorf("panda: invalid affiliated term %+v", t)
+		}
+		// The relation must contain the term's S variables.
+		for _, v := range entropy.MaskVars(t.S, vars) {
+			if !r.HasAttr(v) {
+				return nil, nil, fmt.Errorf("panda: relation %s affiliated with %s lacks attribute %q",
+					r.Name(), t.Format(vars), v)
+			}
+		}
+		root.affil[t] = r
+	}
+	branches := []*branch{root}
+
+	for i, s := range ps.Steps {
+		switch s.Kind {
+		case Decomposition:
+			var next []*branch
+			for _, b := range branches {
+				src := Term{S: s.Y}
+				r, ok := b.affil[src]
+				if !ok {
+					next = append(next, b)
+					continue
+				}
+				theta := s.Theta
+				if theta <= 0 {
+					theta = math.Sqrt(float64(r.Len()))
+				}
+				xVars := entropy.MaskVars(s.X, vars)
+				heavy, light, err := r.Partition(xVars, int(math.Floor(theta)))
+				if err != nil {
+					return nil, nil, fmt.Errorf("panda: step %d: %w", i, err)
+				}
+				stats.Partitions++
+				hb := b.clone()
+				delete(hb.affil, src)
+				hb.affil[Term{S: s.X}] = heavy
+				lb := b.clone()
+				delete(lb.affil, src)
+				lb.affil[Term{S: s.Y, G: s.X}] = light
+				next = append(next, hb, lb)
+			}
+			branches = next
+		case Submodularity:
+			src := Term{S: s.Y, G: s.Y & s.X}
+			dst := Term{S: s.Y | s.X, G: s.X}
+			for _, b := range branches {
+				r, ok := b.affil[src]
+				if !ok {
+					continue
+				}
+				if _, busy := b.affil[dst]; busy {
+					return nil, nil, fmt.Errorf("panda: step %d: term %s already affiliated", i, dst.Format(vars))
+				}
+				delete(b.affil, src)
+				b.affil[dst] = r
+			}
+		case Composition:
+			left := Term{S: s.X}
+			right := Term{S: s.Y, G: s.X}
+			dst := Term{S: s.Y}
+			for _, b := range branches {
+				lr, lok := b.affil[left]
+				rr, rok := b.affil[right]
+				if !lok || !rok {
+					continue
+				}
+				joined, err := relation.Join(lr, rr)
+				if err != nil {
+					return nil, nil, fmt.Errorf("panda: step %d: %w", i, err)
+				}
+				stats.Joins++
+				if joined.Len() > stats.Intermediate {
+					stats.Intermediate = joined.Len()
+				}
+				delete(b.affil, left)
+				delete(b.affil, right)
+				if _, busy := b.affil[dst]; busy {
+					return nil, nil, fmt.Errorf("panda: step %d: term %s already affiliated", i, dst.Format(vars))
+				}
+				b.affil[dst] = joined
+			}
+		}
+	}
+
+	stats.Branches = len(branches)
+	target := Term{S: ps.Target}
+	targetVars := entropy.MaskVars(ps.Target, vars)
+	var out *relation.Relation
+	for bi, b := range branches {
+		r, ok := b.affil[target]
+		if !ok {
+			return nil, nil, fmt.Errorf("panda: branch %d finished without the target term %s", bi, target.Format(vars))
+		}
+		proj, err := r.Project(targetVars...)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj, err = proj.Rename("Q", targetVars...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if out == nil {
+			out = proj
+		} else {
+			out, err = out.Union(proj)
+			if err != nil {
+				return nil, nil, err
+			}
+			out, err = out.Rename("Q", targetVars...)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, f := range filters {
+		var err error
+		out, err = out.Semijoin(f)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	out, err := out.Rename("Q", targetVars...)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Output = out.Len()
+	return out, stats, nil
+}

@@ -1,0 +1,399 @@
+package panda
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wcoj/internal/entropy"
+	"wcoj/internal/relation"
+)
+
+func TestTermBasics(t *testing.T) {
+	if !(Term{S: 0b11, G: 0b01}).Valid() {
+		t.Fatal("h(AB|A) is valid")
+	}
+	if (Term{S: 0b01, G: 0b10}).Valid() {
+		t.Fatal("G ⊄ S must be invalid")
+	}
+	if (Term{S: 0, G: 0}).Valid() {
+		t.Fatal("empty S must be invalid")
+	}
+	if !(Term{S: 0b11}).Unconditional() || (Term{S: 0b11, G: 0b01}).Unconditional() {
+		t.Fatal("Unconditional mismatch")
+	}
+	vars := []string{"A", "B"}
+	if got := (Term{S: 0b11, G: 0b01}).Format(vars); got != "h(AB|A)" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := (Term{S: 0b10}).Format(vars); got != "h(B)" {
+		t.Fatalf("Format = %q", got)
+	}
+	if PopCount(0b1011) != 3 {
+		t.Fatal("PopCount")
+	}
+	if Decomposition.String() != "decomposition" || StepKind(9).String() == "" {
+		t.Fatal("StepKind.String")
+	}
+}
+
+// triangleSequence is the Section 2 proof of
+// 2h(ABC) ≤ h(AB) + h(BC) + h(AC) as a proof sequence (eqs 21–24).
+func triangleSequence() *ProofSequence {
+	const (
+		a   uint32 = 1
+		b   uint32 = 2
+		c   uint32 = 4
+		ab         = a | b
+		bc         = b | c
+		ac         = a | c
+		abc        = a | b | c
+	)
+	return &ProofSequence{
+		N:            3,
+		Target:       abc,
+		TargetWeight: 2,
+		Initial: map[Term]float64{
+			{S: ab}: 1, {S: bc}: 1, {S: ac}: 1,
+		},
+		Steps: []Step{
+			{Kind: Decomposition, Y: ab, X: a, W: 1},  // h(AB) → h(AB|A) + h(A)
+			{Kind: Submodularity, Y: a, X: bc, W: 1},  // h(A) → h(ABC|BC)
+			{Kind: Composition, Y: abc, X: bc, W: 1},  // h(ABC|BC) + h(BC) → h(ABC)
+			{Kind: Submodularity, Y: ab, X: ac, W: 1}, // h(AB|A) → h(ABC|AC)
+			{Kind: Composition, Y: abc, X: ac, W: 1},  // h(ABC|AC) + h(AC) → h(ABC)
+		},
+	}
+}
+
+func TestVerifyTriangleSequence(t *testing.T) {
+	ps := triangleSequence()
+	if err := ps.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.String() == "" || !strings.Contains(ps.String(), "compose") {
+		t.Fatal("String rendering")
+	}
+}
+
+func TestVerifyExample1(t *testing.T) {
+	ps := Example1Sequence(Example1Stats{NAB: 100, NBC: 100, NCD: 100, NACDgAC: 10, NABDgBD: 10})
+	if err := ps.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsBadSequences(t *testing.T) {
+	ps := triangleSequence()
+	// Consume more than available.
+	ps.Steps[0].W = 2
+	if err := ps.Verify(); err == nil {
+		t.Fatal("over-consumption must fail")
+	}
+	ps = triangleSequence()
+	ps.Steps = ps.Steps[:4] // target weight only 1 of 2
+	if err := ps.Verify(); err == nil {
+		t.Fatal("insufficient target weight must fail")
+	}
+	ps = triangleSequence()
+	ps.Steps[0].X = ps.Steps[0].Y // X = Y
+	if err := ps.Verify(); err == nil {
+		t.Fatal("X=Y decomposition must fail")
+	}
+	ps = triangleSequence()
+	ps.Steps[1].X = 0b010 // J ⊂ I? I=A(001), J=B(010) is fine; make J ⊆ I instead
+	ps.Steps[1].Y = 0b011
+	ps.Steps[1].X = 0b001 // J ⊂ I: not incomparable
+	if err := ps.Verify(); err == nil {
+		t.Fatal("comparable submodularity sets must fail")
+	}
+	ps = triangleSequence()
+	ps.Steps[0].W = -1
+	if err := ps.Verify(); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	ps = triangleSequence()
+	ps.Target = 0
+	if err := ps.Verify(); err == nil {
+		t.Fatal("bad target must fail")
+	}
+	ps = triangleSequence()
+	ps.Initial[Term{S: 0b01, G: 0b10}] = 1
+	if err := ps.Verify(); err == nil {
+		t.Fatal("invalid initial term must fail")
+	}
+}
+
+// TestSequenceImpliesInequality: a verified sequence's inequality must
+// hold for all polymatroids (checked by LP) and numerically on sampled
+// entropy functions.
+func TestSequenceImpliesInequality(t *testing.T) {
+	for name, ps := range map[string]*ProofSequence{
+		"triangle": triangleSequence(),
+		"example1": Example1Sequence(Example1Stats{NAB: 10, NBC: 10, NCD: 10, NACDgAC: 3, NABDgBD: 3}),
+	} {
+		if err := ps.Verify(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ok, min, err := entropy.HoldsForAllPolymatroids(ps.N, ps.Inequality(), 1e-6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: proven inequality fails LP check (min=%v)", name, min)
+		}
+	}
+}
+
+func TestCheckNumeric(t *testing.T) {
+	ps := triangleSequence()
+	// Random empirical entropy functions are polymatroids.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		seen := make(map[[3]int64]bool)
+		var tuples [][]int64
+		for i := 0; i < 1+rng.Intn(15); i++ {
+			k := [3]int64{int64(rng.Intn(3)), int64(rng.Intn(3)), int64(rng.Intn(3))}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tuples = append(tuples, []int64{k[0], k[1], k[2]})
+		}
+		h, err := entropy.FromTuples(3, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.CheckNumeric(h); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	// Wrong universe size.
+	h2 := entropy.NewSetFunction(2)
+	if err := ps.CheckNumeric(h2); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func mkRel(t testing.TB, name string, attrs []string, rows ...[]relation.Value) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder(name, attrs...)
+	for _, r := range rows {
+		if err := b.Add(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// randomExample1Instance builds relations for Example 1 where W and V
+// have bounded degrees.
+func randomExample1Instance(seed int64, n, dom int) (r, s, tt, w, v *relation.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	br := relation.NewBuilder("R", "A", "B")
+	bs := relation.NewBuilder("S", "B", "C")
+	bt := relation.NewBuilder("T", "C", "D")
+	bw := relation.NewBuilder("W", "A", "C", "D")
+	bv := relation.NewBuilder("V", "A", "B", "D")
+	for i := 0; i < n; i++ {
+		br.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+		bs.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+		bt.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+		bw.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+		bv.Add(relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom)))
+	}
+	return br.Build(), bs.Build(), bt.Build(), bw.Build(), bv.Build()
+}
+
+// naiveExample1 computes the Example 1 query by folding joins.
+func naiveExample1(t testing.TB, r, s, tt, w, v *relation.Relation) *relation.Relation {
+	t.Helper()
+	cur, err := relation.Join(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, next := range []*relation.Relation{tt, w, v} {
+		cur, err = relation.Join(cur, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cur.Project("A", "B", "C", "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = out.Rename("Q", "A", "B", "C", "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestExecuteExample1(t *testing.T) {
+	r, s, tt, w, v := randomExample1Instance(3, 200, 8)
+	st := Example1Stats{
+		NAB:     float64(r.Len()),
+		NBC:     float64(s.Len()),
+		NCD:     float64(tt.Len()),
+		NACDgAC: degOr1(t, w, []string{"A", "C"}, []string{"A", "C", "D"}),
+		NABDgBD: degOr1(t, v, []string{"B", "D"}, []string{"A", "B", "D"}),
+	}
+	ps := Example1Sequence(st)
+	affil := Affiliation{
+		{S: mAB}:          r,
+		{S: mBC}:          s,
+		{S: mCD}:          tt,
+		{S: mACD, G: mAC}: w,
+		{S: mABD, G: mBD}: v,
+	}
+	filters := []*relation.Relation{r, s, tt, w, v}
+	got, stats, err := Execute(ps, Example1Vars, affil, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveExample1(t, r, s, tt, w, v)
+	if !got.Equal(want) {
+		t.Fatalf("PANDA = %d rows, want %d", got.Len(), want.Len())
+	}
+	if stats.Branches != 2 || stats.Joins != 4 || stats.Partitions != 1 {
+		t.Fatalf("stats = %+v, want 2 branches, 4 joins, 1 partition", stats)
+	}
+	if stats.Output != got.Len() {
+		t.Fatal("stats.Output mismatch")
+	}
+}
+
+func degOr1(t testing.TB, r *relation.Relation, x, y []string) float64 {
+	t.Helper()
+	d, err := r.MaxDegree(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1 {
+		return 1
+	}
+	return float64(d)
+}
+
+func TestExecuteErrors(t *testing.T) {
+	ps := triangleSequence()
+	r := mkRel(t, "R", []string{"A", "B"}, []relation.Value{1, 2})
+	s := mkRel(t, "S", []string{"B", "C"}, []relation.Value{2, 3})
+	tt := mkRel(t, "T", []string{"A", "C"}, []relation.Value{1, 3})
+	affil := Affiliation{
+		{S: 0b011}: r, {S: 0b110}: s, {S: 0b101}: tt,
+	}
+	// Wrong number of variable names.
+	if _, _, err := Execute(ps, []string{"A", "B"}, affil, nil); err == nil {
+		t.Fatal("wrong vars length must fail")
+	}
+	// Relation missing an attribute of its term.
+	bad := Affiliation{
+		{S: 0b011}: mkRel(t, "R", []string{"X", "Y"}, []relation.Value{1, 2}),
+		{S: 0b110}: s, {S: 0b101}: tt,
+	}
+	if _, _, err := Execute(ps, []string{"A", "B", "C"}, bad, nil); err == nil {
+		t.Fatal("missing attribute must fail")
+	}
+	// Invalid sequence refused.
+	badSeq := triangleSequence()
+	badSeq.Steps[0].W = 5
+	if _, _, err := Execute(badSeq, []string{"A", "B", "C"}, affil, nil); err == nil {
+		t.Fatal("invalid sequence must be refused")
+	}
+}
+
+func TestExecuteTriangleSequence(t *testing.T) {
+	// The triangle proof sequence executes as Algorithm 2: partition R
+	// by A, two join branches. Verify against the naive join.
+	rng := rand.New(rand.NewSource(9))
+	br := relation.NewBuilder("R", "A", "B")
+	bs := relation.NewBuilder("S", "B", "C")
+	bt := relation.NewBuilder("T", "A", "C")
+	for i := 0; i < 250; i++ {
+		br.Add(relation.Value(rng.Intn(12)), relation.Value(rng.Intn(12)))
+		bs.Add(relation.Value(rng.Intn(12)), relation.Value(rng.Intn(12)))
+		bt.Add(relation.Value(rng.Intn(12)), relation.Value(rng.Intn(12)))
+	}
+	r, s, tt := br.Build(), bs.Build(), bt.Build()
+	ps := triangleSequence()
+	// θ from Algorithm 2: sqrt(|R||S|/|T|) for the decomposition of AB.
+	ps.Steps[0].Theta = math.Sqrt(float64(r.Len()) * float64(s.Len()) / float64(tt.Len()))
+	affil := Affiliation{
+		{S: 0b011}: r, {S: 0b110}: s, {S: 0b101}: tt,
+	}
+	got, stats, err := Execute(ps, []string{"A", "B", "C"}, affil, []*relation.Relation{r, s, tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := relation.Join(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = want.Semijoin(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, err := want.Project("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, err = wantP.Rename("Q", "A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(wantP) {
+		t.Fatalf("triangle PANDA = %d rows, want %d", got.Len(), wantP.Len())
+	}
+	if stats.Branches != 2 {
+		t.Fatalf("branches = %d", stats.Branches)
+	}
+}
+
+func TestFindSequenceTriangle(t *testing.T) {
+	// Find 2h(ABC) ≤ h(AB)+h(BC)+h(AC) automatically.
+	initial := map[Term]float64{
+		{S: 0b011}: 1, {S: 0b110}: 1, {S: 0b101}: 1,
+	}
+	ps, err := FindSequence(3, 0b111, 2, initial, 1, 6, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Verify(); err != nil {
+		t.Fatalf("found sequence does not verify: %v", err)
+	}
+	ok, _, err := entropy.HoldsForAllPolymatroids(3, ps.Inequality(), 1e-6)
+	if err != nil || !ok {
+		t.Fatalf("found sequence proves an invalid inequality: %v", err)
+	}
+}
+
+func TestFindSequenceChain(t *testing.T) {
+	// h(ABC) ≤ h(A) + h(AB|A) + h(BC|B): a chain of compositions and a
+	// submodularity. (h(AB|A)+h(A) → h(AB); h(BC|B) → h(ABC|AB);
+	// compose.)
+	initial := map[Term]float64{
+		{S: 0b001}:           1,
+		{S: 0b011, G: 0b001}: 1,
+		{S: 0b110, G: 0b010}: 1,
+	}
+	ps, err := FindSequence(3, 0b111, 1, initial, 1, 4, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindSequenceErrors(t *testing.T) {
+	if _, err := FindSequence(2, 0b11, 1, nil, 0, 3, 1000); err == nil {
+		t.Fatal("zero scale must fail")
+	}
+	// Unprovable: h(AB) ≤ h(A) is false.
+	initial := map[Term]float64{{S: 0b01}: 1}
+	if _, err := FindSequence(2, 0b11, 1, initial, 1, 4, 100_000); err == nil {
+		t.Fatal("false inequality must not be proved")
+	}
+}

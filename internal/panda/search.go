@@ -1,0 +1,191 @@
+package panda
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FindSequence searches for a proof sequence of the Shannon-flow
+// inequality targetWeight·h(target) ≤ Σ initial[T]·h(T) by bounded
+// iterative-deepening DFS over integer-scaled term multisets. scale
+// converts the given float weights to integers (weights must be
+// multiples of 1/scale). The search explores decomposition,
+// composition and submodularity moves; maxDepth bounds the number of
+// steps and nodeBudget the explored states.
+//
+// Theorem 5.6 guarantees a sequence exists whenever the inequality is
+// a Shannon-flow inequality; this bounded search finds them for the
+// small universes (n ≤ 4) the paper's examples use. Returned steps
+// have unit integer weights divided back by scale.
+func FindSequence(n int, target uint32, targetWeight float64, initial map[Term]float64, scale int, maxDepth, nodeBudget int) (*ProofSequence, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("panda: scale must be positive")
+	}
+	full := uint32(1)<<uint(n) - 1
+	goal := int(targetWeight*float64(scale) + 0.5)
+	start := make(map[Term]int, len(initial))
+	for t, w := range initial {
+		iw := int(w*float64(scale) + 0.5)
+		if iw > 0 {
+			start[t] += iw
+		}
+	}
+
+	type move struct {
+		kind StepKind
+		y, x uint32
+	}
+	apply := func(state map[Term]int, m move) map[Term]int {
+		ns := make(map[Term]int, len(state)+2)
+		for t, w := range state {
+			ns[t] = w
+		}
+		dec := func(t Term) {
+			ns[t]--
+			if ns[t] == 0 {
+				delete(ns, t)
+			}
+		}
+		switch m.kind {
+		case Decomposition:
+			dec(Term{S: m.y})
+			ns[Term{S: m.y, G: m.x}]++
+			ns[Term{S: m.x}]++
+		case Composition:
+			dec(Term{S: m.y, G: m.x})
+			dec(Term{S: m.x})
+			ns[Term{S: m.y}]++
+		case Submodularity:
+			dec(Term{S: m.y, G: m.y & m.x})
+			ns[Term{S: m.y | m.x, G: m.x}]++
+		}
+		return ns
+	}
+
+	// moves generates all unit-weight moves from a state.
+	moves := func(state map[Term]int) []move {
+		var out []move
+		for t := range state {
+			if t.G == 0 {
+				// Decomposition: pick ∅ ≠ X ⊂ S.
+				s := t.S
+				for x := (s - 1) & s; x > 0; x = (x - 1) & s {
+					out = append(out, move{Decomposition, s, x})
+				}
+				// Submodularity with I = S, G = ∅: J ranges over
+				// non-empty subsets of the complement of S.
+				comp := full &^ s
+				for j := comp; j > 0; j = (j - 1) & comp {
+					out = append(out, move{Submodularity, s, j})
+				}
+			} else {
+				// Submodularity from h(S|G): J = G ∪ K, K non-empty
+				// subset of the complement of S.
+				comp := full &^ t.S
+				for k := comp; k > 0; k = (k - 1) & comp {
+					out = append(out, move{Submodularity, t.S, t.G | k})
+				}
+				// Composition if the partner h(G) is available.
+				if state[Term{S: t.G}] > 0 {
+					out = append(out, move{Composition, t.S, t.G})
+				}
+			}
+		}
+		// Deterministic order: compositions first (they make progress
+		// toward the target), then submodularities, then
+		// decompositions.
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].kind != out[j].kind {
+				return kindRank(out[i].kind) < kindRank(out[j].kind)
+			}
+			if out[i].y != out[j].y {
+				return out[i].y < out[j].y
+			}
+			return out[i].x < out[j].x
+		})
+		return out
+	}
+
+	key := func(state map[Term]int) string {
+		type kv struct {
+			t Term
+			w int
+		}
+		kvs := make([]kv, 0, len(state))
+		for t, w := range state {
+			kvs = append(kvs, kv{t, w})
+		}
+		sort.Slice(kvs, func(i, j int) bool {
+			if kvs[i].t.S != kvs[j].t.S {
+				return kvs[i].t.S < kvs[j].t.S
+			}
+			return kvs[i].t.G < kvs[j].t.G
+		})
+		b := make([]byte, 0, len(kvs)*9)
+		for _, e := range kvs {
+			b = append(b, byte(e.t.S), byte(e.t.S>>8), byte(e.t.G), byte(e.t.G>>8),
+				byte(e.w), byte(e.w>>8))
+		}
+		return string(b)
+	}
+
+	nodes := 0
+	for depth := 1; depth <= maxDepth; depth++ {
+		visited := make(map[string]int)
+		var path []move
+		var dfs func(state map[Term]int, d int) bool
+		dfs = func(state map[Term]int, d int) bool {
+			if state[Term{S: target}] >= goal {
+				return true
+			}
+			if d == 0 {
+				return false
+			}
+			nodes++
+			if nodes > nodeBudget {
+				return false
+			}
+			k := key(state)
+			if prev, ok := visited[k]; ok && prev >= d {
+				return false
+			}
+			visited[k] = d
+			for _, m := range moves(state) {
+				path = append(path, m)
+				if dfs(apply(state, m), d-1) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+			return false
+		}
+		if dfs(start, depth) {
+			steps := make([]Step, len(path))
+			for i, m := range path {
+				steps[i] = Step{Kind: m.kind, Y: m.y, X: m.x, W: 1.0 / float64(scale)}
+			}
+			return &ProofSequence{
+				N:            n,
+				Target:       target,
+				TargetWeight: targetWeight,
+				Initial:      initial,
+				Steps:        steps,
+			}, nil
+		}
+		if nodes > nodeBudget {
+			return nil, fmt.Errorf("panda: node budget %d exhausted at depth %d", nodeBudget, depth)
+		}
+	}
+	return nil, fmt.Errorf("panda: no proof sequence found within depth %d", maxDepth)
+}
+
+func kindRank(k StepKind) int {
+	switch k {
+	case Composition:
+		return 0
+	case Submodularity:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,174 @@
+// Package query implements a tiny conjunctive-query frontend: a parser
+// for datalog-style rules
+//
+//	Q(A,B,C) :- R(A,B), S(B,C), T(A,C).
+//
+// and a binder that resolves atom names against a relation.Database to
+// produce an executable core.Query. The parser accepts ":-" or "<-" as
+// the rule separator; the trailing period is optional; identifiers are
+// letters, digits and underscores, starting with a letter.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"wcoj/internal/core"
+	"wcoj/internal/relation"
+)
+
+// ParsedAtom is one body atom before relation binding.
+type ParsedAtom struct {
+	Name string
+	Vars []string
+}
+
+// Parsed is a parsed conjunctive query.
+type Parsed struct {
+	HeadName string
+	HeadVars []string
+	Atoms    []ParsedAtom
+}
+
+// Parse parses a rule of the form Head(vars) :- Atom(vars), ... .
+func Parse(input string) (*Parsed, error) {
+	p := &parser{src: input}
+	head, err := p.atom()
+	if err != nil {
+		return nil, fmt.Errorf("query: head: %w", err)
+	}
+	p.ws()
+	if !p.eat(":-") && !p.eat("<-") && !p.eat("←") {
+		return nil, fmt.Errorf("query: expected \":-\" or \"<-\" at %q", p.rest())
+	}
+	var atoms []ParsedAtom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, fmt.Errorf("query: body: %w", err)
+		}
+		atoms = append(atoms, ParsedAtom{Name: a.name, Vars: a.vars})
+		p.ws()
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	p.ws()
+	p.eat(".")
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("query: trailing input %q", p.rest())
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query: empty body")
+	}
+	return &Parsed{HeadName: head.name, HeadVars: head.vars, Atoms: atoms}, nil
+}
+
+// Bind resolves the parsed query against a database, producing an
+// executable core.Query. Every body atom must name a database relation
+// whose arity matches; the head must list every body variable exactly
+// once (full conjunctive query).
+func (pq *Parsed) Bind(db *relation.Database) (*core.Query, error) {
+	atoms := make([]core.Atom, len(pq.Atoms))
+	for i, a := range pq.Atoms {
+		rel, err := db.MustGet(a.Name)
+		if err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
+		atoms[i] = core.Atom{Name: a.Name, Vars: a.Vars, Rel: rel}
+	}
+	return core.NewQuery(pq.HeadVars, atoms)
+}
+
+func (pq *Parsed) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) :- ", pq.HeadName, strings.Join(pq.HeadVars, ","))
+	for i, a := range pq.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%s)", a.Name, strings.Join(a.Vars, ","))
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+type rawAtom struct {
+	name string
+	vars []string
+}
+
+func (p *parser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "..."
+	}
+	return r
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at %q", p.rest())
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) atom() (rawAtom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return rawAtom{}, err
+	}
+	p.ws()
+	if !p.eat("(") {
+		return rawAtom{}, fmt.Errorf("expected \"(\" after %q", name)
+	}
+	var vars []string
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return rawAtom{}, err
+		}
+		vars = append(vars, v)
+		p.ws()
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(")") {
+			break
+		}
+		return rawAtom{}, fmt.Errorf("expected \",\" or \")\" at %q", p.rest())
+	}
+	return rawAtom{name: name, vars: vars}, nil
+}

@@ -1,0 +1,71 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is a named collection of relations with a shared string
+// dictionary. It is the unit of input to the join algorithms and the
+// bound calculators.
+type Database struct {
+	rels map[string]*Relation
+	dict *Dict
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation), dict: NewDict()}
+}
+
+// Dict returns the database's string dictionary.
+func (db *Database) Dict() *Dict { return db.dict }
+
+// Put stores (or replaces) a relation under its own name.
+func (db *Database) Put(r *Relation) { db.rels[r.Name()] = r }
+
+// Get returns the named relation.
+func (db *Database) Get(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// MustGet returns the named relation or an error.
+func (db *Database) MustGet(name string) (*Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: database has no relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of tuples across all relations — the
+// |D| term of the Õ(|D| + bound) runtime statements.
+func (db *Database) Size() int {
+	total := 0
+	for _, r := range db.rels {
+		total += r.Len()
+	}
+	return total
+}
+
+// MaxRelationSize returns max_F |R_F|, the N of the AGM bound N^ρ*.
+func (db *Database) MaxRelationSize() int {
+	best := 0
+	for _, r := range db.rels {
+		if r.Len() > best {
+			best = r.Len()
+		}
+	}
+	return best
+}

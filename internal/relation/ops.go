@@ -1,0 +1,360 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Project returns the projection of r onto attrs (π_attrs R), sorted
+// and deduplicated. Attrs must be a subset of r's schema.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: project %s: no attribute %q", r.name, a)
+		}
+		idx[i] = j
+	}
+	b := NewBuilder(fmt.Sprintf("π(%s)", r.name), attrs...)
+	row := make(Tuple, len(attrs))
+	for i := 0; i < r.n; i++ {
+		for x, j := range idx {
+			row[x] = r.cols[j][i]
+		}
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Select returns σ_{attr=v} R: the tuples of r whose attr column equals
+// v. Sort order is preserved (the result is a filtered view with copied
+// columns).
+func (r *Relation) Select(attr string, v Value) (*Relation, error) {
+	j := r.AttrIndex(attr)
+	if j < 0 {
+		return nil, fmt.Errorf("relation: select %s: no attribute %q", r.name, attr)
+	}
+	cols := make([][]Value, len(r.cols))
+	for c := range cols {
+		cols[c] = make([]Value, 0, 8)
+	}
+	if j == 0 {
+		// Fast path: first column is sorted, binary search the range.
+		lo := sort.Search(r.n, func(i int) bool { return r.cols[0][i] >= v })
+		hi := lo + sort.Search(r.n-lo, func(i int) bool { return r.cols[0][lo+i] > v })
+		for c := range cols {
+			cols[c] = append(cols[c], r.cols[c][lo:hi]...)
+		}
+	} else {
+		for i := 0; i < r.n; i++ {
+			if r.cols[j][i] != v {
+				continue
+			}
+			for c := range cols {
+				cols[c] = append(cols[c], r.cols[c][i])
+			}
+		}
+	}
+	out := FromColumns(fmt.Sprintf("σ(%s)", r.name), r.attrs, cols)
+	return out, nil
+}
+
+// SelectTuple returns σ_{attrs=vals} R with several bound attributes.
+func (r *Relation) SelectTuple(attrs []string, vals Tuple) (*Relation, error) {
+	if len(attrs) != len(vals) {
+		return nil, fmt.Errorf("relation: select %s: %d attrs, %d values", r.name, len(attrs), len(vals))
+	}
+	cur := r
+	for i, a := range attrs {
+		next, err := cur.Select(a, vals[i])
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Union returns r ∪ s. Schemas must match exactly.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if err := sameSchema(r, s); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(fmt.Sprintf("(%s∪%s)", r.name, s.name), r.attrs...)
+	var row Tuple
+	for i := 0; i < r.n; i++ {
+		row = r.Tuple(i, row)
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		row = s.Tuple(i, row)
+		if err := b.Add(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Intersect returns r ∩ s by merge over the sorted storage. Schemas
+// must match exactly.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	if err := sameSchema(r, s); err != nil {
+		return nil, err
+	}
+	cols := make([][]Value, r.Arity())
+	i, j := 0, 0
+	var ti, tj Tuple
+	for i < r.n && j < s.n {
+		ti = r.Tuple(i, ti)
+		tj = s.Tuple(j, tj)
+		switch ti.Compare(tj) {
+		case -1:
+			i++
+		case 1:
+			j++
+		default:
+			for c := range cols {
+				cols[c] = append(cols[c], ti[c])
+			}
+			i++
+			j++
+		}
+	}
+	return FromColumns(fmt.Sprintf("(%s∩%s)", r.name, s.name), r.attrs, cols), nil
+}
+
+// Semijoin returns r ⋉ s: the tuples of r that agree with at least one
+// tuple of s on their shared attributes. If the schemas share no
+// attributes, the result is r when s is non-empty and empty otherwise.
+func (r *Relation) Semijoin(s *Relation) (*Relation, error) {
+	shared := sharedAttrs(r, s)
+	if len(shared) == 0 {
+		if s.Len() > 0 {
+			return r, nil
+		}
+		return Empty(r.name, r.attrs...), nil
+	}
+	proj, err := s.Project(shared...)
+	if err != nil {
+		return nil, err
+	}
+	ix := NewHashIndex(proj, shared)
+	rIdx := make([]int, len(shared))
+	for i, a := range shared {
+		rIdx[i] = r.AttrIndex(a)
+	}
+	cols := make([][]Value, r.Arity())
+	key := make(Tuple, len(shared))
+	for i := 0; i < r.n; i++ {
+		for x, j := range rIdx {
+			key[x] = r.cols[j][i]
+		}
+		if !ix.Contains(key) {
+			continue
+		}
+		for c := range cols {
+			cols[c] = append(cols[c], r.cols[c][i])
+		}
+	}
+	return FromColumns(fmt.Sprintf("(%s⋉%s)", r.name, s.name), r.attrs, cols), nil
+}
+
+// Diff returns r \ s over identical schemas.
+func (r *Relation) Diff(s *Relation) (*Relation, error) {
+	if err := sameSchema(r, s); err != nil {
+		return nil, err
+	}
+	cols := make([][]Value, r.Arity())
+	i, j := 0, 0
+	var ti, tj Tuple
+	for i < r.n {
+		ti = r.Tuple(i, ti)
+		for j < s.n {
+			tj = s.Tuple(j, tj)
+			if tj.Compare(ti) >= 0 {
+				break
+			}
+			j++
+		}
+		if j >= s.n || !tj.Equal(ti) {
+			for c := range cols {
+				cols[c] = append(cols[c], ti[c])
+			}
+		}
+		i++
+	}
+	return FromColumns(fmt.Sprintf("(%s∖%s)", r.name, s.name), r.attrs, cols), nil
+}
+
+// Partition splits r into (heavy, light) by the frequency of the value
+// combination over attrs: a tuple goes to heavy when its attrs-group
+// has more than threshold tuples in r, otherwise to light. This is the
+// "decomposition rule" primitive of Algorithm 2 and PANDA.
+func (r *Relation) Partition(attrs []string, threshold int) (heavy, light *Relation, err error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("relation: partition %s: no attribute %q", r.name, a)
+		}
+		idx[i] = j
+	}
+	counts := make(map[string]int)
+	keyOf := func(i int) string {
+		var kb []byte
+		for _, j := range idx {
+			v := r.cols[j][i]
+			for s := 0; s < 8; s++ {
+				kb = append(kb, byte(v>>(8*s)))
+			}
+		}
+		return string(kb)
+	}
+	for i := 0; i < r.n; i++ {
+		counts[keyOf(i)]++
+	}
+	hcols := make([][]Value, r.Arity())
+	lcols := make([][]Value, r.Arity())
+	for i := 0; i < r.n; i++ {
+		dst := &lcols
+		if counts[keyOf(i)] > threshold {
+			dst = &hcols
+		}
+		for c := range *dst {
+			(*dst)[c] = append((*dst)[c], r.cols[c][i])
+		}
+	}
+	heavy = FromColumns(r.name+"ᴴ", r.attrs, hcols)
+	light = FromColumns(r.name+"ᴸ", r.attrs, lcols)
+	return heavy, light, nil
+}
+
+// MaxDegree returns max_t |σ_{X=t} π_Y R| taken over bindings t of the
+// X attributes appearing in r: the empirical degree deg_R(Y|X) of
+// Definition 1. X must be a subset of Y and both subsets of the schema.
+func (r *Relation) MaxDegree(x, y []string) (int, error) {
+	for _, a := range append(append([]string{}, x...), y...) {
+		if !r.HasAttr(a) {
+			return 0, fmt.Errorf("relation: degree %s: no attribute %q", r.name, a)
+		}
+	}
+	proj, err := r.Project(y...)
+	if err != nil {
+		return 0, err
+	}
+	if len(x) == 0 {
+		return proj.Len(), nil
+	}
+	xi := make([]int, len(x))
+	for i, a := range x {
+		xi[i] = proj.AttrIndex(a)
+		if xi[i] < 0 {
+			return 0, fmt.Errorf("relation: degree %s: X attribute %q not in Y", r.name, a)
+		}
+	}
+	counts := make(map[string]int)
+	best := 0
+	var kb []byte
+	for i := 0; i < proj.Len(); i++ {
+		kb = kb[:0]
+		for _, j := range xi {
+			v := proj.cols[j][i]
+			for s := 0; s < 8; s++ {
+				kb = append(kb, byte(v>>(8*s)))
+			}
+		}
+		k := string(kb)
+		counts[k]++
+		if counts[k] > best {
+			best = counts[k]
+		}
+	}
+	return best, nil
+}
+
+func sameSchema(r, s *Relation) error {
+	if r.Arity() != s.Arity() {
+		return fmt.Errorf("relation: schema mismatch: %v vs %v", r.attrs, s.attrs)
+	}
+	for j, a := range r.attrs {
+		if s.attrs[j] != a {
+			return fmt.Errorf("relation: schema mismatch: %v vs %v", r.attrs, s.attrs)
+		}
+	}
+	return nil
+}
+
+func sharedAttrs(r, s *Relation) []string {
+	var out []string
+	for _, a := range r.attrs {
+		if s.HasAttr(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IntersectSorted intersects two ascending []Value slices, appending
+// into dst. When the lengths are very unbalanced it gallops through the
+// larger side so the cost is Õ(min(|a|,|b|)) — the assumption behind
+// the Section 2 runtime analyses.
+func IntersectSorted(dst, a, b []Value) []Value {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	// If b is much larger, binary-search each element of a in b.
+	if len(b) > 8*len(a) {
+		lo := 0
+		for _, v := range a {
+			lo += sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= v })
+			if lo < len(b) && b[lo] == v {
+				dst = append(dst, v)
+				lo++
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectMany intersects k >= 1 ascending []Value slices.
+func IntersectMany(lists ...[]Value) []Value {
+	if len(lists) == 0 {
+		return nil
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	cur := append([]Value(nil), lists[0]...)
+	buf := make([]Value, 0, len(cur))
+	for _, l := range lists[1:] {
+		buf = IntersectSorted(buf[:0], cur, l)
+		cur, buf = buf, cur
+		if len(cur) == 0 {
+			return cur
+		}
+	}
+	return cur
+}

@@ -1,0 +1,46 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := mustRel(t, "R", []string{"A", "B"},
+		[]Value{1, 2}, []Value{3, 4}, []Value{-5, 0})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Fatalf("round trip: %v vs %v", got.Tuples(), r.Tuples())
+	}
+}
+
+func TestReadTSVCommentsAndBlanks(t *testing.T) {
+	src := "# comment\nA\tB\n\n1\t2\n# more\n3\t4\n"
+	r, err := ReadTSV(strings.NewReader(src), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Attrs()[1] != "B" {
+		t.Fatalf("parsed: %v", r)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader(""), "R"); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("A\tB\n1\n"), "R"); err == nil {
+		t.Fatal("field count mismatch must fail")
+	}
+	if _, err := ReadTSV(strings.NewReader("A\nx\n"), "R"); err == nil {
+		t.Fatal("non-integer must fail")
+	}
+}

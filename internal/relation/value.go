@@ -1,0 +1,111 @@
+// Package relation implements the relational storage substrate used by
+// every join algorithm in this repository: dictionary-encoded values,
+// flat tuples, immutable sorted columnar relations, builders, hash
+// indexes and the basic relational operators (selection, projection,
+// semijoin, union, intersection).
+//
+// Relations are stored column-major, lexicographically sorted by the
+// relation's attribute order and deduplicated. Sortedness is what lets
+// the worst-case optimal join algorithms intersect attribute ranges in
+// time proportional to the smaller side (the only assumption the
+// paper's Section 2 analysis needs).
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a dictionary-encoded attribute value. Real data (strings,
+// external ids) is mapped to Values through a Dict.
+type Value int64
+
+// Tuple is a flat row of values. Tuples are positional: the meaning of
+// position i is given by the schema of the relation holding the tuple.
+type Tuple []Value
+
+// Compare lexicographically compares two tuples of the same length.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case t[i] < u[i]:
+			return -1
+		case t[i] > u[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(u Tuple) bool { return t.Compare(u) == 0 }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dict maps external string identifiers to dense Values and back. The
+// zero value is not usable; create one with NewDict.
+type Dict struct {
+	toID  map[string]Value
+	toStr []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toID: make(map[string]Value)}
+}
+
+// ID returns the Value for s, interning s on first use.
+func (d *Dict) ID(s string) Value {
+	if id, ok := d.toID[s]; ok {
+		return id
+	}
+	id := Value(len(d.toStr))
+	d.toID[s] = id
+	d.toStr = append(d.toStr, s)
+	return id
+}
+
+// Lookup returns the Value for s without interning.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	id, ok := d.toID[s]
+	return id, ok
+}
+
+// String returns the external string of v, or "#<v>" if v was never interned.
+func (d *Dict) String(v Value) string {
+	if v >= 0 && int(v) < len(d.toStr) {
+		return d.toStr[v]
+	}
+	return fmt.Sprintf("#%d", int64(v))
+}
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int { return len(d.toStr) }

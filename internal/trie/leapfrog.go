@@ -1,0 +1,134 @@
+package trie
+
+import (
+	"wcoj/internal/relation"
+)
+
+// LevelRange is one participant in a multiway sorted intersection: a
+// column (with duplicates, ascending) restricted to rows [Lo,Hi).
+type LevelRange struct {
+	Col []relation.Value
+	Lo  int
+	Hi  int
+}
+
+// Size returns the number of rows in the range.
+func (lr LevelRange) Size() int { return lr.Hi - lr.Lo }
+
+// IntersectLevels computes the sorted distinct values common to all
+// level ranges, appending to dst. It runs the classic leapfrog search:
+// repeatedly seek the minimum cursor up to the current maximum value,
+// emitting when all cursors agree. Per emitted or skipped value the
+// cost is O(k log N), so the total cost is proportional (up to logs) to
+// the smallest range — the intersection primitive Algorithm 1 and
+// Generic-Join assume.
+func IntersectLevels(dst []relation.Value, ranges []LevelRange) []relation.Value {
+	k := len(ranges)
+	if k == 0 {
+		return dst
+	}
+	cur := make([]int, k)
+	for i, r := range ranges {
+		if r.Lo >= r.Hi {
+			return dst
+		}
+		cur[i] = r.Lo
+	}
+	if k == 1 {
+		r := ranges[0]
+		i := r.Lo
+		for i < r.Hi {
+			v := r.Col[i]
+			dst = append(dst, v)
+			i = upperBound(r.Col, i, r.Hi, v)
+		}
+		return dst
+	}
+	// p is the cursor we are about to move; max is the current largest
+	// key among cursors.
+	p := 0
+	max := ranges[k-1].Col[cur[k-1]]
+	// Start cursors at their first values and establish max.
+	for i := range ranges {
+		v := ranges[i].Col[cur[i]]
+		if v > max {
+			max = v
+		}
+	}
+	for {
+		r := ranges[p]
+		c := lowerBound(r.Col, cur[p], r.Hi, max)
+		if c >= r.Hi {
+			return dst
+		}
+		v := r.Col[c]
+		cur[p] = c
+		if v == max {
+			// Check whether all cursors now sit on max.
+			all := true
+			for i := range ranges {
+				if ranges[i].Col[cur[i]] != max {
+					all = false
+					break
+				}
+			}
+			if all {
+				dst = append(dst, max)
+				// Advance every cursor past max.
+				for i := range ranges {
+					cur[i] = upperBound(ranges[i].Col, cur[i], ranges[i].Hi, max)
+					if cur[i] >= ranges[i].Hi {
+						return dst
+					}
+				}
+				max = ranges[0].Col[cur[0]]
+				for i := 1; i < k; i++ {
+					if w := ranges[i].Col[cur[i]]; w > max {
+						max = w
+					}
+				}
+				p = 0
+				continue
+			}
+		}
+		if v > max {
+			max = v
+		}
+		p = (p + 1) % k
+	}
+}
+
+// SmallestRange returns the index of the range with the fewest rows,
+// used by variable-ordering heuristics.
+func SmallestRange(ranges []LevelRange) int {
+	best, arg := -1, -1
+	for i, r := range ranges {
+		if s := r.Size(); best < 0 || s < best {
+			best, arg = s, i
+		}
+	}
+	return arg
+}
+
+// DistinctCount returns the number of distinct values in a column range
+// (by group-skipping, O(d log N) for d distinct values).
+func DistinctCount(col []relation.Value, lo, hi int) int {
+	n := 0
+	i := lo
+	for i < hi {
+		i = upperBound(col, i, hi, col[i])
+		n++
+	}
+	return n
+}
+
+// Distinct appends the distinct values of a column range to dst.
+func Distinct(dst []relation.Value, col []relation.Value, lo, hi int) []relation.Value {
+	i := lo
+	for i < hi {
+		v := col[i]
+		dst = append(dst, v)
+		i = upperBound(col, i, hi, v)
+	}
+	return dst
+}

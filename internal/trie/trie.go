@@ -1,0 +1,205 @@
+// Package trie implements sorted-array tries over relations together
+// with the level-iterator interface (Open/Up/Next/Seek/Key) that
+// Veldhuizen's Leapfrog Triejoin is defined against.
+//
+// A trie is simply the relation's sorted columnar storage viewed as a
+// layered search tree: level d enumerates the distinct values of
+// attribute d within the row range selected by the values chosen at
+// levels 0..d-1. All navigation is binary search over column ranges, so
+// Seek costs O(log N) and iterating the distinct values of a level
+// costs O(log N) per value — which is what gives the Õ(min{|X|,|Y|})
+// intersection guarantee the paper's runtime analyses rely on.
+package trie
+
+import (
+	"fmt"
+	"sort"
+
+	"wcoj/internal/relation"
+)
+
+// Trie is an immutable trie view over a relation sorted by a specific
+// attribute order.
+type Trie struct {
+	rel   *relation.Relation
+	attrs []string
+	cols  [][]relation.Value
+	n     int
+}
+
+// Build returns a trie over r with attributes in the given order. If
+// order equals r's native attribute order the storage is shared;
+// otherwise the relation is re-sorted. order must be a permutation of
+// r's schema.
+func Build(r *relation.Relation, order []string) (*Trie, error) {
+	native := r.Attrs()
+	same := len(order) == len(native)
+	if same {
+		for i := range order {
+			if order[i] != native[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		var err error
+		r, err = r.SortedBy(order)
+		if err != nil {
+			return nil, fmt.Errorf("trie: %w", err)
+		}
+	}
+	cols := make([][]relation.Value, r.Arity())
+	for j := range cols {
+		cols[j] = r.Col(j)
+	}
+	return &Trie{rel: r, attrs: r.Attrs(), cols: cols, n: r.Len()}, nil
+}
+
+// Attrs returns the trie's attribute order.
+func (t *Trie) Attrs() []string { return t.attrs }
+
+// Depth returns the number of levels (the relation's arity).
+func (t *Trie) Depth() int { return len(t.attrs) }
+
+// Len returns the number of tuples underneath the root.
+func (t *Trie) Len() int { return t.n }
+
+// Relation returns the (possibly re-sorted) relation backing the trie.
+func (t *Trie) Relation() *relation.Relation { return t.rel }
+
+// lowerBound returns the first index i in [lo,hi) with col[i] >= v.
+func lowerBound(col []relation.Value, lo, hi int, v relation.Value) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] >= v })
+}
+
+// upperBound returns the first index i in [lo,hi) with col[i] > v.
+func upperBound(col []relation.Value, lo, hi int, v relation.Value) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] > v })
+}
+
+// Range restricts rows [lo,hi) at level d to those whose level-d value
+// equals v, returning the sub-range.
+func (t *Trie) Range(d, lo, hi int, v relation.Value) (int, int) {
+	col := t.cols[d]
+	nlo := lowerBound(col, lo, hi, v)
+	nhi := upperBound(col, nlo, hi, v)
+	return nlo, nhi
+}
+
+// Level exposes the column of level d; used by the leapfrog
+// intersection helpers.
+func (t *Trie) Level(d int) []relation.Value { return t.cols[d] }
+
+// Iterator is a cursor over a Trie implementing the LFTJ trie-iterator
+// contract. A fresh iterator sits at the (virtual) root; Open descends
+// one level, positioning at that level's first distinct value.
+type Iterator struct {
+	t *Trie
+	// Per open level d (0-based): the current value occupies rows
+	// [segStart[d], segEnd[d]); the parent's row range ends at end[d].
+	depth    int // -1 at root
+	segStart []int
+	segEnd   []int
+	end      []int
+	atEnd    []bool
+}
+
+// NewIterator returns an iterator at the root of t.
+func NewIterator(t *Trie) *Iterator {
+	k := t.Depth()
+	return &Iterator{
+		t:        t,
+		depth:    -1,
+		segStart: make([]int, k),
+		segEnd:   make([]int, k),
+		end:      make([]int, k),
+		atEnd:    make([]bool, k),
+	}
+}
+
+// Depth returns the current level (-1 at the root).
+func (it *Iterator) Depth() int { return it.depth }
+
+// Open descends to the first value of the next level. Opening an empty
+// range leaves the level immediately at-end.
+func (it *Iterator) Open() {
+	d := it.depth + 1
+	if d >= it.t.Depth() {
+		panic("trie: Open below the deepest level")
+	}
+	var lo, hi int
+	if d == 0 {
+		lo, hi = 0, it.t.n
+	} else {
+		lo, hi = it.segStart[d-1], it.segEnd[d-1]
+	}
+	it.depth = d
+	it.segStart[d] = lo
+	it.end[d] = hi
+	if lo >= hi {
+		it.atEnd[d] = true
+		it.segEnd[d] = lo
+		return
+	}
+	it.atEnd[d] = false
+	it.segEnd[d] = upperBound(it.t.cols[d], lo, hi, it.t.cols[d][lo])
+}
+
+// Up ascends one level.
+func (it *Iterator) Up() {
+	if it.depth < 0 {
+		panic("trie: Up above the root")
+	}
+	it.depth--
+}
+
+// AtEnd reports whether the current level is exhausted.
+func (it *Iterator) AtEnd() bool { return it.atEnd[it.depth] }
+
+// Key returns the current value at the current level. It must not be
+// called when AtEnd.
+func (it *Iterator) Key() relation.Value {
+	d := it.depth
+	if it.atEnd[d] {
+		panic("trie: Key at end")
+	}
+	return it.t.cols[d][it.segStart[d]]
+}
+
+// Next advances to the next distinct value at the current level.
+func (it *Iterator) Next() {
+	d := it.depth
+	if it.atEnd[d] {
+		return
+	}
+	it.segStart[d] = it.segEnd[d]
+	if it.segStart[d] >= it.end[d] {
+		it.atEnd[d] = true
+		return
+	}
+	it.segEnd[d] = upperBound(it.t.cols[d], it.segStart[d], it.end[d], it.t.cols[d][it.segStart[d]])
+}
+
+// Seek positions the level at the least value >= v, or at-end.
+func (it *Iterator) Seek(v relation.Value) {
+	d := it.depth
+	if it.atEnd[d] {
+		return
+	}
+	lo := lowerBound(it.t.cols[d], it.segStart[d], it.end[d], v)
+	it.segStart[d] = lo
+	if lo >= it.end[d] {
+		it.atEnd[d] = true
+		return
+	}
+	it.segEnd[d] = upperBound(it.t.cols[d], lo, it.end[d], it.t.cols[d][lo])
+}
+
+// CurrentRange returns the row range [lo,hi) of the current value at
+// the current level. Used by operators that need to recurse into the
+// subtree under the current value.
+func (it *Iterator) CurrentRange() (lo, hi int) {
+	d := it.depth
+	return it.segStart[d], it.segEnd[d]
+}

@@ -1,0 +1,345 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wcoj/internal/relation"
+)
+
+func rel(t *testing.T, name string, attrs []string, rows ...[]relation.Value) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder(name, attrs...)
+	for _, r := range rows {
+		if err := b.Add(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuildSharesOrResorts(t *testing.T) {
+	r := rel(t, "R", []string{"A", "B"},
+		[]relation.Value{1, 2}, []relation.Value{2, 1})
+	tr, err := Build(r, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Relation() != r {
+		t.Fatal("native order should share storage")
+	}
+	tr2, err := Build(r, []string{"B", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Attrs()[0] != "B" || tr2.Len() != 2 {
+		t.Fatalf("re-sorted trie: %v len=%d", tr2.Attrs(), tr2.Len())
+	}
+	if _, err := Build(r, []string{"A"}); err == nil {
+		t.Fatal("expected error for non-permutation order")
+	}
+}
+
+func TestIteratorWalk(t *testing.T) {
+	r := rel(t, "R", []string{"A", "B"},
+		[]relation.Value{1, 1}, []relation.Value{1, 3},
+		[]relation.Value{2, 2}, []relation.Value{4, 1})
+	tr, err := Build(r, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewIterator(tr)
+	if it.Depth() != -1 {
+		t.Fatalf("root depth = %d", it.Depth())
+	}
+	it.Open() // level A
+	var as []relation.Value
+	for !it.AtEnd() {
+		as = append(as, it.Key())
+		it.Next()
+	}
+	want := []relation.Value{1, 2, 4}
+	if len(as) != 3 || as[0] != want[0] || as[1] != want[1] || as[2] != want[2] {
+		t.Fatalf("A values = %v, want %v", as, want)
+	}
+}
+
+func TestIteratorOpenSecondLevel(t *testing.T) {
+	r := rel(t, "R", []string{"A", "B"},
+		[]relation.Value{1, 1}, []relation.Value{1, 3},
+		[]relation.Value{2, 2})
+	tr, _ := Build(r, []string{"A", "B"})
+	it := NewIterator(tr)
+	it.Open() // A = 1
+	if it.Key() != 1 {
+		t.Fatalf("first A = %d", it.Key())
+	}
+	it.Open() // B under A=1
+	var bs []relation.Value
+	for !it.AtEnd() {
+		bs = append(bs, it.Key())
+		it.Next()
+	}
+	if len(bs) != 2 || bs[0] != 1 || bs[1] != 3 {
+		t.Fatalf("B|A=1 = %v, want [1 3]", bs)
+	}
+	it.Up() // back to A
+	it.Next()
+	if it.Key() != 2 {
+		t.Fatalf("next A = %d, want 2", it.Key())
+	}
+	it.Open()
+	if it.Key() != 2 {
+		t.Fatalf("B|A=2 = %d, want 2", it.Key())
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	r := rel(t, "R", []string{"A"},
+		[]relation.Value{1}, []relation.Value{3}, []relation.Value{5},
+		[]relation.Value{7}, []relation.Value{9})
+	tr, _ := Build(r, []string{"A"})
+	it := NewIterator(tr)
+	it.Open()
+	it.Seek(4)
+	if it.AtEnd() || it.Key() != 5 {
+		t.Fatalf("seek(4) -> %v", it)
+	}
+	it.Seek(7)
+	if it.Key() != 7 {
+		t.Fatalf("seek(7) -> %d", it.Key())
+	}
+	it.Seek(10)
+	if !it.AtEnd() {
+		t.Fatal("seek(10) should be at end")
+	}
+	// Seek when already at end is a no-op.
+	it.Seek(1)
+	if !it.AtEnd() {
+		t.Fatal("seek after end must stay at end")
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	r := relation.Empty("E", "A")
+	tr, _ := Build(r, []string{"A"})
+	it := NewIterator(tr)
+	it.Open()
+	if !it.AtEnd() {
+		t.Fatal("empty trie must open at end")
+	}
+	it.Next() // must not panic
+	if !it.AtEnd() {
+		t.Fatal("still at end")
+	}
+}
+
+func TestIteratorPanics(t *testing.T) {
+	r := rel(t, "R", []string{"A"}, []relation.Value{1})
+	tr, _ := Build(r, []string{"A"})
+	it := NewIterator(tr)
+	mustPanic(t, func() { it.Up() })
+	it.Open()
+	mustPanic(t, func() { it.Open() }) // below deepest level
+	it.Next()
+	mustPanic(t, func() { it.Key() }) // at end
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCurrentRangeAndRange(t *testing.T) {
+	r := rel(t, "R", []string{"A", "B"},
+		[]relation.Value{1, 1}, []relation.Value{1, 2}, []relation.Value{2, 5})
+	tr, _ := Build(r, []string{"A", "B"})
+	it := NewIterator(tr)
+	it.Open()
+	lo, hi := it.CurrentRange()
+	if lo != 0 || hi != 2 {
+		t.Fatalf("range of A=1 is [%d,%d), want [0,2)", lo, hi)
+	}
+	nlo, nhi := tr.Range(0, 0, tr.Len(), 2)
+	if nlo != 2 || nhi != 3 {
+		t.Fatalf("Range(A=2) = [%d,%d), want [2,3)", nlo, nhi)
+	}
+	nlo, nhi = tr.Range(0, 0, tr.Len(), 9)
+	if nlo != nhi {
+		t.Fatal("Range of missing value must be empty")
+	}
+}
+
+func TestIntersectLevels(t *testing.T) {
+	a := []relation.Value{1, 1, 2, 3, 5, 5, 7}
+	b := []relation.Value{2, 3, 3, 4, 7, 8}
+	c := []relation.Value{0, 3, 7, 9}
+	got := IntersectLevels(nil, []LevelRange{
+		{Col: a, Lo: 0, Hi: len(a)},
+		{Col: b, Lo: 0, Hi: len(b)},
+		{Col: c, Lo: 0, Hi: len(c)},
+	})
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("got %v, want [3 7]", got)
+	}
+}
+
+func TestIntersectLevelsSingle(t *testing.T) {
+	a := []relation.Value{1, 1, 2, 2, 2, 9}
+	got := IntersectLevels(nil, []LevelRange{{Col: a, Lo: 0, Hi: len(a)}})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 9 {
+		t.Fatalf("distinct of single range: %v", got)
+	}
+}
+
+func TestIntersectLevelsEmptyCases(t *testing.T) {
+	if got := IntersectLevels(nil, nil); got != nil {
+		t.Fatal("no ranges yields nil")
+	}
+	a := []relation.Value{1, 2}
+	got := IntersectLevels(nil, []LevelRange{
+		{Col: a, Lo: 0, Hi: 2},
+		{Col: a, Lo: 1, Hi: 1}, // empty range
+	})
+	if len(got) != 0 {
+		t.Fatalf("intersection with empty range: %v", got)
+	}
+	// Disjoint.
+	got = IntersectLevels(nil, []LevelRange{
+		{Col: []relation.Value{1, 2}, Lo: 0, Hi: 2},
+		{Col: []relation.Value{3, 4}, Lo: 0, Hi: 2},
+	})
+	if len(got) != 0 {
+		t.Fatalf("disjoint intersection: %v", got)
+	}
+}
+
+func TestDistinctHelpers(t *testing.T) {
+	col := []relation.Value{1, 1, 2, 2, 2, 5}
+	if n := DistinctCount(col, 0, len(col)); n != 3 {
+		t.Fatalf("DistinctCount = %d, want 3", n)
+	}
+	if n := DistinctCount(col, 1, 4); n != 2 {
+		t.Fatalf("DistinctCount[1,4) = %d, want 2", n)
+	}
+	d := Distinct(nil, col, 0, len(col))
+	if len(d) != 3 || d[0] != 1 || d[1] != 2 || d[2] != 5 {
+		t.Fatalf("Distinct = %v", d)
+	}
+	if i := SmallestRange([]LevelRange{{Col: col, Lo: 0, Hi: 6}, {Col: col, Lo: 0, Hi: 2}}); i != 1 {
+		t.Fatalf("SmallestRange = %d", i)
+	}
+	if i := SmallestRange(nil); i != -1 {
+		t.Fatalf("SmallestRange(nil) = %d", i)
+	}
+}
+
+// Property: IntersectLevels over full ranges equals the set
+// intersection of distinct values.
+func TestPropertyIntersectLevels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		cols := make([][]relation.Value, k)
+		sets := make([]map[relation.Value]bool, k)
+		for i := 0; i < k; i++ {
+			n := rng.Intn(60)
+			col := make([]relation.Value, n)
+			sets[i] = make(map[relation.Value]bool)
+			for j := 0; j < n; j++ {
+				v := relation.Value(rng.Intn(30))
+				col[j] = v
+				sets[i][v] = true
+			}
+			sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+			cols[i] = col
+		}
+		ranges := make([]LevelRange, k)
+		for i := range cols {
+			ranges[i] = LevelRange{Col: cols[i], Lo: 0, Hi: len(cols[i])}
+		}
+		got := IntersectLevels(nil, ranges)
+		var want []relation.Value
+		for v := relation.Value(0); v < 30; v++ {
+			in := true
+			for i := 0; i < k; i++ {
+				if !sets[i][v] {
+					in = false
+					break
+				}
+			}
+			if in {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: walking a trie depth-first reproduces exactly the
+// relation's tuple set.
+func TestPropertyTrieEnumeratesRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := relation.NewBuilder("R", "A", "B", "C")
+		n := rng.Intn(80)
+		for i := 0; i < n; i++ {
+			if err := b.Add(relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6)), relation.Value(rng.Intn(6))); err != nil {
+				return false
+			}
+		}
+		r := b.Build()
+		tr, err := Build(r, []string{"A", "B", "C"})
+		if err != nil {
+			return false
+		}
+		var walked []relation.Tuple
+		var rec func(it *Iterator, prefix relation.Tuple)
+		it := NewIterator(tr)
+		rec = func(it *Iterator, prefix relation.Tuple) {
+			it.Open()
+			for !it.AtEnd() {
+				p := append(prefix[:len(prefix):len(prefix)], it.Key())
+				if len(p) == tr.Depth() {
+					walked = append(walked, p)
+				} else {
+					rec(it, p)
+				}
+				it.Next()
+			}
+			it.Up()
+		}
+		rec(it, nil)
+		want := r.Tuples()
+		if len(walked) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !walked[i].Equal(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package wcoj is a library of worst-case optimal join (WCOJ)
+// algorithms and output-size bounds, implementing Hung Q. Ngo's PODS
+// 2018 survey "Worst-Case Optimal Join Algorithms: Techniques, Results,
+// and Open Problems".
+//
+// The package evaluates full conjunctive queries with runtime matching
+// the worst-case output size: Generic-Join and Leapfrog Triejoin meet
+// the AGM bound N^{ρ*}, the heavy/light triangle algorithm realizes
+// the entropy-proof bound, backtracking search is worst-case optimal
+// under acyclic degree constraints (Theorem 5.1), and the PANDA
+// executor interprets Shannon-flow proof sequences as relational
+// programs. Classical binary join plans are included as baselines.
+//
+// Quick start:
+//
+//	db := wcoj.NewDatabase()
+//	b := wcoj.NewRelationBuilder("E", "src", "dst")
+//	b.Add(1, 2) ... ; db.Put(b.Build())
+//	q, _ := wcoj.MustParse("Q(A,B,C) :- E1(A,B), E2(B,C), E3(A,C)").Bind(db)
+//	out, stats, _ := wcoj.Execute(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the full system inventory.
+package wcoj
+
+import (
+	"fmt"
+
+	"wcoj/internal/baseline"
+	"wcoj/internal/bounds"
+	"wcoj/internal/constraints"
+	"wcoj/internal/core"
+	"wcoj/internal/hypergraph"
+	"wcoj/internal/lftj"
+	"wcoj/internal/query"
+	"wcoj/internal/relation"
+)
+
+// Re-exported data types. These aliases form the public surface of the
+// library; the internal packages carry the implementations.
+type (
+	// Value is a dictionary-encoded attribute value.
+	Value = relation.Value
+	// Tuple is a row of values.
+	Tuple = relation.Tuple
+	// Relation is an immutable sorted set of tuples over a schema.
+	Relation = relation.Relation
+	// RelationBuilder accumulates tuples into a Relation.
+	RelationBuilder = relation.Builder
+	// Database is a named collection of relations.
+	Database = relation.Database
+	// Dict interns strings as Values.
+	Dict = relation.Dict
+
+	// Query is a full conjunctive query with bound relations.
+	Query = core.Query
+	// Atom is one query body atom.
+	Atom = core.Atom
+	// Stats carries execution counters.
+	Stats = core.Stats
+
+	// Constraint is a degree constraint (X, Y, N_{Y|X}).
+	Constraint = constraints.Constraint
+	// ConstraintSet is a set of degree constraints (the paper's DC).
+	ConstraintSet = constraints.Set
+
+	// ParsedQuery is a parsed but unbound conjunctive query.
+	ParsedQuery = query.Parsed
+
+	// Hypergraph is a query hypergraph.
+	Hypergraph = hypergraph.Hypergraph
+
+	// AGMResult reports an AGM bound computation.
+	AGMResult = bounds.AGMResult
+	// LPBound reports a polymatroid or modular bound computation.
+	LPBound = bounds.LPBound
+)
+
+// Constructors re-exported from the storage layer.
+var (
+	// NewDatabase returns an empty database.
+	NewDatabase = relation.NewDatabase
+	// NewRelationBuilder returns a builder for a relation schema.
+	NewRelationBuilder = relation.NewBuilder
+	// NewRelation builds a relation from tuples (panics on arity
+	// mismatch; use a builder for error returns).
+	NewRelation = relation.New
+	// NewQuery builds and validates a query.
+	NewQuery = core.NewQuery
+
+	// Cardinality, FD and Degree build degree constraints.
+	Cardinality = constraints.Cardinality
+	FD          = constraints.FD
+	Degree      = constraints.Degree
+)
+
+// Parse parses a datalog-style conjunctive query such as
+// "Q(A,B,C) :- R(A,B), S(B,C), T(A,C).".
+func Parse(src string) (*ParsedQuery, error) { return query.Parse(src) }
+
+// MustParse is Parse panicking on error; for tests and examples.
+func MustParse(src string) *ParsedQuery {
+	p, err := query.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Algorithm selects a join algorithm for Execute.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// AlgoGenericJoin is Generic-Join [52] (default): recursive
+	// multiway intersection, Õ(N^{ρ*}).
+	AlgoGenericJoin Algorithm = iota
+	// AlgoLeapfrog is Leapfrog Triejoin [66]: iterator-based, Õ(N^{ρ*}).
+	AlgoLeapfrog
+	// AlgoBacktracking is Algorithm 3: worst-case optimal under
+	// acyclic degree constraints (supply Options.Constraints).
+	AlgoBacktracking
+	// AlgoBinaryJoin is the one-pair-at-a-time baseline (left-deep
+	// hash joins, greedy order).
+	AlgoBinaryJoin
+	// AlgoBinaryJoinProject is the join-project baseline.
+	AlgoBinaryJoinProject
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGenericJoin:
+		return "generic-join"
+	case AlgoLeapfrog:
+		return "leapfrog-triejoin"
+	case AlgoBacktracking:
+		return "backtracking"
+	case AlgoBinaryJoin:
+		return "binary-join"
+	case AlgoBinaryJoinProject:
+		return "binary-join-project"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves an algorithm name as printed by String.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog, AlgoBacktracking, AlgoBinaryJoin, AlgoBinaryJoinProject} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("wcoj: unknown algorithm %q", name)
+}
+
+// Options configure Execute and Count.
+type Options struct {
+	// Algorithm selects the join algorithm (default AlgoGenericJoin).
+	Algorithm Algorithm
+	// Order optionally fixes the variable order (WCOJ algorithms).
+	Order []string
+	// Constraints supplies degree constraints. Required by
+	// AlgoBacktracking (they must be acyclic or repairable); ignored
+	// by the others.
+	Constraints ConstraintSet
+}
+
+// Execute evaluates the query with the selected algorithm.
+func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
+	switch opts.Algorithm {
+	case AlgoGenericJoin:
+		return core.GenericJoin(q, core.GenericJoinOptions{Order: opts.Order})
+	case AlgoLeapfrog:
+		return lftj.Join(q, lftj.Options{Order: opts.Order})
+	case AlgoBacktracking:
+		dc, err := backtrackConstraints(q, opts.Constraints)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.BacktrackingSearch(q, dc, core.BacktrackOptions{Order: opts.Order})
+	case AlgoBinaryJoin:
+		return baseline.JoinOnly(q, nil, nil)
+	case AlgoBinaryJoinProject:
+		return baseline.JoinProject(q, nil, nil)
+	}
+	return nil, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
+}
+
+// Count evaluates the query returning only the output cardinality;
+// WCOJ algorithms stream without materializing the result.
+func Count(q *Query, opts Options) (int, *Stats, error) {
+	switch opts.Algorithm {
+	case AlgoGenericJoin:
+		return core.GenericJoinCount(q, core.GenericJoinOptions{Order: opts.Order})
+	case AlgoLeapfrog:
+		return lftj.Count(q, lftj.Options{Order: opts.Order})
+	case AlgoBacktracking:
+		dc, err := backtrackConstraints(q, opts.Constraints)
+		if err != nil {
+			return 0, nil, err
+		}
+		return core.BacktrackingCount(q, dc, core.BacktrackOptions{Order: opts.Order})
+	default:
+		out, stats, err := Execute(q, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		return out.Len(), stats, nil
+	}
+}
+
+// backtrackConstraints defaults to per-atom cardinalities and repairs
+// cyclic sets per Proposition 5.2.
+func backtrackConstraints(q *Query, dc ConstraintSet) (ConstraintSet, error) {
+	if dc == nil {
+		for _, a := range q.Atoms {
+			n := float64(a.Rel.Len())
+			if n < 1 {
+				n = 1
+			}
+			dc = append(dc, constraints.Cardinality(a.Name, a.Vars, n))
+		}
+	}
+	if !dc.IsAcyclic() {
+		repaired, err := dc.MakeAcyclic(q.Vars)
+		if err != nil {
+			return nil, fmt.Errorf("wcoj: constraints are cyclic and unrepairable: %w", err)
+		}
+		dc = repaired
+	}
+	return dc, nil
+}
+
+// AGMBound computes the AGM output-size bound of the query from its
+// relation sizes (Corollary 4.2).
+func AGMBound(q *Query) (*AGMResult, error) {
+	h, err := q.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	return bounds.AGM(h, q.Sizes())
+}
+
+// PolymatroidBound computes the polymatroid bound (44) for the query's
+// variables under the given degree constraints.
+func PolymatroidBound(q *Query, dc ConstraintSet) (*LPBound, error) {
+	return bounds.Polymatroid(q.Vars, dc)
+}
+
+// ModularBound computes the modular LP bound (54); under acyclic
+// constraints it equals the polymatroid bound (Proposition 4.4) and
+// its Delta duals drive the Algorithm 3 runtime statement.
+func ModularBound(q *Query, dc ConstraintSet) (*LPBound, error) {
+	return bounds.Modular(q.Vars, dc)
+}
+
+// MakeAcyclic repairs a cyclic constraint set per Proposition 5.2.
+func MakeAcyclic(dc ConstraintSet, vars []string) (ConstraintSet, error) {
+	return dc.MakeAcyclic(vars)
+}
