@@ -8,6 +8,7 @@ package wcoj
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"wcoj/internal/baseline"
@@ -388,6 +389,64 @@ func BenchmarkVariableOrder(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelEngine: the sharded multi-core executor vs the
+// serial search on the triangle, 4-clique and 4-path workloads, for
+// both Generic-Join and LFTJ Count (the streaming mode, so the
+// measurement is pure search, no materialization). p=1 is the serial
+// baseline; on a machine with GOMAXPROCS >= 4 the p=GOMAXPROCS rows
+// should show >= 1.5x speedup on the triangle workload. Run with
+//
+//	go test -bench BenchmarkParallelEngine -benchtime 3x .
+func BenchmarkParallelEngine(b *testing.B) {
+	workers := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	db := NewDatabase()
+	db.Put(dataset.RandomGraph(3000, 40000, 7))
+	workloads := []struct {
+		name string
+		q    *core.Query
+	}{
+		{"triangle", benchTriangleQuery(b, dataset.TriangleAGMTight(30000))},
+		{"clique4", benchParse(b, db, "Q(A,B,C,D) :- E(A,B), E(A,C), E(A,D), E(B,C), E(B,D), E(C,D)")},
+		{"path4", benchParse(b, db, "Q(A,B,C,D) :- E(A,B), E(B,C), E(C,D)")},
+	}
+	for _, wl := range workloads {
+		// Fix the variable order so every worker count searches the
+		// identical tree.
+		order := append([]string(nil), wl.q.Vars...)
+		serial, _, err := Count(wl.q, Options{Algorithm: AlgoGenericJoin, Order: order, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi, p := range workers {
+			if wi > 0 && p <= workers[wi-1] {
+				continue // GOMAXPROCS duplicated a fixed entry
+			}
+			for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
+				b.Run(fmt.Sprintf("%s/%v/p=%d", wl.name, algo, p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						n, _, err := Count(wl.q, Options{Algorithm: algo, Order: order, Parallelism: p})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if n != serial {
+							b.Fatalf("count %d diverges from serial %d", n, serial)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func benchParse(b *testing.B, db *Database, src string) *core.Query {
+	b.Helper()
+	q, err := MustParse(src).Bind(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
 }
 
 // BenchmarkAGMBoundComputation: the AGM LP itself (used by optimizers

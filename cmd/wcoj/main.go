@@ -6,7 +6,7 @@
 //	wcoj -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' \
 //	     -rel R=r.tsv -rel S=s.tsv -rel T=t.tsv \
 //	     [-algo generic-join|leapfrog-triejoin|backtracking|binary-join|binary-join-project] \
-//	     [-order A,B,C] [-count] [-out out.tsv]
+//	     [-order A,B,C] [-count] [-out out.tsv] [-parallel N]
 //
 // Each TSV file has an attribute header line followed by integer
 // tuples (see wcojgen to generate workloads).
@@ -38,17 +38,18 @@ func main() {
 		orderStr = flag.String("order", "", "comma-separated variable order (optional)")
 		countOly = flag.Bool("count", false, "print only the output cardinality")
 		outPath  = flag.String("out", "", "write the result as TSV to this file")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
 		rels     relFlags
 	)
 	flag.Var(&rels, "rel", "NAME=path.tsv (repeatable)")
 	flag.Parse()
-	if err := run(*queryStr, *algoStr, *orderStr, *countOly, *outPath, rels); err != nil {
+	if err := run(*queryStr, *algoStr, *orderStr, *countOly, *outPath, *parallel, rels); err != nil {
 		fmt.Fprintln(os.Stderr, "wcoj:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, rels relFlags) error {
+func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, parallel int, rels relFlags) error {
 	if queryStr == "" {
 		return fmt.Errorf("missing -query")
 	}
@@ -85,7 +86,7 @@ func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, rel
 	if orderStr != "" {
 		order = strings.Split(orderStr, ",")
 	}
-	opts := wcoj.Options{Algorithm: algo, Order: order}
+	opts := wcoj.Options{Algorithm: algo, Order: order, Parallelism: parallel}
 
 	start := time.Now()
 	if countOnly {

@@ -33,12 +33,12 @@ func TestRunCountAndMaterialize(t *testing.T) {
 	dir, flags := writeTri(t)
 	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
 	for _, algo := range []string{"generic-join", "leapfrog-triejoin", "backtracking", "binary-join"} {
-		if err := run(q, algo, "", true, "", flags); err != nil {
+		if err := run(q, algo, "", true, "", 2, flags); err != nil {
 			t.Fatalf("count/%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "out.tsv")
-	if err := run(q, "generic-join", "A,B,C", false, out, flags); err != nil {
+	if err := run(q, "generic-join", "A,B,C", false, out, 0, flags); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,26 +54,26 @@ func TestRunCountAndMaterialize(t *testing.T) {
 		t.Fatalf("saved output = %d rows, want 1000", r.Len())
 	}
 	// Print path (no -out) also works.
-	if err := run(q, "generic-join", "", false, "", flags); err != nil {
+	if err := run(q, "generic-join", "", false, "", 1, flags); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	_, flags := writeTri(t)
-	if err := run("", "generic-join", "", true, "", flags); err == nil {
+	if err := run("", "generic-join", "", true, "", 0, flags); err == nil {
 		t.Fatal("missing query must fail")
 	}
-	if err := run("Q(A) :- R(A)", "nope", "", true, "", flags); err == nil {
+	if err := run("Q(A) :- R(A)", "nope", "", true, "", 0, flags); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", relFlags{"bad"}); err == nil {
+	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", 0, relFlags{"bad"}); err == nil {
 		t.Fatal("bad -rel must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", relFlags{"R=/nonexistent"}); err == nil {
+	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", 0, relFlags{"R=/nonexistent"}); err == nil {
 		t.Fatal("missing file must fail")
 	}
-	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", true, "", nil); err == nil {
+	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", true, "", 0, nil); err == nil {
 		t.Fatal("unbound relations must fail")
 	}
 }

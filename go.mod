@@ -1,0 +1,3 @@
+module wcoj
+
+go 1.24

@@ -78,6 +78,15 @@ func BacktrackingCount(q *Query, dc constraints.Set, opts BacktrackOptions) (int
 	return n, stats, nil
 }
 
+// BacktrackingVisit streams the result tuples to emit. The Tuple
+// passed to emit is reused between calls; emit must copy it to retain
+// it. The backtracking search is not sharded: its filtered-guard
+// enumeration is bound by the degree-constraint dual, not by the
+// top-level intersection the parallel engine partitions.
+func BacktrackingVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *Stats, emit func(relation.Tuple) error) error {
+	return backtrackVisit(q, dc, opts, stats, emit)
+}
+
 func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *Stats, emit func(relation.Tuple) error) error {
 	if err := q.Validate(); err != nil {
 		return err

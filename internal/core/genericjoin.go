@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"wcoj/internal/relation"
 	"wcoj/internal/trie"
 )
@@ -12,6 +10,10 @@ type GenericJoinOptions struct {
 	// Order is the global variable order; nil selects the degree-order
 	// heuristic (most-constrained variable first).
 	Order []string
+	// Parallelism is the number of worker goroutines sharding the
+	// depth-0 intersection. Values <= 1 run the serial search. Output
+	// order and Stats totals are identical at every setting.
+	Parallelism int
 }
 
 // GenericJoin evaluates the query with the Generic-Join algorithm of
@@ -23,7 +25,7 @@ type GenericJoinOptions struct {
 func GenericJoin(q *Query, opts GenericJoinOptions) (*relation.Relation, *Stats, error) {
 	stats := &Stats{}
 	out := relation.NewBuilder(q.OutputName(), q.Vars...)
-	err := genericJoinVisit(q, opts, stats, func(t relation.Tuple) error {
+	err := GenericJoinVisit(q, opts, stats, func(t relation.Tuple) error {
 		return out.Add(t...)
 	})
 	if err != nil {
@@ -37,14 +39,26 @@ func GenericJoin(q *Query, opts GenericJoinOptions) (*relation.Relation, *Stats,
 // GenericJoinCount runs Generic-Join without materializing the output,
 // returning only the result cardinality. This is the enumeration mode
 // the paper highlights: WCOJ algorithms can stream output tuples with
-// no intermediate state beyond the search stack.
+// no intermediate state beyond the search stack. Under parallelism
+// each worker counts locally; no tuples are buffered.
 func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
 	stats := &Stats{}
+	p, err := BuildPlan(q, opts.Order)
+	if err != nil {
+		return 0, nil, err
+	}
 	n := 0
-	err := genericJoinVisit(q, opts, stats, func(relation.Tuple) error {
-		n++
-		return nil
-	})
+	if opts.Parallelism <= 1 || len(p.Order) == 0 {
+		err = newGJWorker(p, stats, func(relation.Tuple) error {
+			n++
+			return nil
+		}).rec(0)
+	} else {
+		vals := p.TopValues(nil)
+		stats.Recursions++
+		stats.IntersectValues += len(vals)
+		n, err = RunShardedCount(vals, opts.Parallelism, stats, gjShardRun(p))
+	}
 	if err != nil {
 		return 0, nil, err
 	}
@@ -52,7 +66,37 @@ func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
 	return n, stats, nil
 }
 
-// gjAtom is the per-atom execution state of Generic-Join.
+// GenericJoinVisit streams the join result to emit in the canonical
+// (variable-order lexicographic) sequence. The Tuple passed to emit is
+// reused between calls; emit must copy it to retain it. With
+// opts.Parallelism > 1 the depth-0 intersection is sharded across
+// workers and per-chunk results are replayed in deterministic chunk
+// order, so the emit sequence is identical to the serial run.
+func GenericJoinVisit(q *Query, opts GenericJoinOptions, stats *Stats, emit func(relation.Tuple) error) error {
+	p, err := BuildPlan(q, opts.Order)
+	if err != nil {
+		return err
+	}
+	if opts.Parallelism <= 1 || len(p.Order) == 0 {
+		return newGJWorker(p, stats, emit).rec(0)
+	}
+	vals := p.TopValues(nil)
+	// Account for the root node exactly as the serial search does.
+	stats.Recursions++
+	stats.IntersectValues += len(vals)
+	return RunShardedTop(vals, opts.Parallelism, len(q.Vars), stats, emit, gjShardRun(p))
+}
+
+// gjShardRun adapts the Generic-Join search to the sharded runner:
+// each chunk gets a fresh worker iterating its slice of the
+// precomputed depth-0 intersection.
+func gjShardRun(p *Plan) func([]relation.Value, *Stats, func(relation.Tuple) error) error {
+	return func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error {
+		return newGJWorker(p, st, emit).iterate(0, chunk)
+	}
+}
+
+// gjAtom is the per-atom, per-worker execution state of Generic-Join.
 type gjAtom struct {
 	trie *trie.Trie
 	// levelOf[d] is this atom's trie level bound when the global
@@ -63,161 +107,90 @@ type gjAtom struct {
 	// variables; ranges[0] = [0, Len).
 	loStack []int
 	hiStack []int
-	depth   int // number of atom variables currently bound
 }
 
-func genericJoinVisit(q *Query, opts GenericJoinOptions, stats *Stats, emit func(relation.Tuple) error) error {
-	if err := q.Validate(); err != nil {
-		return err
-	}
-	order := opts.Order
-	if order == nil {
-		h, err := q.Hypergraph()
-		if err != nil {
-			return err
-		}
-		order = h.DegreeOrder()
-	}
-	if err := checkOrder(q, order); err != nil {
-		return err
-	}
+// gjWorker is the mutable state of one search goroutine: the per-atom
+// range stacks, the binding tuple and the per-depth scratch buffers.
+// Workers share the Plan read-only.
+type gjWorker struct {
+	plan    *Plan
+	atoms   []*gjAtom
+	binding relation.Tuple
+	scratch [][]relation.Value
+	ranges  []trie.LevelRange
+	stats   *Stats
+	emit    func(relation.Tuple) error
+}
 
-	atoms := make([]*gjAtom, len(q.Atoms))
-	for i, a := range q.Atoms {
-		// Rename the relation's columns to the atom's variables so the
-		// trie order can be expressed in query-variable names.
-		rel, err := a.Rel.Rename(a.Name, a.Vars...)
-		if err != nil {
-			return fmt.Errorf("core: atom %s: %w", a.Name, err)
-		}
-		// The atom's trie order is the global order restricted to the
-		// atom's variables.
-		var atomOrder []string
-		for _, v := range order {
-			for _, av := range a.Vars {
-				if av == v {
-					atomOrder = append(atomOrder, v)
-					break
-				}
-			}
-		}
-		tr, err := trie.Build(rel, atomOrder)
-		if err != nil {
-			return fmt.Errorf("core: atom %s: %w", a.Name, err)
-		}
+func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWorker {
+	w := &gjWorker{
+		plan:    p,
+		atoms:   make([]*gjAtom, len(p.Tries)),
+		binding: make(relation.Tuple, len(p.Q.Vars)),
+		scratch: make([][]relation.Value, len(p.Order)),
+		ranges:  make([]trie.LevelRange, 0, len(p.Tries)),
+		stats:   stats,
+		emit:    emit,
+	}
+	for i, tr := range p.Tries {
 		ga := &gjAtom{
 			trie:    tr,
-			levelOf: make([]int, len(order)),
-			loStack: make([]int, len(atomOrder)+1),
-			hiStack: make([]int, len(atomOrder)+1),
-		}
-		for d := range order {
-			ga.levelOf[d] = -1
-		}
-		for l, v := range atomOrder {
-			for d, ov := range order {
-				if ov == v {
-					ga.levelOf[d] = l
-				}
-			}
+			levelOf: p.LevelOf[i],
+			loStack: make([]int, tr.Depth()+1),
+			hiStack: make([]int, tr.Depth()+1),
 		}
 		ga.loStack[0], ga.hiStack[0] = 0, tr.Len()
-		atoms[i] = ga
+		w.atoms[i] = ga
 	}
-
-	// participants[d] lists the atoms whose next level binds order[d].
-	participants := make([][]int, len(order))
-	for d := range order {
-		for i, ga := range atoms {
-			if ga.levelOf[d] >= 0 {
-				participants[d] = append(participants[d], i)
-			}
-		}
-		if len(participants[d]) == 0 {
-			return fmt.Errorf("core: variable %q occurs in no atom", order[d])
-		}
-	}
-
-	// Map search-order positions back to output positions.
-	outPos := make([]int, len(order))
-	for d, v := range order {
-		outPos[d] = -1
-		for i, qv := range q.Vars {
-			if qv == v {
-				outPos[d] = i
-			}
-		}
-		if outPos[d] < 0 {
-			return fmt.Errorf("core: order variable %q not in query", order[d])
-		}
-	}
-
-	binding := make(relation.Tuple, len(q.Vars))
-	scratch := make([][]relation.Value, len(order))
-	ranges := make([]trie.LevelRange, 0, len(q.Atoms))
-
-	var rec func(d int) error
-	rec = func(d int) error {
-		stats.Recursions++
-		if d == len(order) {
-			return emit(binding)
-		}
-		ranges = ranges[:0]
-		for _, ai := range participants[d] {
-			ga := atoms[ai]
-			l := ga.levelOf[d]
-			ranges = append(ranges, trie.LevelRange{
-				Col: ga.trie.Level(l),
-				Lo:  ga.loStack[l],
-				Hi:  ga.hiStack[l],
-			})
-		}
-		vals := trie.IntersectLevels(scratch[d][:0], ranges)
-		scratch[d] = vals
-		stats.IntersectValues += len(vals)
-		for _, v := range vals {
-			binding[outPos[d]] = v
-			ok := true
-			for _, ai := range participants[d] {
-				ga := atoms[ai]
-				l := ga.levelOf[d]
-				lo, hi := ga.trie.Range(l, ga.loStack[l], ga.hiStack[l], v)
-				if lo >= hi {
-					ok = false
-					break
-				}
-				ga.loStack[l+1], ga.hiStack[l+1] = lo, hi
-			}
-			if !ok {
-				continue // cannot happen: v came from the intersection
-			}
-			if err := rec(d + 1); err != nil {
-				return err
-			}
-		}
-		// IntersectLevels may have reallocated; keep the grown buffer
-		// but recursion below us used its own depth slot, so nothing
-		// to restore.
-		return nil
-	}
-	return rec(0)
+	return w
 }
 
-// checkOrder verifies order is a permutation of the query variables.
-func checkOrder(q *Query, order []string) error {
-	if len(order) != len(q.Vars) {
-		return fmt.Errorf("core: order %v must cover all %d query variables", order, len(q.Vars))
+// rec is the Generic-Join recursion: intersect the participating
+// level ranges at depth d and recurse per value.
+func (w *gjWorker) rec(d int) error {
+	w.stats.Recursions++
+	if d == len(w.plan.Order) {
+		return w.emit(w.binding)
 	}
-	seen := make(map[string]bool)
-	for _, v := range order {
-		if seen[v] {
-			return fmt.Errorf("core: order repeats variable %q", v)
+	w.ranges = w.ranges[:0]
+	for _, ai := range w.plan.Participants[d] {
+		ga := w.atoms[ai]
+		l := ga.levelOf[d]
+		w.ranges = append(w.ranges, trie.LevelRange{
+			Col: ga.trie.Level(l),
+			Lo:  ga.loStack[l],
+			Hi:  ga.hiStack[l],
+		})
+	}
+	vals := trie.IntersectLevels(w.scratch[d][:0], w.ranges)
+	w.scratch[d] = vals
+	w.stats.IntersectValues += len(vals)
+	return w.iterate(d, vals)
+}
+
+// iterate runs the per-value loop of depth d over vals: bind the
+// value, narrow every participating atom's range, recurse. The
+// parallel engine calls it directly at depth 0 with one chunk of the
+// precomputed top-level intersection.
+func (w *gjWorker) iterate(d int, vals []relation.Value) error {
+	for _, v := range vals {
+		w.binding[w.plan.OutPos[d]] = v
+		ok := true
+		for _, ai := range w.plan.Participants[d] {
+			ga := w.atoms[ai]
+			l := ga.levelOf[d]
+			lo, hi := ga.trie.Range(l, ga.loStack[l], ga.hiStack[l], v)
+			if lo >= hi {
+				ok = false
+				break
+			}
+			ga.loStack[l+1], ga.hiStack[l+1] = lo, hi
 		}
-		seen[v] = true
-	}
-	for _, v := range q.Vars {
-		if !seen[v] {
-			return fmt.Errorf("core: order is missing variable %q", v)
+		if !ok {
+			continue // cannot happen: v came from the intersection
+		}
+		if err := w.rec(d + 1); err != nil {
+			return err
 		}
 	}
 	return nil

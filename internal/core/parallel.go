@@ -1,0 +1,234 @@
+package core
+
+// Parallel sharded execution. Both Generic-Join and Leapfrog Triejoin
+// (via this package's exported runner) parallelize the same way: the
+// depth-0 intersection — the distinct values of the first variable in
+// the global order that appear in every participating atom — is
+// computed once, partitioned into contiguous chunks, and each chunk is
+// searched by the existing serial recursion with fully private state
+// (range stacks / iterators, binding tuple, Stats). Workers share only
+// the immutable tries. Chunk results are consumed in ascending chunk
+// index order, and because chunks are contiguous ranges of the sorted
+// top-level values, the emitted tuple sequence is byte-identical to
+// the serial run at any worker count.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"wcoj/internal/relation"
+)
+
+// shardChunkFactor oversplits the top-level values relative to the
+// worker count so a skewed value (one heavy subtree) cannot serialize
+// the run: idle workers steal the remaining chunks.
+const shardChunkFactor = 4
+
+// errShardAborted is injected through a chunk's emit path once a
+// sibling chunk (or the consuming sink) has failed, unwinding the
+// chunk's recursion mid-search instead of letting it run to
+// completion. It is never returned to callers.
+var errShardAborted = errors.New("core: sharded run aborted")
+
+// shardRun searches one chunk of top-level values, writing counters to
+// st and tuples to emit. It runs on a worker goroutine with no state
+// shared with other chunks.
+type shardRun func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error
+
+// shardSink consumes the output of sharded execution. chunkEmit is
+// called from worker goroutines (concurrently, but never concurrently
+// for the same chunk); finishChunk is called from the coordinating
+// goroutine in ascending chunk order.
+type shardSink interface {
+	bind(numChunks int)
+	chunkEmit(chunk int) func(relation.Tuple) error
+	finishChunk(chunk int) error
+}
+
+// runSharded partitions vals into contiguous chunks and runs run over
+// them on min(workers, chunks) goroutines. Per-chunk Stats are merged
+// into parentStats in chunk order; the first error (from a chunk or
+// from the sink) aborts the remaining work — queued chunks are
+// skipped, and in-flight chunks are unwound at their next emitted
+// tuple via errShardAborted. Chunk issue is windowed: a chunk is only
+// handed to a worker once all chunks more than shardWindow(workers)
+// positions behind it have been consumed by the sink, bounding how
+// much un-consumed output the ordered sinks can buffer. It returns
+// only after all worker goroutines have exited, so the caller may
+// reuse any state afterwards.
+func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shardRun, sink shardSink) error {
+	n := len(vals)
+	if n == 0 {
+		sink.bind(0)
+		return nil
+	}
+	numChunks := workers * shardChunkFactor
+	if numChunks > n {
+		numChunks = n
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	sink.bind(numChunks)
+
+	// Balanced contiguous partition: chunk i covers [starts[i],
+	// starts[i+1]).
+	starts := make([]int, numChunks+1)
+	base, rem := n/numChunks, n%numChunks
+	for i := 0; i < numChunks; i++ {
+		starts[i+1] = starts[i] + base
+		if i < rem {
+			starts[i+1]++
+		}
+	}
+
+	chunkStats := make([]Stats, numChunks)
+	chunkErrs := make([]error, numChunks)
+	done := make([]chan struct{}, numChunks)
+	consumed := make([]chan struct{}, numChunks)
+	for i := range done {
+		done[i] = make(chan struct{})
+		consumed[i] = make(chan struct{})
+	}
+	var abort atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if !abort.Load() {
+					emit := sink.chunkEmit(c)
+					chunkErrs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c],
+						func(t relation.Tuple) error {
+							if abort.Load() {
+								return errShardAborted
+							}
+							return emit(t)
+						})
+					if chunkErrs[c] != nil {
+						abort.Store(true)
+					}
+				}
+				close(done[c])
+			}
+		}()
+	}
+	// Windowed issue: chunk c is released only after chunk c-window
+	// has been consumed, so at most window chunks are ever buffered
+	// ahead of the sink (keeps all workers busy since window >
+	// workers, while bounding ordered-sink memory).
+	window := workers + 2
+	go func() {
+		for c := 0; c < numChunks; c++ {
+			if c >= window {
+				<-consumed[c-window]
+			}
+			next <- c
+		}
+		close(next)
+	}()
+
+	var err error
+	for c := 0; c < numChunks; c++ {
+		<-done[c]
+		cerr := chunkErrs[c]
+		switch {
+		case err != nil || cerr == errShardAborted:
+			// A chunk unwound by the abort flag produced partial
+			// output; never merge or consume it.
+		case cerr != nil:
+			err = cerr
+		default:
+			parentStats.Merge(&chunkStats[c])
+			if ferr := sink.finishChunk(c); ferr != nil {
+				err = ferr
+				abort.Store(true)
+			}
+		}
+		// Unblock the issuing goroutine regardless of errors.
+		close(consumed[c])
+	}
+	wg.Wait()
+	return err
+}
+
+// bufferSink buffers each chunk's tuples flat (arity values per tuple)
+// and replays them to the user's emit in chunk order, preserving the
+// serial emission sequence. The Tuple passed on is reused between
+// calls, matching the serial visit contract.
+type bufferSink struct {
+	arity int
+	emit  func(relation.Tuple) error
+	bufs  [][]relation.Value
+}
+
+func newBufferSink(arity int, emit func(relation.Tuple) error) *bufferSink {
+	return &bufferSink{arity: arity, emit: emit}
+}
+
+func (s *bufferSink) bind(numChunks int) { s.bufs = make([][]relation.Value, numChunks) }
+
+func (s *bufferSink) chunkEmit(chunk int) func(relation.Tuple) error {
+	return func(t relation.Tuple) error {
+		s.bufs[chunk] = append(s.bufs[chunk], t...)
+		return nil
+	}
+}
+
+func (s *bufferSink) finishChunk(chunk int) error {
+	buf := s.bufs[chunk]
+	for i := 0; i < len(buf); i += s.arity {
+		if err := s.emit(relation.Tuple(buf[i : i+s.arity])); err != nil {
+			return err
+		}
+	}
+	s.bufs[chunk] = nil // release as soon as replayed
+	return nil
+}
+
+// countSink counts tuples per chunk without buffering them — the
+// streaming enumeration mode keeps zero per-tuple state even under
+// parallelism.
+type countSink struct {
+	counts []int
+	total  int
+}
+
+func newCountSink() *countSink { return &countSink{} }
+
+func (s *countSink) bind(numChunks int) { s.counts = make([]int, numChunks) }
+
+func (s *countSink) chunkEmit(chunk int) func(relation.Tuple) error {
+	return func(relation.Tuple) error {
+		s.counts[chunk]++
+		return nil
+	}
+}
+
+func (s *countSink) finishChunk(chunk int) error {
+	s.total += s.counts[chunk]
+	return nil
+}
+
+// RunShardedTop is the sharding seam exported for sibling algorithm
+// packages (lftj): it shards vals across workers, invoking run per
+// chunk with a private Stats, and streams the buffered per-chunk
+// tuples to emit in chunk order. Arity is the emitted tuple width.
+func RunShardedTop(vals []relation.Value, workers, arity int, parentStats *Stats,
+	emit func(relation.Tuple) error, run func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error) error {
+	return runSharded(vals, workers, parentStats, run, newBufferSink(arity, emit))
+}
+
+// RunShardedCount is RunShardedTop's counting twin: no tuple is
+// buffered; per-chunk counts are summed in chunk order.
+func RunShardedCount(vals []relation.Value, workers int, parentStats *Stats,
+	run func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error) (int, error) {
+	sink := newCountSink()
+	if err := runSharded(vals, workers, parentStats, run, sink); err != nil {
+		return 0, err
+	}
+	return sink.total, nil
+}

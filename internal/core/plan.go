@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"wcoj/internal/relation"
+	"wcoj/internal/trie"
+)
+
+// Plan is the immutable execution plan Generic-Join and Leapfrog
+// Triejoin share: the global variable order, one trie per atom built
+// in that order, the per-depth participant lists and the mapping from
+// search depth to output position. A Plan is built once per query and
+// read concurrently by every worker goroutine; all mutable search
+// state lives in the per-worker structs of the engine packages.
+type Plan struct {
+	Q     *Query
+	Order []string
+	// Tries[i] is atom i's trie; LevelOf[i][d] is atom i's trie level
+	// bound when the global variable at depth d is bound, or -1 if the
+	// atom lacks that variable.
+	Tries   []*trie.Trie
+	LevelOf [][]int
+	// Participants[d] lists the atoms whose next level binds Order[d].
+	Participants [][]int
+	// OutPos maps search-order positions to output positions.
+	OutPos []int
+}
+
+// BuildPlan validates the query, resolves the variable order (nil
+// selects the degree-order heuristic) and builds the per-atom tries.
+func BuildPlan(q *Query, order []string) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if order == nil {
+		h, err := q.Hypergraph()
+		if err != nil {
+			return nil, err
+		}
+		order = h.DegreeOrder()
+	}
+	if err := checkOrder(q, order); err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		Q:       q,
+		Order:   order,
+		Tries:   make([]*trie.Trie, len(q.Atoms)),
+		LevelOf: make([][]int, len(q.Atoms)),
+	}
+	for i, a := range q.Atoms {
+		// Rename the relation's columns to the atom's variables so the
+		// trie order can be expressed in query-variable names.
+		rel, err := a.Rel.Rename(a.Name, a.Vars...)
+		if err != nil {
+			return nil, fmt.Errorf("core: atom %s: %w", a.Name, err)
+		}
+		// The atom's trie order is the global order restricted to the
+		// atom's variables.
+		var atomOrder []string
+		for _, v := range order {
+			for _, av := range a.Vars {
+				if av == v {
+					atomOrder = append(atomOrder, v)
+					break
+				}
+			}
+		}
+		tr, err := trie.Build(rel, atomOrder)
+		if err != nil {
+			return nil, fmt.Errorf("core: atom %s: %w", a.Name, err)
+		}
+		levelOf := make([]int, len(order))
+		for d := range order {
+			levelOf[d] = -1
+		}
+		for l, v := range atomOrder {
+			for d, ov := range order {
+				if ov == v {
+					levelOf[d] = l
+				}
+			}
+		}
+		p.Tries[i] = tr
+		p.LevelOf[i] = levelOf
+	}
+
+	p.Participants = make([][]int, len(order))
+	for d := range order {
+		for i := range p.Tries {
+			if p.LevelOf[i][d] >= 0 {
+				p.Participants[d] = append(p.Participants[d], i)
+			}
+		}
+		if len(p.Participants[d]) == 0 {
+			return nil, fmt.Errorf("core: variable %q occurs in no atom", order[d])
+		}
+	}
+
+	p.OutPos = make([]int, len(order))
+	for d, v := range order {
+		p.OutPos[d] = -1
+		for i, qv := range q.Vars {
+			if qv == v {
+				p.OutPos[d] = i
+			}
+		}
+		if p.OutPos[d] < 0 {
+			return nil, fmt.Errorf("core: order variable %q not in query", order[d])
+		}
+	}
+	return p, nil
+}
+
+// TopValues computes the depth-0 intersection — the sorted distinct
+// values of Order[0] common to every participating atom — which the
+// parallel engine shards across workers. The result is appended to
+// dst.
+func (p *Plan) TopValues(dst []relation.Value) []relation.Value {
+	ranges := make([]trie.LevelRange, 0, len(p.Participants[0]))
+	for _, ai := range p.Participants[0] {
+		tr := p.Tries[ai]
+		ranges = append(ranges, trie.LevelRange{Col: tr.Level(0), Lo: 0, Hi: tr.Len()})
+	}
+	return trie.IntersectLevels(dst, ranges)
+}
+
+// checkOrder verifies order is a permutation of the query variables.
+func checkOrder(q *Query, order []string) error {
+	if len(order) != len(q.Vars) {
+		return fmt.Errorf("core: order %v must cover all %d query variables", order, len(q.Vars))
+	}
+	seen := make(map[string]bool)
+	for _, v := range order {
+		if seen[v] {
+			return fmt.Errorf("core: order repeats variable %q", v)
+		}
+		seen[v] = true
+	}
+	for _, v := range q.Vars {
+		if !seen[v] {
+			return fmt.Errorf("core: order is missing variable %q", v)
+		}
+	}
+	return nil
+}

@@ -145,3 +145,20 @@ type Stats struct {
 	// join plans; zero for one-shot WCOJ algorithms).
 	Intermediate int
 }
+
+// Merge folds the counters of o into s. Additive counters sum;
+// Intermediate, a high-water mark, takes the maximum. The parallel
+// engine runs each shard against a private Stats and merges them in
+// deterministic chunk order, so a parallel run reports the same
+// counter totals as the equivalent serial run.
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Output += o.Output
+	s.IntersectValues += o.IntersectValues
+	s.Recursions += o.Recursions
+	if o.Intermediate > s.Intermediate {
+		s.Intermediate = o.Intermediate
+	}
+}

@@ -7,10 +7,15 @@
 // two differ operationally — LFTJ never materializes a level's
 // intersection, Generic-Join does — which the benchmark harness
 // measures as an ablation.
+//
+// With Options.Parallelism > 1 the depth-0 leapfrog is replaced by one
+// materialized top-level intersection that is sharded across worker
+// goroutines; each worker walks its chunk with private trie iterators
+// over the shared immutable tries, so results (and Stats totals) are
+// identical to the serial run.
 package lftj
 
 import (
-	"fmt"
 	"sort"
 
 	"wcoj/internal/core"
@@ -23,6 +28,10 @@ type Options struct {
 	// Order is the global variable order; nil selects the degree-order
 	// heuristic.
 	Order []string
+	// Parallelism is the number of worker goroutines sharding the
+	// depth-0 intersection. Values <= 1 run the serial join. Output
+	// order and Stats totals are identical at every setting.
+	Parallelism int
 }
 
 // Join evaluates the query with leapfrog triejoin and materializes the
@@ -30,7 +39,7 @@ type Options struct {
 func Join(q *core.Query, opts Options) (*relation.Relation, *core.Stats, error) {
 	stats := &core.Stats{}
 	out := relation.NewBuilder(q.OutputName(), q.Vars...)
-	err := visit(q, opts, stats, func(t relation.Tuple) error {
+	err := Visit(q, opts, stats, func(t relation.Tuple) error {
 		return out.Add(t...)
 	})
 	if err != nil {
@@ -42,18 +51,59 @@ func Join(q *core.Query, opts Options) (*relation.Relation, *core.Stats, error) 
 }
 
 // Count evaluates the query, returning only the output cardinality.
+// Under parallelism each worker counts locally; no tuples are
+// buffered.
 func Count(q *core.Query, opts Options) (int, *core.Stats, error) {
 	stats := &core.Stats{}
+	p, err := core.BuildPlan(q, opts.Order)
+	if err != nil {
+		return 0, nil, err
+	}
 	n := 0
-	err := visit(q, opts, stats, func(relation.Tuple) error {
-		n++
-		return nil
-	})
+	if opts.Parallelism <= 1 || len(p.Order) == 0 {
+		err = newWorker(p, stats, func(relation.Tuple) error {
+			n++
+			return nil
+		}).rec(0)
+	} else {
+		vals := p.TopValues(nil)
+		stats.Recursions++
+		n, err = core.RunShardedCount(vals, opts.Parallelism, stats, shardRun(p))
+	}
 	if err != nil {
 		return 0, nil, err
 	}
 	stats.Output = n
 	return n, stats, nil
+}
+
+// Visit streams the join result to emit in the canonical
+// (variable-order lexicographic) sequence. The Tuple passed to emit is
+// reused between calls; emit must copy it to retain it. With
+// opts.Parallelism > 1 chunks of the top-level intersection are
+// searched concurrently and replayed in deterministic chunk order.
+func Visit(q *core.Query, opts Options, stats *core.Stats, emit func(relation.Tuple) error) error {
+	p, err := core.BuildPlan(q, opts.Order)
+	if err != nil {
+		return err
+	}
+	if opts.Parallelism <= 1 || len(p.Order) == 0 {
+		return newWorker(p, stats, emit).rec(0)
+	}
+	vals := p.TopValues(nil)
+	// Account for the root node exactly as the serial search does;
+	// per-value IntersectValues are counted by the workers.
+	stats.Recursions++
+	return core.RunShardedTop(vals, opts.Parallelism, len(q.Vars), stats, emit, shardRun(p))
+}
+
+// shardRun adapts the leapfrog search to the sharded runner: each
+// chunk gets a fresh worker (private iterators over the shared tries)
+// walking its slice of the precomputed depth-0 intersection.
+func shardRun(p *core.Plan) func([]relation.Value, *core.Stats, func(relation.Tuple) error) error {
+	return func(chunk []relation.Value, st *core.Stats, emit func(relation.Tuple) error) error {
+		return newWorker(p, st, emit).iterateTop(chunk)
+	}
 }
 
 type atomState struct {
@@ -63,134 +113,121 @@ type atomState struct {
 	levelOf []int
 }
 
-func visit(q *core.Query, opts Options, stats *core.Stats, emit func(relation.Tuple) error) error {
-	if err := q.Validate(); err != nil {
-		return err
-	}
-	order := opts.Order
-	if order == nil {
-		h, err := q.Hypergraph()
-		if err != nil {
-			return err
-		}
-		order = h.DegreeOrder()
-	}
-	if len(order) != len(q.Vars) {
-		return fmt.Errorf("lftj: order %v must cover all %d variables", order, len(q.Vars))
-	}
+// worker is the mutable state of one search goroutine: private trie
+// iterators (cursors over the shared tries), private participant
+// slices (rec sorts them in place) and a private binding tuple.
+type worker struct {
+	plan         *core.Plan
+	participants [][]*atomState
+	binding      relation.Tuple
+	stats        *core.Stats
+	emit         func(relation.Tuple) error
+}
 
-	atoms := make([]*atomState, len(q.Atoms))
-	for i, a := range q.Atoms {
-		rel, err := a.Rel.Rename(a.Name, a.Vars...)
-		if err != nil {
-			return err
-		}
-		var atomOrder []string
-		for _, v := range order {
-			for _, av := range a.Vars {
-				if av == v {
-					atomOrder = append(atomOrder, v)
-					break
-				}
-			}
-		}
-		if len(atomOrder) != len(a.Vars) {
-			return fmt.Errorf("lftj: order is missing variables of atom %s", a.Name)
-		}
-		tr, err := trie.Build(rel, atomOrder)
-		if err != nil {
-			return err
-		}
-		st := &atomState{it: trie.NewIterator(tr), levelOf: make([]int, len(order))}
-		for d := range order {
-			st.levelOf[d] = -1
-		}
-		for l, v := range atomOrder {
-			for d, ov := range order {
-				if ov == v {
-					st.levelOf[d] = l
-				}
-			}
-		}
-		atoms[i] = st
+func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error) *worker {
+	atoms := make([]*atomState, len(p.Tries))
+	for i, tr := range p.Tries {
+		atoms[i] = &atomState{it: trie.NewIterator(tr), levelOf: p.LevelOf[i]}
 	}
-
-	participants := make([][]*atomState, len(order))
-	for d := range order {
-		for _, st := range atoms {
-			if st.levelOf[d] >= 0 {
-				participants[d] = append(participants[d], st)
-			}
-		}
-		if len(participants[d]) == 0 {
-			return fmt.Errorf("lftj: variable %q occurs in no atom", order[d])
+	w := &worker{
+		plan:         p,
+		participants: make([][]*atomState, len(p.Order)),
+		binding:      make(relation.Tuple, len(p.Q.Vars)),
+		stats:        stats,
+		emit:         emit,
+	}
+	for d, idx := range p.Participants {
+		w.participants[d] = make([]*atomState, len(idx))
+		for j, ai := range idx {
+			w.participants[d][j] = atoms[ai]
 		}
 	}
+	return w
+}
 
-	outPos := make([]int, len(order))
-	for d, v := range order {
-		outPos[d] = -1
-		for i, qv := range q.Vars {
-			if qv == v {
-				outPos[d] = i
-			}
-		}
-		if outPos[d] < 0 {
-			return fmt.Errorf("lftj: order variable %q not in query", order[d])
-		}
+// rec runs the leapfrog join from depth d (all iterators positioned on
+// the levels above d).
+func (w *worker) rec(d int) error {
+	w.stats.Recursions++
+	if d == len(w.plan.Order) {
+		return w.emit(w.binding)
 	}
-
-	binding := make(relation.Tuple, len(q.Vars))
-
-	var rec func(d int) error
-	rec = func(d int) error {
-		stats.Recursions++
-		if d == len(order) {
-			return emit(binding)
-		}
-		iters := participants[d]
-		// Descend all participating iterators.
+	iters := w.participants[d]
+	// Descend all participating iterators.
+	for _, st := range iters {
+		st.it.Open()
+	}
+	defer func() {
 		for _, st := range iters {
-			st.it.Open()
+			st.it.Up()
 		}
-		defer func() {
-			for _, st := range iters {
-				st.it.Up()
+	}()
+	// leapfrog-init: if any is empty, the level is empty.
+	for _, st := range iters {
+		if st.it.AtEnd() {
+			return nil
+		}
+	}
+	k := len(iters)
+	// Sort by current key (leapfrog invariant).
+	sort.Slice(iters, func(i, j int) bool { return iters[i].it.Key() < iters[j].it.Key() })
+	p := 0
+	for {
+		xmax := iters[(p+k-1)%k].it.Key()
+		x := iters[p].it.Key()
+		if x == xmax {
+			// All iterators agree on x: a match.
+			w.stats.IntersectValues++
+			w.binding[w.plan.OutPos[d]] = x
+			if err := w.rec(d + 1); err != nil {
+				return err
 			}
-		}()
-		// leapfrog-init: if any is empty, the level is empty.
-		for _, st := range iters {
-			if st.it.AtEnd() {
+			iters[p].it.Next()
+			if iters[p].it.AtEnd() {
 				return nil
 			}
-		}
-		k := len(iters)
-		// Sort by current key (leapfrog invariant).
-		sort.Slice(iters, func(i, j int) bool { return iters[i].it.Key() < iters[j].it.Key() })
-		p := 0
-		for {
-			xmax := iters[(p+k-1)%k].it.Key()
-			x := iters[p].it.Key()
-			if x == xmax {
-				// All iterators agree on x: a match.
-				stats.IntersectValues++
-				binding[outPos[d]] = x
-				if err := rec(d + 1); err != nil {
-					return err
-				}
-				iters[p].it.Next()
-				if iters[p].it.AtEnd() {
-					return nil
-				}
-				p = (p + 1) % k
-			} else {
-				iters[p].it.Seek(xmax)
-				if iters[p].it.AtEnd() {
-					return nil
-				}
-				p = (p + 1) % k
+			p = (p + 1) % k
+		} else {
+			iters[p].it.Seek(xmax)
+			if iters[p].it.AtEnd() {
+				return nil
 			}
+			p = (p + 1) % k
 		}
 	}
-	return rec(0)
+}
+
+// iterateTop binds each top-level value of one chunk on this worker's
+// iterators and recurses. Every v comes from the full depth-0
+// intersection, so each participating iterator seeks directly to it.
+func (w *worker) iterateTop(vals []relation.Value) error {
+	iters := w.participants[0]
+	for _, v := range vals {
+		ok := true
+		for _, st := range iters {
+			st.it.Open()
+			st.it.Seek(v)
+			if st.it.AtEnd() || st.it.Key() != v {
+				ok = false // cannot happen: v came from the intersection
+				break
+			}
+		}
+		var err error
+		if ok {
+			w.stats.IntersectValues++
+			w.binding[w.plan.OutPos[0]] = v
+			err = w.rec(1)
+		}
+		// Unwind any iterator this round opened (on the "cannot
+		// happen" miss path some may still be at the root).
+		for _, st := range iters {
+			if st.it.Depth() == 0 {
+				st.it.Up()
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

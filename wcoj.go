@@ -16,7 +16,7 @@
 //	db := wcoj.NewDatabase()
 //	b := wcoj.NewRelationBuilder("E", "src", "dst")
 //	b.Add(1, 2) ... ; db.Put(b.Build())
-//	q, _ := wcoj.MustParse("Q(A,B,C) :- E1(A,B), E2(B,C), E3(A,C)").Bind(db)
+//	q, _ := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
 //	out, stats, _ := wcoj.Execute(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin})
 //
 // See the examples/ directory for runnable programs and DESIGN.md for
@@ -25,6 +25,7 @@ package wcoj
 
 import (
 	"fmt"
+	"runtime"
 
 	"wcoj/internal/baseline"
 	"wcoj/internal/bounds"
@@ -153,7 +154,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("wcoj: unknown algorithm %q", name)
 }
 
-// Options configure Execute and Count.
+// Options configure Execute, ExecuteFunc and Count.
 type Options struct {
 	// Algorithm selects the join algorithm (default AlgoGenericJoin).
 	Algorithm Algorithm
@@ -163,15 +164,33 @@ type Options struct {
 	// AlgoBacktracking (they must be acyclic or repairable); ignored
 	// by the others.
 	Constraints ConstraintSet
+	// Parallelism is the number of worker goroutines used by
+	// AlgoGenericJoin and AlgoLeapfrog: the depth-0 intersection is
+	// computed once, partitioned into contiguous chunks, and each
+	// chunk is searched by a worker with private state over the shared
+	// immutable tries. Results are concatenated in chunk order, so
+	// output (and the emit sequence of ExecuteFunc) is identical to a
+	// serial run at every setting. 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 forces the serial search. The other
+	// algorithms run serially regardless.
+	Parallelism int
+}
+
+// workers resolves Options.Parallelism to a concrete worker count.
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // Execute evaluates the query with the selected algorithm.
 func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
-		return core.GenericJoin(q, core.GenericJoinOptions{Order: opts.Order})
+		return core.GenericJoin(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()})
 	case AlgoLeapfrog:
-		return lftj.Join(q, lftj.Options{Order: opts.Order})
+		return lftj.Join(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()})
 	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
@@ -186,27 +205,94 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 	return nil, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
 }
 
-// Count evaluates the query returning only the output cardinality;
-// WCOJ algorithms stream without materializing the result.
+// ExecuteFunc evaluates the query, streaming each result tuple to emit
+// instead of materializing a Relation. Tuples arrive in the canonical
+// order Execute would store them in; the Tuple passed to emit is
+// reused between calls, so emit must copy it to retain it. A non-nil
+// error from emit aborts the run and is returned.
+//
+// AlgoGenericJoin and AlgoLeapfrog stream directly from the search
+// (sharded across Options.Parallelism workers, with per-chunk replay
+// preserving the serial emit sequence); AlgoBacktracking streams
+// serially. The binary-join baselines have no streaming mode: their
+// full output is materialized first and then replayed to emit.
+func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error) {
+	stats := &Stats{}
+	switch opts.Algorithm {
+	case AlgoGenericJoin:
+		n := 0
+		err := core.GenericJoinVisit(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()}, stats,
+			func(t Tuple) error { n++; return emit(t) })
+		if err != nil {
+			return nil, err
+		}
+		stats.Output = n
+		return stats, nil
+	case AlgoLeapfrog:
+		n := 0
+		err := lftj.Visit(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()}, stats,
+			func(t Tuple) error { n++; return emit(t) })
+		if err != nil {
+			return nil, err
+		}
+		stats.Output = n
+		return stats, nil
+	case AlgoBacktracking:
+		dc, err := backtrackConstraints(q, opts.Constraints)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		err = core.BacktrackingVisit(q, dc, core.BacktrackOptions{Order: opts.Order}, stats,
+			func(t Tuple) error { n++; return emit(t) })
+		if err != nil {
+			return nil, err
+		}
+		stats.Output = n
+		return stats, nil
+	case AlgoBinaryJoin, AlgoBinaryJoinProject:
+		out, stats, err := Execute(q, opts)
+		if err != nil {
+			return nil, err
+		}
+		var row Tuple
+		for i := 0; i < out.Len(); i++ {
+			row = out.Tuple(i, row)
+			if err := emit(row); err != nil {
+				return nil, err
+			}
+		}
+		return stats, nil
+	}
+	return nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
+}
+
+// Count evaluates the query returning only the output cardinality.
+// The WCOJ algorithms (AlgoGenericJoin, AlgoLeapfrog, AlgoBacktracking)
+// stream: they count without materializing the result or, under
+// parallelism, buffering any tuples. The binary-join baselines have no
+// streaming mode — for AlgoBinaryJoin and AlgoBinaryJoinProject Count
+// materializes the full output via Execute and returns its length.
 func Count(q *Query, opts Options) (int, *Stats, error) {
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
-		return core.GenericJoinCount(q, core.GenericJoinOptions{Order: opts.Order})
+		return core.GenericJoinCount(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()})
 	case AlgoLeapfrog:
-		return lftj.Count(q, lftj.Options{Order: opts.Order})
+		return lftj.Count(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()})
 	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
 			return 0, nil, err
 		}
 		return core.BacktrackingCount(q, dc, core.BacktrackOptions{Order: opts.Order})
-	default:
+	case AlgoBinaryJoin, AlgoBinaryJoinProject:
 		out, stats, err := Execute(q, opts)
 		if err != nil {
 			return 0, nil, err
 		}
 		return out.Len(), stats, nil
 	}
+	return 0, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
 }
 
 // backtrackConstraints defaults to per-atom cardinalities and repairs
