@@ -471,3 +471,60 @@ func BenchmarkAGMBoundComputation(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlanner (E11): the planner acceptance benchmark. On the
+// skewed star fixture (one hub vertex with 10k spokes) it times
+// end-to-end Count under the cost-based planner's chosen order, the
+// degree-order heuristic and the worst enumerated order — the chosen
+// order must beat the worst by well over the 5x acceptance margin —
+// plus the cost of planning itself (degree measurement and the
+// per-prefix modular LPs). CI captures this benchmark's output as
+// BENCH_planner.json.
+func BenchmarkPlanner(b *testing.B) {
+	star := dataset.SkewedStar(10000, 10, 500)
+	q, err := core.NewQuery([]string{"A", "B", "C"}, []core.Atom{
+		{Name: "R", Vars: []string{"A", "B"}, Rel: star.R},
+		{Name: "S", Vars: []string{"B", "C"}, Rel: star.S},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp, err := Explain(q, Options{Planner: PlannerCostBased})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if exp.Worst == nil {
+		b.Fatal("no worst candidate enumerated")
+	}
+	b.Logf("chosen %v cost=%.3g; worst %v cost=%.3g", exp.Order, exp.Cost, exp.Worst.Order, exp.Worst.Cost)
+
+	b.Run("plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Explain(q, Options{Planner: PlannerCostBased}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	countWith := func(name string, order []string) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, _, err := Count(q, Options{Order: order, Parallelism: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != star.R.Len()*10 {
+					b.Fatalf("count %d, want %d", n, star.R.Len()*10)
+				}
+			}
+		})
+	}
+	countWith("chosen-order", exp.Order)
+	b.Run("heuristic-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Count(q, Options{Planner: PlannerHeuristic, Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	countWith("worst-order", exp.Worst.Order)
+}

@@ -6,10 +6,15 @@
 //	wcoj -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' \
 //	     -rel R=r.tsv -rel S=s.tsv -rel T=t.tsv \
 //	     [-algo generic-join|leapfrog-triejoin|backtracking|binary-join|binary-join-project] \
-//	     [-order A,B,C] [-count] [-out out.tsv] [-parallel N]
+//	     [-order A,B,C] [-planner auto|heuristic|cost-based|explicit] \
+//	     [-explain] [-count] [-out out.tsv] [-parallel N]
 //
 // Each TSV file has an attribute header line followed by integer
-// tuples (see wcojgen to generate workloads).
+// tuples (see wcojgen to generate workloads). -planner selects how
+// the WCOJ variable order is resolved (cost-based runs the bounds
+// driven optimizer); -explain prints the planning record — chosen
+// order, per-level bounds, candidates considered — and exits without
+// running the join.
 package main
 
 import (
@@ -33,27 +38,33 @@ func (r *relFlags) Set(s string) error {
 
 func main() {
 	var (
-		queryStr = flag.String("query", "", "conjunctive query, e.g. 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)'")
-		algoStr  = flag.String("algo", "generic-join", "join algorithm")
-		orderStr = flag.String("order", "", "comma-separated variable order (optional)")
-		countOly = flag.Bool("count", false, "print only the output cardinality")
-		outPath  = flag.String("out", "", "write the result as TSV to this file")
-		parallel = flag.Int("parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
-		rels     relFlags
+		queryStr   = flag.String("query", "", "conjunctive query, e.g. 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)'")
+		algoStr    = flag.String("algo", "generic-join", "join algorithm")
+		orderStr   = flag.String("order", "", "comma-separated variable order (optional)")
+		plannerStr = flag.String("planner", "auto", "variable-order planner: auto|heuristic|cost-based|explicit")
+		explain    = flag.Bool("explain", false, "print the plan explanation and exit without running the join")
+		countOly   = flag.Bool("count", false, "print only the output cardinality")
+		outPath    = flag.String("out", "", "write the result as TSV to this file")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
+		rels       relFlags
 	)
 	flag.Var(&rels, "rel", "NAME=path.tsv (repeatable)")
 	flag.Parse()
-	if err := run(*queryStr, *algoStr, *orderStr, *countOly, *outPath, *parallel, rels); err != nil {
+	if err := run(*queryStr, *algoStr, *orderStr, *plannerStr, *explain, *countOly, *outPath, *parallel, rels); err != nil {
 		fmt.Fprintln(os.Stderr, "wcoj:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, parallel int, rels relFlags) error {
+func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool, outPath string, parallel int, rels relFlags) error {
 	if queryStr == "" {
 		return fmt.Errorf("missing -query")
 	}
 	algo, err := wcoj.ParseAlgorithm(algoStr)
+	if err != nil {
+		return err
+	}
+	planner, err := wcoj.ParsePlanner(plannerStr)
 	if err != nil {
 		return err
 	}
@@ -86,7 +97,16 @@ func run(queryStr, algoStr, orderStr string, countOnly bool, outPath string, par
 	if orderStr != "" {
 		order = strings.Split(orderStr, ",")
 	}
-	opts := wcoj.Options{Algorithm: algo, Order: order, Parallelism: parallel}
+	opts := wcoj.Options{Algorithm: algo, Order: order, Planner: planner, Parallelism: parallel}
+
+	if explain {
+		e, err := wcoj.Explain(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(e)
+		return nil
+	}
 
 	start := time.Now()
 	if countOnly {

@@ -33,12 +33,12 @@ func TestRunCountAndMaterialize(t *testing.T) {
 	dir, flags := writeTri(t)
 	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
 	for _, algo := range []string{"generic-join", "leapfrog-triejoin", "backtracking", "binary-join"} {
-		if err := run(q, algo, "", true, "", 2, flags); err != nil {
+		if err := run(q, algo, "", "auto", false, true, "", 2, flags); err != nil {
 			t.Fatalf("count/%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "out.tsv")
-	if err := run(q, "generic-join", "A,B,C", false, out, 0, flags); err != nil {
+	if err := run(q, "generic-join", "A,B,C", "auto", false, false, out, 0, flags); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,26 +54,59 @@ func TestRunCountAndMaterialize(t *testing.T) {
 		t.Fatalf("saved output = %d rows, want 1000", r.Len())
 	}
 	// Print path (no -out) also works.
-	if err := run(q, "generic-join", "", false, "", 1, flags); err != nil {
+	if err := run(q, "generic-join", "", "cost-based", false, false, "", 1, flags); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	_, flags := writeTri(t)
-	if err := run("", "generic-join", "", true, "", 0, flags); err == nil {
+	if err := run("", "generic-join", "", "auto", false, true, "", 0, flags); err == nil {
 		t.Fatal("missing query must fail")
 	}
-	if err := run("Q(A) :- R(A)", "nope", "", true, "", 0, flags); err == nil {
+	if err := run("Q(A) :- R(A)", "nope", "", "auto", false, true, "", 0, flags); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", 0, relFlags{"bad"}); err == nil {
+	if err := run("Q(A) :- R(A)", "generic-join", "", "auto", false, true, "", 0, relFlags{"bad"}); err == nil {
 		t.Fatal("bad -rel must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", true, "", 0, relFlags{"R=/nonexistent"}); err == nil {
+	if err := run("Q(A) :- R(A)", "generic-join", "", "auto", false, true, "", 0, relFlags{"R=/nonexistent"}); err == nil {
 		t.Fatal("missing file must fail")
 	}
-	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", true, "", 0, nil); err == nil {
+	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", "auto", false, true, "", 0, nil); err == nil {
 		t.Fatal("unbound relations must fail")
+	}
+}
+
+func TestRunExplainAndPlanner(t *testing.T) {
+	_, flags := writeTri(t)
+	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+	// -explain prints the plan and skips execution for every policy.
+	for _, planner := range []string{"auto", "heuristic", "cost-based"} {
+		if err := run(q, "generic-join", "", planner, true, false, "", 1, flags); err != nil {
+			t.Fatalf("explain/%s: %v", planner, err)
+		}
+	}
+	if err := run(q, "leapfrog-triejoin", "B,A,C", "explicit", true, false, "", 1, flags); err != nil {
+		t.Fatal(err)
+	}
+	// The cost-based planner also runs end-to-end.
+	if err := run(q, "leapfrog-triejoin", "", "cost-based", false, true, "", 2, flags); err != nil {
+		t.Fatal(err)
+	}
+	// Bad settings fail: unknown planner, explicit without order,
+	// cost-based with an explicit order, and an order naming a
+	// variable the query lacks.
+	if err := run(q, "generic-join", "", "nope", false, true, "", 0, flags); err == nil {
+		t.Fatal("unknown planner must fail")
+	}
+	if err := run(q, "generic-join", "", "explicit", false, true, "", 0, flags); err == nil {
+		t.Fatal("explicit planner without -order must fail")
+	}
+	if err := run(q, "generic-join", "A,B,C", "cost-based", false, true, "", 0, flags); err == nil {
+		t.Fatal("cost-based with explicit -order must fail")
+	}
+	if err := run(q, "generic-join", "A,B,D", "auto", false, true, "", 0, flags); err == nil {
+		t.Fatal("order with unknown variable must fail")
 	}
 }

@@ -2,8 +2,13 @@
 //
 // Usage:
 //
-//	wcojgen -kind triangle-agm|triangle-skew|graph|powerlaw|lw|chain63|example1 \
+//	wcojgen -kind triangle-agm|triangle-skew|star|graph|powerlaw|lw|chain63|example1 \
 //	        -n 10000 [-k 3] [-seed 1] -out DIR
+//
+// The star kind writes the planner-sensitivity fixture: R(A,B) is a
+// hub-centered star with n spokes and S(B,C) fans the hub out plus
+// n/20 distractor edges (see the "Choosing a variable order"
+// walkthrough in README.md).
 package main
 
 import (
@@ -68,6 +73,12 @@ func run(kind string, n, k int, seed int64, out string) error {
 				return err
 			}
 		}
+	case "star":
+		star := dataset.SkewedStar(n, 10, n/20)
+		if err := save(star.R, "R.tsv"); err != nil {
+			return err
+		}
+		return save(star.S, "S.tsv")
 	case "graph":
 		return save(dataset.RandomGraph(n/4+2, n, seed), "E.tsv")
 	case "powerlaw":

@@ -13,6 +13,12 @@
 // The entropic bound (43) is not computable (Open Problem 1); its role
 // is filled by the sandwich log|Q(D)| ≤ entropic ≤ polymatroid, with
 // the left side measured from concrete databases via package entropy.
+//
+// These calculators are not only analysis tools: the cost-based
+// variable-order optimizer in package planner prices every candidate
+// order by solving Modular over the query's prefix projections with
+// degree constraints measured from the data (package stats), so the
+// same LPs that bound the output also choose the execution order.
 package bounds
 
 import (
@@ -189,13 +195,62 @@ func Polymatroid(vars []string, dc constraints.Set) (*LPBound, error) {
 // a valid output-size bound — repair dc with
 // constraints.Set.MakeAcyclic first (Proposition 5.2).
 func Modular(vars []string, dc constraints.Set) (*LPBound, error) {
+	s, err := modularSolve(vars, dc)
+	if err != nil {
+		return nil, err
+	}
+	if s == nil || s.Status == lp.Unbounded {
+		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
+			Delta: make([]float64, len(dc))}, nil
+	}
+	n := len(vars)
+	weights := make([]float64, n)
+	copy(weights, s.X)
+	h := entropy.Modular(weights)
+	delta := make([]float64, len(dc))
+	for i := range dc {
+		d := s.Dual[i]
+		if d < 0 && d > -1e-9 {
+			d = 0
+		}
+		delta[i] = d
+	}
+	return &LPBound{
+		LogBound: s.Objective,
+		Bound:    math.Exp2(s.Objective),
+		H:        h,
+		Vars:     vars,
+		Delta:    delta,
+	}, nil
+}
+
+// ModularValue computes only the optimal value (log2) of the modular
+// bound LP — no entropy witness and no duals. Unlike Modular, whose
+// witness set function is capped at entropy.MaxN variables, this
+// works at any width; it is what the cost-based planner calls per
+// candidate prefix. Returns +Inf when some variable is unbound.
+func ModularValue(vars []string, dc constraints.Set) (float64, error) {
+	s, err := modularSolve(vars, dc)
+	if err != nil {
+		return 0, err
+	}
+	if s == nil || s.Status == lp.Unbounded {
+		return math.Inf(1), nil
+	}
+	return s.Objective, nil
+}
+
+// modularSolve validates and solves LP (54). A nil solution (with nil
+// error) means some variable is unbound and the LP would be
+// unbounded; an Infeasible status is an internal error (v=0 is always
+// feasible).
+func modularSolve(vars []string, dc constraints.Set) (*lp.Solution, error) {
 	if err := dc.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(vars)
 	if !dc.AllBound(vars) {
-		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
-			Delta: make([]float64, len(dc))}, nil
+		return nil, nil
 	}
 	p := lp.NewProblem(lp.Maximize, n)
 	for i := 0; i < n; i++ {
@@ -216,31 +271,10 @@ func Modular(vars []string, dc constraints.Set) (*LPBound, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch s.Status {
-	case lp.Unbounded:
-		return &LPBound{LogBound: math.Inf(1), Bound: math.Inf(1), Vars: vars,
-			Delta: make([]float64, len(dc))}, nil
-	case lp.Infeasible:
+	if s.Status == lp.Infeasible {
 		return nil, fmt.Errorf("bounds: modular LP infeasible (should not happen: v=0 is feasible)")
 	}
-	weights := make([]float64, n)
-	copy(weights, s.X)
-	h := entropy.Modular(weights)
-	delta := make([]float64, len(dc))
-	for i := range dc {
-		d := s.Dual[i]
-		if d < 0 && d > -1e-9 {
-			d = 0
-		}
-		delta[i] = d
-	}
-	return &LPBound{
-		LogBound: s.Objective,
-		Bound:    math.Exp2(s.Objective),
-		H:        h,
-		Vars:     vars,
-		Delta:    delta,
-	}, nil
+	return s, nil
 }
 
 // CardinalityConstraints derives the cardinality-only constraint set of

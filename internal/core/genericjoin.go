@@ -10,10 +10,23 @@ type GenericJoinOptions struct {
 	// Order is the global variable order; nil selects the degree-order
 	// heuristic (most-constrained variable first).
 	Order []string
+	// Policy, when non-nil, resolves the variable order and takes
+	// precedence over Order (explicit, heuristic, or the cost-based
+	// optimizer of internal/planner).
+	Policy OrderPolicy
 	// Parallelism is the number of worker goroutines sharding the
 	// depth-0 intersection. Values <= 1 run the serial search. Output
 	// order and Stats totals are identical at every setting.
 	Parallelism int
+}
+
+// plan resolves the options into an execution plan: Policy wins when
+// set, otherwise Order (nil Order selects the heuristic).
+func (o GenericJoinOptions) plan(q *Query) (*Plan, error) {
+	if o.Policy != nil {
+		return BuildPlanWith(q, o.Policy)
+	}
+	return BuildPlan(q, o.Order)
 }
 
 // GenericJoin evaluates the query with the Generic-Join algorithm of
@@ -43,7 +56,7 @@ func GenericJoin(q *Query, opts GenericJoinOptions) (*relation.Relation, *Stats,
 // each worker counts locally; no tuples are buffered.
 func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
 	stats := &Stats{}
-	p, err := BuildPlan(q, opts.Order)
+	p, err := opts.plan(q)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -73,7 +86,7 @@ func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
 // workers and per-chunk results are replayed in deterministic chunk
 // order, so the emit sequence is identical to the serial run.
 func GenericJoinVisit(q *Query, opts GenericJoinOptions, stats *Stats, emit func(relation.Tuple) error) error {
-	p, err := BuildPlan(q, opts.Order)
+	p, err := opts.plan(q)
 	if err != nil {
 		return err
 	}

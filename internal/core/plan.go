@@ -7,6 +7,41 @@ import (
 	"wcoj/internal/trie"
 )
 
+// OrderPolicy resolves the global variable order BuildPlanWith runs a
+// query under. The engine ships three families of policies: explicit
+// orders (ExplicitOrder), the degree-order heuristic (HeuristicOrder),
+// and the cost-based optimizer in internal/planner, which scores
+// candidate orders with the per-prefix bounds of internal/bounds.
+type OrderPolicy interface {
+	// ResolveOrder returns a permutation of q.Vars.
+	ResolveOrder(q *Query) ([]string, error)
+}
+
+// OrderFunc adapts a function to the OrderPolicy interface.
+type OrderFunc func(*Query) ([]string, error)
+
+// ResolveOrder implements OrderPolicy.
+func (f OrderFunc) ResolveOrder(q *Query) ([]string, error) { return f(q) }
+
+// HeuristicOrder returns the default policy: the hypergraph
+// degree-order heuristic (most-constrained variable first).
+func HeuristicOrder() OrderPolicy {
+	return OrderFunc(func(q *Query) ([]string, error) {
+		h, err := q.Hypergraph()
+		if err != nil {
+			return nil, err
+		}
+		return h.DegreeOrder(), nil
+	})
+}
+
+// ExplicitOrder returns a policy that always uses the given order.
+func ExplicitOrder(order []string) OrderPolicy {
+	return OrderFunc(func(q *Query) ([]string, error) {
+		return order, nil
+	})
+}
+
 // Plan is the immutable execution plan Generic-Join and Leapfrog
 // Triejoin share: the global variable order, one trie per atom built
 // in that order, the per-depth participant lists and the mapping from
@@ -29,18 +64,31 @@ type Plan struct {
 
 // BuildPlan validates the query, resolves the variable order (nil
 // selects the degree-order heuristic) and builds the per-atom tries.
+// It is BuildPlanWith under ExplicitOrder/HeuristicOrder.
 func BuildPlan(q *Query, order []string) (*Plan, error) {
+	if order == nil {
+		return BuildPlanWith(q, HeuristicOrder())
+	}
+	return BuildPlanWith(q, ExplicitOrder(order))
+}
+
+// BuildPlanWith validates the query, asks the policy for the variable
+// order and builds the per-atom tries. Tries are served from the
+// process-wide trie cache keyed by (relation, variable binding, trie
+// order), so repeated queries — and planner probes over the same
+// relations — reuse built tries instead of rebuilding them.
+func BuildPlanWith(q *Query, policy OrderPolicy) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	if order == nil {
-		h, err := q.Hypergraph()
-		if err != nil {
-			return nil, err
-		}
-		order = h.DegreeOrder()
+	if policy == nil {
+		policy = HeuristicOrder()
 	}
-	if err := checkOrder(q, order); err != nil {
+	order, err := policy.ResolveOrder(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckOrder(q, order); err != nil {
 		return nil, err
 	}
 
@@ -51,12 +99,6 @@ func BuildPlan(q *Query, order []string) (*Plan, error) {
 		LevelOf: make([][]int, len(q.Atoms)),
 	}
 	for i, a := range q.Atoms {
-		// Rename the relation's columns to the atom's variables so the
-		// trie order can be expressed in query-variable names.
-		rel, err := a.Rel.Rename(a.Name, a.Vars...)
-		if err != nil {
-			return nil, fmt.Errorf("core: atom %s: %w", a.Name, err)
-		}
 		// The atom's trie order is the global order restricted to the
 		// atom's variables.
 		var atomOrder []string
@@ -68,7 +110,7 @@ func BuildPlan(q *Query, order []string) (*Plan, error) {
 				}
 			}
 		}
-		tr, err := trie.Build(rel, atomOrder)
+		tr, err := cachedTrie(a, atomOrder)
 		if err != nil {
 			return nil, fmt.Errorf("core: atom %s: %w", a.Name, err)
 		}
@@ -127,22 +169,34 @@ func (p *Plan) TopValues(dst []relation.Value) []relation.Value {
 	return trie.IntersectLevels(dst, ranges)
 }
 
-// checkOrder verifies order is a permutation of the query variables.
-func checkOrder(q *Query, order []string) error {
-	if len(order) != len(q.Vars) {
-		return fmt.Errorf("core: order %v must cover all %d query variables", order, len(q.Vars))
-	}
-	seen := make(map[string]bool)
+// CheckOrder verifies order is a permutation of the query variables.
+// Violations are reported with the offending variable named: a
+// duplicated entry, an entry that is not a query variable, or a query
+// variable the order omits.
+func CheckOrder(q *Query, order []string) error {
+	seen := make(map[string]bool, len(order))
 	for _, v := range order {
 		if seen[v] {
-			return fmt.Errorf("core: order repeats variable %q", v)
+			return fmt.Errorf("core: order %v repeats variable %q", order, v)
 		}
 		seen[v] = true
 	}
+	qvars := make(map[string]bool, len(q.Vars))
+	for _, v := range q.Vars {
+		qvars[v] = true
+	}
+	for _, v := range order {
+		if !qvars[v] {
+			return fmt.Errorf("core: order %v names %q, which is not a query variable", order, v)
+		}
+	}
 	for _, v := range q.Vars {
 		if !seen[v] {
-			return fmt.Errorf("core: order is missing variable %q", v)
+			return fmt.Errorf("core: order %v is missing query variable %q", order, v)
 		}
 	}
 	return nil
 }
+
+// checkOrder is the internal spelling kept for existing call sites.
+func checkOrder(q *Query, order []string) error { return CheckOrder(q, order) }

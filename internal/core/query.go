@@ -10,6 +10,13 @@
 //
 // Queries are full conjunctive queries: every variable appears in the
 // head. Relations bind to atoms positionally.
+//
+// Execution plans are built by BuildPlanWith under a pluggable
+// OrderPolicy — explicit orders, the degree-order heuristic, or the
+// cost-based optimizer of package planner, which scores candidate
+// orders with the bound LPs of package bounds. Per-atom tries are
+// served from a process-wide cache keyed by (relation, binding,
+// order), so repeated queries and planner probes skip the re-sort.
 package core
 
 import (

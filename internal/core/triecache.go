@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"wcoj/internal/relation"
+	"wcoj/internal/trie"
+)
+
+// The trie cache memoizes the expensive half of plan construction.
+// Building a trie for an atom means renaming the relation's columns to
+// the atom's variables and re-sorting the storage by the atom's slice
+// of the global variable order — O(N log N) per atom. The same
+// (relation, binding, order) triple recurs constantly: repeated
+// queries over a long-lived database, the planner's equivalence and
+// benchmark probes, and every parallel run that follows a serial one.
+// Relations are immutable, so a built trie is valid forever and safe
+// to share across plans and worker goroutines; the cache key uses the
+// relation's pointer identity.
+
+// trieKey identifies one atom trie: the backing relation, the
+// variable binding of the atom, and the trie's attribute order.
+type trieKey struct {
+	rel         *relation.Relation
+	vars, order string
+}
+
+// trieCacheCap bounds the number of cached tries. When the cap is
+// reached the cache is cleared wholesale — an epoch flush is cheap,
+// deterministic and good enough for the access pattern (a handful of
+// hot tries per workload).
+//
+// The bound is an entry count, not a byte budget: each entry retains
+// its sorted trie copy and pins the keyed relation until the next
+// epoch flush, so a process that churns through large transient
+// relations holds their memory for up to one epoch. Callers that
+// drop big relations and want the memory back immediately should
+// call ResetTrieCache.
+const trieCacheCap = 256
+
+var trieCache = struct {
+	sync.Mutex
+	m            map[trieKey]*trie.Trie
+	hits, misses uint64
+}{m: make(map[trieKey]*trie.Trie)}
+
+// cachedTrie returns the trie for atom a under atomOrder, building and
+// caching it on first use.
+func cachedTrie(a Atom, atomOrder []string) (*trie.Trie, error) {
+	key := trieKey{
+		rel:   a.Rel,
+		vars:  strings.Join(a.Vars, "\x1f"),
+		order: strings.Join(atomOrder, "\x1f"),
+	}
+	trieCache.Lock()
+	if tr, ok := trieCache.m[key]; ok {
+		trieCache.hits++
+		trieCache.Unlock()
+		return tr, nil
+	}
+	trieCache.misses++
+	trieCache.Unlock()
+
+	// Build outside the lock: sorting a large relation must not block
+	// concurrent plan construction.
+	rel, err := a.Rel.Rename(a.Name, a.Vars...)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trie.Build(rel, atomOrder)
+	if err != nil {
+		return nil, err
+	}
+
+	trieCache.Lock()
+	if got, ok := trieCache.m[key]; ok {
+		tr = got // a concurrent builder won the race; share its trie
+	} else {
+		if len(trieCache.m) >= trieCacheCap {
+			trieCache.m = make(map[trieKey]*trie.Trie)
+		}
+		trieCache.m[key] = tr
+	}
+	trieCache.Unlock()
+	return tr, nil
+}
+
+// TrieCacheStats reports the cache's lifetime hit/miss counters and
+// current size; the benchmark harness uses it to show planner probes
+// reusing tries.
+func TrieCacheStats() (hits, misses uint64, size int) {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	return trieCache.hits, trieCache.misses, len(trieCache.m)
+}
+
+// ResetTrieCache empties the cache and zeroes its counters; tests and
+// benchmarks call it to measure cold builds.
+func ResetTrieCache() {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	trieCache.m = make(map[trieKey]*trie.Trie)
+	trieCache.hits, trieCache.misses = 0, 0
+}

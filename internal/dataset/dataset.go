@@ -274,3 +274,38 @@ func FDInstance(n, domA, domC int, seed int64) *relation.Relation {
 	}
 	return b.Build()
 }
+
+// Star bundles the relations of the skewed star join
+// Q(A,B,C) ← R(A,B), S(B,C): R is a hub-centered star (every one of
+// its `spokes` edges points at the single hub vertex), S fans the hub
+// out to `fan` targets and adds `noise` distractor edges whose source
+// vertices never occur in R. The output has spokes·fan tuples, but a
+// variable order that binds A and C before B must enumerate the
+// spokes×(fan+noise) cross product — the planner-sensitivity fixture
+// of the BenchmarkPlanner acceptance check.
+type Star struct {
+	R, S *relation.Relation
+	// Hub is the single shared join value.
+	Hub relation.Value
+}
+
+// SkewedStar builds the Star instance. Values are laid out as
+// hub = 0, spokes 1..spokes, fan targets and distractors above that,
+// so the three value ranges never collide.
+func SkewedStar(spokes, fan, noise int) Star {
+	hub := relation.Value(0)
+	br := relation.NewBuilder("R", "A", "B")
+	for i := 1; i <= spokes; i++ {
+		br.Add(relation.Value(i), hub)
+	}
+	bs := relation.NewBuilder("S", "B", "C")
+	base := relation.Value(spokes + 1)
+	for j := 0; j < fan; j++ {
+		bs.Add(hub, base+relation.Value(j))
+	}
+	for k := 0; k < noise; k++ {
+		src := base + relation.Value(fan+2*k)
+		bs.Add(src, src+1)
+	}
+	return Star{R: br.Build(), S: bs.Build(), Hub: hub}
+}

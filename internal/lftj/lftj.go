@@ -28,10 +28,23 @@ type Options struct {
 	// Order is the global variable order; nil selects the degree-order
 	// heuristic.
 	Order []string
+	// Policy, when non-nil, resolves the variable order and takes
+	// precedence over Order (explicit, heuristic, or the cost-based
+	// optimizer of internal/planner).
+	Policy core.OrderPolicy
 	// Parallelism is the number of worker goroutines sharding the
 	// depth-0 intersection. Values <= 1 run the serial join. Output
 	// order and Stats totals are identical at every setting.
 	Parallelism int
+}
+
+// plan resolves the options into an execution plan: Policy wins when
+// set, otherwise Order (nil Order selects the heuristic).
+func (o Options) plan(q *core.Query) (*core.Plan, error) {
+	if o.Policy != nil {
+		return core.BuildPlanWith(q, o.Policy)
+	}
+	return core.BuildPlan(q, o.Order)
 }
 
 // Join evaluates the query with leapfrog triejoin and materializes the
@@ -55,7 +68,7 @@ func Join(q *core.Query, opts Options) (*relation.Relation, *core.Stats, error) 
 // buffered.
 func Count(q *core.Query, opts Options) (int, *core.Stats, error) {
 	stats := &core.Stats{}
-	p, err := core.BuildPlan(q, opts.Order)
+	p, err := opts.plan(q)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -83,7 +96,7 @@ func Count(q *core.Query, opts Options) (int, *core.Stats, error) {
 // opts.Parallelism > 1 chunks of the top-level intersection are
 // searched concurrently and replayed in deterministic chunk order.
 func Visit(q *core.Query, opts Options, stats *core.Stats, emit func(relation.Tuple) error) error {
-	p, err := core.BuildPlan(q, opts.Order)
+	p, err := opts.plan(q)
 	if err != nil {
 		return err
 	}

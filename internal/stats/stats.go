@@ -89,6 +89,22 @@ func AllDegrees(q *core.Query, maxY int) (constraints.Set, error) {
 	return dc, nil
 }
 
+// ForPlanner extracts the constraint set the cost-based planner
+// scores variable orders with: per-atom cardinality constraints plus
+// every degree constraint (X, Y, N_{Y|X}) with |Y| ≤ maxY measured
+// from the bound relations. This is the "FromDatabase" side of the
+// paper's Definition 1 — the empirical N_{Y|X} the bound LPs consume.
+// Redundant constraints are harmless (the LPs simply carry slack
+// rows), so no deduplication is attempted.
+func ForPlanner(q *core.Query, maxY int) (constraints.Set, error) {
+	dc := Cardinalities(q)
+	deg, err := AllDegrees(q, maxY)
+	if err != nil {
+		return nil, err
+	}
+	return append(dc, deg...), nil
+}
+
 // OutputEntropy returns the entropy function of the uniform
 // distribution over the tuples of out, whose variables must be exactly
 // vars (in column order). By the Section 4.2 argument,

@@ -19,6 +19,13 @@
 //	q, _ := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
 //	out, stats, _ := wcoj.Execute(q, wcoj.Options{Algorithm: wcoj.AlgoGenericJoin})
 //
+// The variable order the WCOJ algorithms run under is resolved by a
+// planner (Options.Planner): the degree-order heuristic, an explicit
+// Options.Order, or the cost-based optimizer, which enumerates
+// candidate orders and scores them with the paper's own bound LPs
+// over degree statistics measured from the data. Explain returns the
+// full planning record without running the join.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the full system inventory.
 package wcoj
@@ -33,6 +40,7 @@ import (
 	"wcoj/internal/core"
 	"wcoj/internal/hypergraph"
 	"wcoj/internal/lftj"
+	"wcoj/internal/planner"
 	"wcoj/internal/query"
 	"wcoj/internal/relation"
 )
@@ -75,6 +83,13 @@ type (
 	AGMResult = bounds.AGMResult
 	// LPBound reports a polymatroid or modular bound computation.
 	LPBound = bounds.LPBound
+
+	// PlanExplanation is the structured EXPLAIN output of Explain: the
+	// chosen variable order, its per-level bounds, the candidates the
+	// planner considered and the worst order it rejected.
+	PlanExplanation = planner.Explanation
+	// PlanCandidate is one scored variable order in a PlanExplanation.
+	PlanCandidate = planner.Candidate
 )
 
 // Constructors re-exported from the storage layer.
@@ -154,12 +169,64 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("wcoj: unknown algorithm %q", name)
 }
 
+// Planner selects how Execute, ExecuteFunc, Count and Explain resolve
+// the variable order of the WCOJ algorithms (AlgoGenericJoin and
+// AlgoLeapfrog).
+type Planner int
+
+// Available planner policies.
+const (
+	// PlannerAuto (default): Options.Order when set, otherwise the
+	// degree-order heuristic.
+	PlannerAuto Planner = iota
+	// PlannerHeuristic always uses the degree-order heuristic;
+	// Options.Order must be nil.
+	PlannerHeuristic
+	// PlannerCostBased runs the cost-based optimizer: candidate orders
+	// are enumerated (exhaustively up to 8 variables, beam search
+	// beyond) and scored with per-prefix output-size bounds computed
+	// from measured degree statistics; Options.Order must be nil.
+	PlannerCostBased
+	// PlannerExplicit requires Options.Order and uses it verbatim.
+	PlannerExplicit
+)
+
+func (p Planner) String() string {
+	switch p {
+	case PlannerAuto:
+		return "auto"
+	case PlannerHeuristic:
+		return "heuristic"
+	case PlannerCostBased:
+		return "cost-based"
+	case PlannerExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("Planner(%d)", int(p))
+}
+
+// ParsePlanner resolves a planner policy name as printed by String.
+func ParsePlanner(name string) (Planner, error) {
+	for _, p := range []Planner{PlannerAuto, PlannerHeuristic, PlannerCostBased, PlannerExplicit} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("wcoj: unknown planner %q", name)
+}
+
 // Options configure Execute, ExecuteFunc and Count.
 type Options struct {
 	// Algorithm selects the join algorithm (default AlgoGenericJoin).
 	Algorithm Algorithm
 	// Order optionally fixes the variable order (WCOJ algorithms).
 	Order []string
+	// Planner selects how the variable order is resolved for
+	// AlgoGenericJoin and AlgoLeapfrog (default PlannerAuto: Order when
+	// set, heuristic otherwise). PlannerCostBased scores candidate
+	// orders with the bounds subsystem; see Explain for the decision
+	// record.
+	Planner Planner
 	// Constraints supplies degree constraints. Required by
 	// AlgoBacktracking (they must be acyclic or repairable); ignored
 	// by the others.
@@ -184,13 +251,83 @@ func (o Options) workers() int {
 	return o.Parallelism
 }
 
+// plannerOptions validates the Planner/Order combination and maps it
+// to the internal planner's options; it is the single source of truth
+// Execute/ExecuteFunc/Count (via orderPolicy) and Explain share.
+func (o Options) plannerOptions() (planner.Options, error) {
+	switch o.Planner {
+	case PlannerAuto:
+		if o.Order != nil {
+			return planner.Options{Policy: planner.Explicit, Explicit: o.Order}, nil
+		}
+		return planner.Options{Policy: planner.Heuristic}, nil
+	case PlannerHeuristic:
+		if o.Order != nil {
+			return planner.Options{}, fmt.Errorf("wcoj: PlannerHeuristic conflicts with an explicit Options.Order; use PlannerAuto or PlannerExplicit")
+		}
+		return planner.Options{Policy: planner.Heuristic}, nil
+	case PlannerCostBased:
+		if o.Order != nil {
+			return planner.Options{}, fmt.Errorf("wcoj: PlannerCostBased conflicts with an explicit Options.Order; drop one of the two")
+		}
+		return planner.Options{Policy: planner.CostBased}, nil
+	case PlannerExplicit:
+		if o.Order == nil {
+			return planner.Options{}, fmt.Errorf("wcoj: PlannerExplicit requires Options.Order")
+		}
+		return planner.Options{Policy: planner.Explicit, Explicit: o.Order}, nil
+	}
+	return planner.Options{}, fmt.Errorf("wcoj: unknown planner %v", o.Planner)
+}
+
+// orderPolicy resolves Options.Planner and Options.Order into the
+// core.OrderPolicy the WCOJ engines plan with. Heuristic and explicit
+// plans skip the planner package entirely (no statistics to measure).
+func (o Options) orderPolicy() (core.OrderPolicy, error) {
+	popt, err := o.plannerOptions()
+	if err != nil {
+		return nil, err
+	}
+	switch popt.Policy {
+	case planner.Explicit:
+		return core.ExplicitOrder(popt.Explicit), nil
+	case planner.Heuristic:
+		return core.HeuristicOrder(), nil
+	default:
+		return planner.New(popt), nil
+	}
+}
+
+// validatePlanner rejects planner settings the selected algorithm
+// cannot honor: only the trie-based WCOJ engines consult the planner.
+func (o Options) validatePlanner() error {
+	if o.Algorithm == AlgoGenericJoin || o.Algorithm == AlgoLeapfrog {
+		return nil
+	}
+	if o.Planner == PlannerCostBased {
+		return fmt.Errorf("wcoj: the cost-based planner applies to AlgoGenericJoin and AlgoLeapfrog only (got %v)", o.Algorithm)
+	}
+	return nil
+}
+
 // Execute evaluates the query with the selected algorithm.
 func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
+	if err := opts.validatePlanner(); err != nil {
+		return nil, nil, err
+	}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
-		return core.GenericJoin(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()})
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.GenericJoin(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()})
 	case AlgoLeapfrog:
-		return lftj.Join(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()})
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return nil, nil, err
+		}
+		return lftj.Join(q, lftj.Options{Policy: pol, Parallelism: opts.workers()})
 	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
@@ -217,11 +354,18 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 // serially. The binary-join baselines have no streaming mode: their
 // full output is materialized first and then replayed to emit.
 func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error) {
+	if err := opts.validatePlanner(); err != nil {
+		return nil, err
+	}
 	stats := &Stats{}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return nil, err
+		}
 		n := 0
-		err := core.GenericJoinVisit(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()}, stats,
+		err = core.GenericJoinVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, stats,
 			func(t Tuple) error { n++; return emit(t) })
 		if err != nil {
 			return nil, err
@@ -229,8 +373,12 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 		stats.Output = n
 		return stats, nil
 	case AlgoLeapfrog:
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return nil, err
+		}
 		n := 0
-		err := lftj.Visit(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()}, stats,
+		err = lftj.Visit(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, stats,
 			func(t Tuple) error { n++; return emit(t) })
 		if err != nil {
 			return nil, err
@@ -274,11 +422,22 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 // streaming mode — for AlgoBinaryJoin and AlgoBinaryJoinProject Count
 // materializes the full output via Execute and returns its length.
 func Count(q *Query, opts Options) (int, *Stats, error) {
+	if err := opts.validatePlanner(); err != nil {
+		return 0, nil, err
+	}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
-		return core.GenericJoinCount(q, core.GenericJoinOptions{Order: opts.Order, Parallelism: opts.workers()})
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return 0, nil, err
+		}
+		return core.GenericJoinCount(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()})
 	case AlgoLeapfrog:
-		return lftj.Count(q, lftj.Options{Order: opts.Order, Parallelism: opts.workers()})
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			return 0, nil, err
+		}
+		return lftj.Count(q, lftj.Options{Policy: pol, Parallelism: opts.workers()})
 	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
@@ -315,6 +474,22 @@ func backtrackConstraints(q *Query, dc ConstraintSet) (ConstraintSet, error) {
 		dc = repaired
 	}
 	return dc, nil
+}
+
+// Explain resolves the variable order Execute would run q under and
+// returns the full planning record: the chosen order, the per-level
+// output-size bound of every prefix, and — for PlannerCostBased — the
+// candidate orders considered and the worst order rejected. The plan
+// is algorithm-independent: it describes the variable order shared by
+// AlgoGenericJoin and AlgoLeapfrog. Explain performs no join work
+// beyond measuring degree statistics and solving the (poly-size)
+// modular bound LPs.
+func Explain(q *Query, opts Options) (*PlanExplanation, error) {
+	popt, err := opts.plannerOptions()
+	if err != nil {
+		return nil, err
+	}
+	return planner.Choose(q, popt)
 }
 
 // AGMBound computes the AGM output-size bound of the query from its
