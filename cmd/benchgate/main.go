@@ -1,0 +1,246 @@
+// Command benchgate is the benchmark-regression gate CI runs: it
+// parses `go test -bench` output (raw text or `go test -json`
+// streams), compares each benchmark's ns/op against a checked-in
+// baseline with a benchstat-style threshold, and exits non-zero when
+// anything regressed by more than the allowed ratio.
+//
+// Usage:
+//
+//	go test -json -run '^$' -bench . -benchtime 3x . | tee bench.json
+//	benchgate -baseline BENCH_baseline.json -out BENCH_current.json bench.json
+//
+// Cross-machine noise is tamed two ways: results below -min-ns are
+// ignored (single-digit-microsecond rows are all jitter at -benchtime
+// 3x), and when the baseline names a calibration benchmark present in
+// both runs, every ratio is divided by the calibration ratio — a
+// uniformly slower CI machine shifts the calibration row by the same
+// factor as the gated rows and cancels out. Benchmarks present on one
+// side only are reported but never fail the gate (worker-count
+// suffixes differ across machines).
+//
+//	benchgate -update -baseline BENCH_baseline.json bench.json
+//
+// rewrites the baseline from the run — use it locally after an
+// intentional performance change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in benchmark reference.
+type Baseline struct {
+	// Note is free-form provenance (machine, date, benchtime).
+	Note string `json:"note,omitempty"`
+	// Calibration names a benchmark used to normalize machine speed;
+	// it is never gated itself.
+	Calibration string `json:"calibration,omitempty"`
+	// Benchmarks maps normalized benchmark names to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result row, e.g.
+// "BenchmarkPlanner/plan-8   	     100	  12345 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// testEvent is the subset of `go test -json` events we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+		threshold    = flag.Float64("threshold", 1.30, "fail when current/baseline (calibrated) exceeds this ratio")
+		minNs        = flag.Float64("min-ns", 200000, "ignore benchmarks whose baseline ns/op is below this floor")
+		outPath      = flag.String("out", "", "write the normalized current results as JSON to this file")
+		update       = flag.Bool("update", false, "rewrite the baseline from the current results instead of gating")
+		note         = flag.String("note", "", "note stored in the baseline on -update")
+	)
+	flag.Parse()
+	if err := run(*baselinePath, *threshold, *minNs, *outPath, *update, *note, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, threshold, minNs float64, outPath string, update bool, note string, files []string, w io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no benchmark output files given")
+	}
+	current, err := parseFiles(files)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results found in %v", files)
+	}
+	if outPath != "" {
+		cur := Baseline{Note: "normalized current run", Benchmarks: current}
+		if err := writeJSON(outPath, cur); err != nil {
+			return err
+		}
+	}
+	if update {
+		base := Baseline{Note: note, Calibration: "BenchmarkIntersect/merge-balanced", Benchmarks: current}
+		if base.Note == "" {
+			base.Note = "regenerate with: go test -json -run '^$' -bench <gate benches> -benchtime 3x . | go run ./cmd/benchgate -update -baseline BENCH_baseline.json /dev/stdin"
+		}
+		if err := writeJSON(baselinePath, base); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchgate: baseline %s updated with %d benchmarks\n", baselinePath, len(current))
+		return nil
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w (run with -update to create it)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	regressions := gate(w, base, current, threshold, minNs)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %v", len(regressions), (threshold-1)*100, regressions)
+	}
+	fmt.Fprintln(w, "benchgate: no regressions")
+	return nil
+}
+
+// gate prints the comparison table and returns the names that failed.
+func gate(w io.Writer, base Baseline, current map[string]float64, threshold, minNs float64) []string {
+	factor := 1.0
+	if base.Calibration != "" {
+		b, okB := base.Benchmarks[base.Calibration]
+		c, okC := current[base.Calibration]
+		if okB && okC && b > 0 && c > 0 {
+			factor = c / b
+			fmt.Fprintf(w, "calibration %s: %.0f -> %.0f ns/op (machine factor %.2fx)\n", base.Calibration, b, c, factor)
+		}
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	fmt.Fprintf(w, "%-64s %14s %14s %8s %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "verdict")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := current[name]
+		switch {
+		case name == base.Calibration:
+			continue
+		case !ok:
+			fmt.Fprintf(w, "%-64s %14.0f %14s %8s %s\n", name, b, "-", "-", "missing (not gated)")
+		case b < minNs:
+			fmt.Fprintf(w, "%-64s %14.0f %14.0f %8s %s\n", name, b, c, "-", "below -min-ns (not gated)")
+		default:
+			ratio := (c / b) / factor
+			verdict := "ok"
+			if ratio > threshold {
+				verdict = "REGRESSION"
+				regressions = append(regressions, name)
+			}
+			fmt.Fprintf(w, "%-64s %14.0f %14.0f %7.2fx %s\n", name, b, c, ratio, verdict)
+		}
+	}
+	extra := 0
+	for name := range current {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) not in the baseline (new rows are not gated; refresh with -update)\n", extra)
+	}
+	return regressions
+}
+
+// parseFiles extracts normalized benchmark results from the inputs,
+// averaging duplicate rows. `go test -json` splits a benchmark row
+// across several output events (the name flushes before the timing),
+// so each file's output stream is reassembled into plain text before
+// the per-line match runs.
+func parseFiles(files []string) (map[string]float64, error) {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		var text strings.Builder
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			// `go test -json` wraps output fragments in events; anything
+			// else is already plain benchmark output.
+			if len(line) > 0 && line[0] == '{' {
+				var ev testEvent
+				if err := json.Unmarshal([]byte(line), &ev); err == nil {
+					if ev.Action == "output" {
+						text.WriteString(ev.Output)
+					}
+					continue
+				}
+			}
+			text.WriteString(line)
+			text.WriteByte('\n')
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		for _, line := range strings.Split(text.String(), "\n") {
+			name, ns, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			sums[name] += ns
+			counts[name]++
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}
+
+// parseBenchLine extracts (normalized name, ns/op) from one output
+// line. The trailing -N GOMAXPROCS suffix is stripped so results
+// compare across machines with different core counts.
+func parseBenchLine(line string) (string, float64, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return "", 0, false
+	}
+	ns, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return m[1], ns, true
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkPlanner/plan-8 \t     100\t  12345 ns/op", "BenchmarkPlanner/plan", 12345, true},
+		{"BenchmarkTriangle/agm/n=1000/generic-16    3  1234.5 ns/op  7 B/op", "BenchmarkTriangle/agm/n=1000/generic", 1234.5, true},
+		{"BenchmarkCountPushdown/star/countfast/generic-join-4   1   99 ns/op", "BenchmarkCountPushdown/star/countfast/generic-join", 99, true},
+		{"BenchmarkBare 10 500 ns/op", "BenchmarkBare", 500, true},
+		{"PASS", "", 0, false},
+		{"ok  \twcoj\t1.2s", "", 0, false},
+		{"--- BENCH: BenchmarkFoo", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// jsonBenchOutput renders bench rows as a `go test -json` stream,
+// splitting each row across two output events the way the real stream
+// flushes a benchmark's name before its timing.
+func jsonBenchOutput(t *testing.T, rows ...string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"wcoj"}` + "\n")
+	emit := func(s string) {
+		enc, err := json.Marshal(map[string]string{"Action": "output", "Output": s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+	for _, r := range rows {
+		name, rest, _ := strings.Cut(r, " ")
+		emit(name + " ")
+		emit(rest + "\n")
+	}
+	return b.String()
+}
+
+func TestGateUpdateAndPass(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	runFile := writeFile(t, dir, "run.json", jsonBenchOutput(t,
+		"BenchmarkIntersect/merge-balanced-8  10  1000000 ns/op",
+		"BenchmarkPlanner/plan-8  10  5000000 ns/op",
+		"BenchmarkCountPushdown/triangle/countfast/generic-join-8  3  9000000 ns/op",
+	))
+	var out bytes.Buffer
+	if err := run(baseline, 1.30, 200000, "", true, "test baseline", []string{runFile}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	// Same numbers gate clean.
+	out.Reset()
+	if err := run(baseline, 1.30, 200000, filepath.Join(dir, "cur.json"), false, "", []string{runFile}, &out); err != nil {
+		t.Fatalf("gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("missing verdict: %s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cur.json")); err != nil {
+		t.Fatalf("-out not written: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	baseRun := writeFile(t, dir, "base_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-8  10  1000000 ns/op",
+		"BenchmarkPlanner/plan-8  10  5000000 ns/op",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := run(baseline, 1.30, 200000, "", true, "", []string{baseRun}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 2x slower on the gated row, calibration unchanged: must fail.
+	badRun := writeFile(t, dir, "bad_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-8  10  1000000 ns/op",
+		"BenchmarkPlanner/plan-8  10  10000000 ns/op",
+	}, "\n"))
+	out.Reset()
+	err := run(baseline, 1.30, 200000, "", false, "", []string{badRun}, &out)
+	if err == nil {
+		t.Fatalf("2x regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION verdict: %s", out.String())
+	}
+}
+
+func TestGateCalibrationCancelsMachineSpeed(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	baseRun := writeFile(t, dir, "base_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-8  10  1000000 ns/op",
+		"BenchmarkPlanner/plan-8  10  5000000 ns/op",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := run(baseline, 1.30, 200000, "", true, "", []string{baseRun}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// A uniformly 2x slower machine: calibration moves too, gate passes.
+	slowRun := writeFile(t, dir, "slow_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-4  10  2000000 ns/op",
+		"BenchmarkPlanner/plan-4  10  10000000 ns/op",
+	}, "\n"))
+	out.Reset()
+	if err := run(baseline, 1.30, 200000, "", false, "", []string{slowRun}, &out); err != nil {
+		t.Fatalf("uniformly slow machine failed the gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateIgnoresMissingAndTiny(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	baseRun := writeFile(t, dir, "base_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-8  10  1000000 ns/op",
+		"BenchmarkParallelEngine/triangle/p=16-16  3  5000000 ns/op", // machine-specific row
+		"BenchmarkTiny-8  100000  50 ns/op",                          // below -min-ns
+		"BenchmarkPlanner/plan-8  10  5000000 ns/op",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := run(baseline, 1.30, 200000, "", true, "", []string{baseRun}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The CI machine lacks p=16, and the tiny row got 100x slower —
+	// neither may fail the gate.
+	ciRun := writeFile(t, dir, "ci_run.txt", strings.Join([]string{
+		"BenchmarkIntersect/merge-balanced-4  10  1000000 ns/op",
+		"BenchmarkTiny-4  100  5000 ns/op",
+		"BenchmarkPlanner/plan-4  10  5000000 ns/op",
+	}, "\n"))
+	out.Reset()
+	if err := run(baseline, 1.30, 200000, "", false, "", []string{ciRun}, &out); err != nil {
+		t.Fatalf("missing/tiny rows failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "missing (not gated)") || !strings.Contains(out.String(), "below -min-ns") {
+		t.Fatalf("expected missing/tiny annotations:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("nope.json", 1.3, 0, "", false, "", nil, &out); err == nil {
+		t.Fatal("no input files must fail")
+	}
+	dir := t.TempDir()
+	empty := writeFile(t, dir, "empty.txt", "PASS\n")
+	if err := run("nope.json", 1.3, 0, "", false, "", []string{empty}, &out); err == nil {
+		t.Fatal("input without benchmarks must fail")
+	}
+	some := writeFile(t, dir, "some.txt", "BenchmarkX 1 1000000 ns/op\n")
+	if err := run(filepath.Join(dir, "missing-baseline.json"), 1.3, 0, "", false, "", []string{some}, &out); err == nil {
+		t.Fatal("missing baseline must fail")
+	}
+}

@@ -1,0 +1,177 @@
+// Command covergate enforces per-package coverage floors on a Go
+// coverage profile. `go tool cover -func` reports per-function
+// percentages only, so CI would otherwise have to approximate a
+// package number; covergate aggregates the profile's statement blocks
+// (weighted by statement count, the same math `cover -func`'s total
+// uses) per package directory and fails when a required package is
+// below its floor.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out -coverpkg=./internal/... ./...
+//	covergate -profile cover.out \
+//	    -require wcoj/internal/core=70 \
+//	    -require wcoj/internal/trie=70 \
+//	    -require wcoj/internal/agg=70
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// requirement is one -require pkg=minPct flag.
+type requirement struct {
+	pkg string
+	min float64
+}
+
+type requireFlags []requirement
+
+func (r *requireFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, req := range *r {
+		parts[i] = fmt.Sprintf("%s=%g", req.pkg, req.min)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *requireFlags) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=minPct, got %q", s)
+	}
+	min, err := strconv.ParseFloat(pct, 64)
+	if err != nil {
+		return fmt.Errorf("bad percentage in %q: %w", s, err)
+	}
+	*r = append(*r, requirement{pkg: pkg, min: min})
+	return nil
+}
+
+func main() {
+	var (
+		profile  = flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+		requires requireFlags
+	)
+	flag.Var(&requires, "require", "pkg=minPct floor (repeatable)")
+	flag.Parse()
+	if err := run(*profile, requires, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, requires []requirement, w io.Writer) error {
+	f, err := os.Open(profile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	covered, total, err := aggregate(f)
+	if err != nil {
+		return err
+	}
+	if len(total) == 0 {
+		return fmt.Errorf("profile %s holds no coverage blocks", profile)
+	}
+	pkgs := make([]string, 0, len(total))
+	for pkg := range total {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	fmt.Fprintf(w, "%-40s %10s %10s %8s\n", "package", "covered", "stmts", "pct")
+	for _, pkg := range pkgs {
+		fmt.Fprintf(w, "%-40s %10d %10d %7.1f%%\n", pkg, covered[pkg], total[pkg], pct(covered[pkg], total[pkg]))
+	}
+	var failures []string
+	for _, req := range requires {
+		tot, ok := total[req.pkg]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in profile", req.pkg))
+			continue
+		}
+		got := pct(covered[req.pkg], tot)
+		if got < req.min {
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < %.1f%% floor", req.pkg, got, req.min))
+		} else {
+			fmt.Fprintf(w, "floor ok: %s %.1f%% >= %.1f%%\n", req.pkg, got, req.min)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("coverage floors violated: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func pct(covered, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+// aggregate sums statement counts per package directory. Profile lines
+// look like
+//
+//	wcoj/internal/core/plan.go:68.44,71.2 2 1
+//
+// (file:block numStmts hitCount); "mode:" headers are skipped. A block
+// seen multiple times (merged profiles) counts as covered if any
+// occurrence has a non-zero hit count.
+func aggregate(r io.Reader) (covered, total map[string]int, err error) {
+	type block struct {
+		file, span string
+	}
+	stmts := make(map[block]int)
+	hit := make(map[block]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		file, span, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("malformed block position %q", fields[0])
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		b := block{file, span}
+		stmts[b] = n
+		if count > 0 {
+			hit[b] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	covered = make(map[string]int)
+	total = make(map[string]int)
+	for b, n := range stmts {
+		pkg := path.Dir(b.file)
+		total[pkg] += n
+		if hit[b] {
+			covered[pkg] += n
+		}
+	}
+	return covered, total, nil
+}

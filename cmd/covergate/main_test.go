@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: atomic
+wcoj/internal/core/plan.go:10.2,12.3 2 5
+wcoj/internal/core/plan.go:14.2,16.3 2 0
+wcoj/internal/core/agg.go:20.2,25.3 6 1
+wcoj/internal/trie/trie.go:5.2,9.3 4 0
+wcoj/internal/trie/trie.go:11.2,12.3 1 7
+`
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAggregate(t *testing.T) {
+	covered, total, err := aggregate(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core: 2+2+6 = 10 stmts, 2+6 = 8 covered; trie: 5 stmts, 1 covered.
+	if total["wcoj/internal/core"] != 10 || covered["wcoj/internal/core"] != 8 {
+		t.Fatalf("core = %d/%d, want 8/10", covered["wcoj/internal/core"], total["wcoj/internal/core"])
+	}
+	if total["wcoj/internal/trie"] != 5 || covered["wcoj/internal/trie"] != 1 {
+		t.Fatalf("trie = %d/%d, want 1/5", covered["wcoj/internal/trie"], total["wcoj/internal/trie"])
+	}
+}
+
+func TestAggregateMergedBlocks(t *testing.T) {
+	// The same block from two test binaries: covered if either hit it.
+	profile := `mode: set
+wcoj/internal/agg/agg.go:1.2,3.3 3 0
+wcoj/internal/agg/agg.go:1.2,3.3 3 2
+`
+	covered, total, err := aggregate(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total["wcoj/internal/agg"] != 3 || covered["wcoj/internal/agg"] != 3 {
+		t.Fatalf("agg = %d/%d, want 3/3", covered["wcoj/internal/agg"], total["wcoj/internal/agg"])
+	}
+}
+
+func TestFloors(t *testing.T) {
+	p := writeProfile(t, sampleProfile)
+	var out bytes.Buffer
+	// core is at 80%: floor 70 passes.
+	if err := run(p, []requirement{{"wcoj/internal/core", 70}}, &out); err != nil {
+		t.Fatalf("70%% floor on 80%% coverage failed: %v", err)
+	}
+	// trie is at 20%: floor 70 fails.
+	out.Reset()
+	err := run(p, []requirement{{"wcoj/internal/trie", 70}}, &out)
+	if err == nil || !strings.Contains(err.Error(), "wcoj/internal/trie") {
+		t.Fatalf("20%% coverage passed a 70%% floor: %v", err)
+	}
+	// A package absent from the profile fails loudly.
+	if err := run(p, []requirement{{"wcoj/internal/nonesuch", 10}}, &out); err == nil {
+		t.Fatal("missing package passed its floor")
+	}
+}
+
+func TestRequireFlagParsing(t *testing.T) {
+	var r requireFlags
+	if err := r.Set("wcoj/internal/core=70"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("bad"); err == nil {
+		t.Fatal("flag without = accepted")
+	}
+	if err := r.Set("pkg=notanumber"); err == nil {
+		t.Fatal("non-numeric floor accepted")
+	}
+	if got := r.String(); got != "wcoj/internal/core=70" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMalformedProfiles(t *testing.T) {
+	var out bytes.Buffer
+	for _, bad := range []string{
+		"mode: set\nnot a profile line\n",
+		"mode: set\nfile.go 3 1\n",
+		"mode: set\nfile.go:1.2,3.4 x 1\n",
+		"mode: set\nfile.go:1.2,3.4 3 x\n",
+	} {
+		p := writeProfile(t, bad)
+		if err := run(p, nil, &out); err == nil {
+			t.Errorf("malformed profile %q accepted", bad)
+		}
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.out"), nil, &out); err == nil {
+		t.Error("missing profile accepted")
+	}
+	if err := run(writeProfile(t, "mode: set\n"), nil, &out); err == nil {
+		t.Error("empty profile accepted")
+	}
+}

@@ -7,14 +7,22 @@
 //	     -rel R=r.tsv -rel S=s.tsv -rel T=t.tsv \
 //	     [-algo generic-join|leapfrog-triejoin|backtracking|binary-join|binary-join-project] \
 //	     [-order A,B,C] [-planner auto|heuristic|cost-based|explicit] \
-//	     [-explain] [-count] [-out out.tsv] [-parallel N]
+//	     [-explain] [-count] [-exists] [-project A,C] \
+//	     [-out out.tsv] [-parallel N]
 //
 // Each TSV file has an attribute header line followed by integer
 // tuples (see wcojgen to generate workloads). -planner selects how
 // the WCOJ variable order is resolved (cost-based runs the bounds
 // driven optimizer); -explain prints the planning record — chosen
-// order, per-level bounds, candidates considered — and exits without
-// running the join.
+// order, per-level bounds, candidates considered, and (for -count /
+// -project) the bound/free-output/free-counted level classification —
+// and exits without running the join.
+//
+// Aggregates run through the aggregate-aware engines: -count uses
+// CountFast (free-counted suffix levels are multiplied, not
+// enumerated), -exists short-circuits on the first witness, and
+// -project enumerates only the distinct projected tuples, existence
+// checking the projected-away levels.
 package main
 
 import (
@@ -36,40 +44,58 @@ func (r *relFlags) Set(s string) error {
 	return nil
 }
 
+// config carries the parsed command line.
+type config struct {
+	query    string
+	algo     string
+	order    string
+	planner  string
+	project  string
+	explain  bool
+	count    bool
+	exists   bool
+	outPath  string
+	parallel int
+	rels     relFlags
+}
+
 func main() {
-	var (
-		queryStr   = flag.String("query", "", "conjunctive query, e.g. 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)'")
-		algoStr    = flag.String("algo", "generic-join", "join algorithm")
-		orderStr   = flag.String("order", "", "comma-separated variable order (optional)")
-		plannerStr = flag.String("planner", "auto", "variable-order planner: auto|heuristic|cost-based|explicit")
-		explain    = flag.Bool("explain", false, "print the plan explanation and exit without running the join")
-		countOly   = flag.Bool("count", false, "print only the output cardinality")
-		outPath    = flag.String("out", "", "write the result as TSV to this file")
-		parallel   = flag.Int("parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
-		rels       relFlags
-	)
-	flag.Var(&rels, "rel", "NAME=path.tsv (repeatable)")
+	var c config
+	flag.StringVar(&c.query, "query", "", "conjunctive query, e.g. 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)'")
+	flag.StringVar(&c.algo, "algo", "generic-join", "join algorithm")
+	flag.StringVar(&c.order, "order", "", "comma-separated variable order (optional)")
+	flag.StringVar(&c.planner, "planner", "auto", "variable-order planner: auto|heuristic|cost-based|explicit")
+	flag.StringVar(&c.project, "project", "", "comma-separated variables to project onto (distinct tuples)")
+	flag.BoolVar(&c.explain, "explain", false, "print the plan explanation and exit without running the join")
+	flag.BoolVar(&c.count, "count", false, "print only the output cardinality (aggregate-aware CountFast)")
+	flag.BoolVar(&c.exists, "exists", false, "print only whether the output is non-empty (first-witness short-circuit)")
+	flag.StringVar(&c.outPath, "out", "", "write the result as TSV to this file")
+	flag.IntVar(&c.parallel, "parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
+	flag.Var(&c.rels, "rel", "NAME=path.tsv (repeatable)")
 	flag.Parse()
-	if err := run(*queryStr, *algoStr, *orderStr, *plannerStr, *explain, *countOly, *outPath, *parallel, rels); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "wcoj:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool, outPath string, parallel int, rels relFlags) error {
-	if queryStr == "" {
+func run(c config) error {
+	if c.query == "" {
 		return fmt.Errorf("missing -query")
 	}
-	algo, err := wcoj.ParseAlgorithm(algoStr)
+	if c.count && c.exists {
+		return fmt.Errorf("-count and -exists are mutually exclusive")
+	}
+	algo, err := wcoj.ParseAlgorithm(c.algo)
 	if err != nil {
 		return err
 	}
-	planner, err := wcoj.ParsePlanner(plannerStr)
+	planner, err := wcoj.ParsePlanner(c.planner)
 	if err != nil {
 		return err
 	}
 	db := wcoj.NewDatabase()
-	for _, spec := range rels {
+	for _, spec := range c.rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
@@ -85,7 +111,7 @@ func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool
 		}
 		db.Put(r)
 	}
-	parsed, err := wcoj.Parse(queryStr)
+	parsed, err := wcoj.Parse(c.query)
 	if err != nil {
 		return err
 	}
@@ -93,14 +119,22 @@ func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool
 	if err != nil {
 		return err
 	}
-	var order []string
-	if orderStr != "" {
-		order = strings.Split(orderStr, ",")
+	var order, project []string
+	if c.order != "" {
+		order = strings.Split(c.order, ",")
 	}
-	opts := wcoj.Options{Algorithm: algo, Order: order, Planner: planner, Parallelism: parallel}
+	if c.project != "" {
+		project = strings.Split(c.project, ",")
+	}
+	opts := wcoj.Options{Algorithm: algo, Order: order, Planner: planner, Parallelism: c.parallel, Project: project}
 
-	if explain {
-		e, err := wcoj.Explain(q, opts)
+	if c.explain {
+		var e *wcoj.PlanExplanation
+		if c.count || c.exists {
+			e, err = wcoj.ExplainCount(q, opts)
+		} else {
+			e, err = wcoj.Explain(q, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -109,12 +143,21 @@ func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool
 	}
 
 	start := time.Now()
-	if countOnly {
-		n, stats, err := wcoj.Count(q, opts)
+	if c.exists {
+		found, stats, err := wcoj.Exists(q, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("count=%d algo=%v elapsed=%v recursions=%d\n", n, algo, time.Since(start), stats.Recursions)
+		fmt.Printf("exists=%v algo=%v elapsed=%v recursions=%d\n", found, algo, time.Since(start), stats.Recursions)
+		return nil
+	}
+	if c.count {
+		n, stats, err := wcoj.CountFast(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("count=%d algo=%v elapsed=%v recursions=%d multiplies=%d memohits=%d\n",
+			n, algo, time.Since(start), stats.Recursions, stats.AggMultiplies, stats.AggMemoHits)
 		return nil
 	}
 	out, stats, err := wcoj.Execute(q, opts)
@@ -123,8 +166,8 @@ func run(queryStr, algoStr, orderStr, plannerStr string, explain, countOnly bool
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("rows=%d algo=%v elapsed=%v intermediate=%d\n", out.Len(), algo, elapsed, stats.Intermediate)
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if c.outPath != "" {
+		f, err := os.Create(c.outPath)
 		if err != nil {
 			return err
 		}

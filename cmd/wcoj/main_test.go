@@ -29,16 +29,17 @@ func writeTri(t *testing.T) (string, relFlags) {
 	return dir, flags
 }
 
+const triQuery = "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+
 func TestRunCountAndMaterialize(t *testing.T) {
 	dir, flags := writeTri(t)
-	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
 	for _, algo := range []string{"generic-join", "leapfrog-triejoin", "backtracking", "binary-join"} {
-		if err := run(q, algo, "", "auto", false, true, "", 2, flags); err != nil {
+		if err := run(config{query: triQuery, algo: algo, planner: "auto", count: true, parallel: 2, rels: flags}); err != nil {
 			t.Fatalf("count/%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "out.tsv")
-	if err := run(q, "generic-join", "A,B,C", "auto", false, false, out, 0, flags); err != nil {
+	if err := run(config{query: triQuery, algo: "generic-join", order: "A,B,C", planner: "auto", outPath: out, rels: flags}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,59 +55,106 @@ func TestRunCountAndMaterialize(t *testing.T) {
 		t.Fatalf("saved output = %d rows, want 1000", r.Len())
 	}
 	// Print path (no -out) also works.
-	if err := run(q, "generic-join", "", "cost-based", false, false, "", 1, flags); err != nil {
+	if err := run(config{query: triQuery, algo: "generic-join", planner: "cost-based", parallel: 1, rels: flags}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	dir, flags := writeTri(t)
+	// -exists on every algorithm.
+	for _, algo := range []string{"generic-join", "leapfrog-triejoin", "backtracking", "binary-join"} {
+		if err := run(config{query: triQuery, algo: algo, planner: "auto", exists: true, rels: flags}); err != nil {
+			t.Fatalf("exists/%s: %v", algo, err)
+		}
+	}
+	// -project materializes the distinct projected tuples.
+	out := filepath.Join(dir, "proj.tsv")
+	if err := run(config{query: triQuery, algo: "leapfrog-triejoin", planner: "auto", project: "A,C", outPath: out, rels: flags}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := relation.ReadTSV(f, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 100 { // 10x10 distinct (A,C) pairs
+		t.Fatalf("projected output = %d rows, want 100", r.Len())
+	}
+	// -count with -project counts distinct projected tuples.
+	if err := run(config{query: triQuery, algo: "generic-join", planner: "auto", count: true, project: "A", rels: flags}); err != nil {
+		t.Fatal(err)
+	}
+	// -count and -exists conflict.
+	if err := run(config{query: triQuery, algo: "generic-join", planner: "auto", count: true, exists: true, rels: flags}); err == nil {
+		t.Fatal("-count with -exists must fail")
+	}
+	// Bad projection fails.
+	if err := run(config{query: triQuery, algo: "generic-join", planner: "auto", project: "X", rels: flags}); err == nil {
+		t.Fatal("unknown projected variable must fail")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	_, flags := writeTri(t)
-	if err := run("", "generic-join", "", "auto", false, true, "", 0, flags); err == nil {
+	if err := run(config{algo: "generic-join", planner: "auto", count: true, rels: flags}); err == nil {
 		t.Fatal("missing query must fail")
 	}
-	if err := run("Q(A) :- R(A)", "nope", "", "auto", false, true, "", 0, flags); err == nil {
+	if err := run(config{query: "Q(A) :- R(A)", algo: "nope", planner: "auto", count: true, rels: flags}); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", "auto", false, true, "", 0, relFlags{"bad"}); err == nil {
+	if err := run(config{query: "Q(A) :- R(A)", algo: "generic-join", planner: "auto", count: true, rels: relFlags{"bad"}}); err == nil {
 		t.Fatal("bad -rel must fail")
 	}
-	if err := run("Q(A) :- R(A)", "generic-join", "", "auto", false, true, "", 0, relFlags{"R=/nonexistent"}); err == nil {
+	if err := run(config{query: "Q(A) :- R(A)", algo: "generic-join", planner: "auto", count: true, rels: relFlags{"R=/nonexistent"}}); err == nil {
 		t.Fatal("missing file must fail")
 	}
-	if err := run("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "generic-join", "", "auto", false, true, "", 0, nil); err == nil {
+	if err := run(config{query: triQuery, algo: "generic-join", planner: "auto", count: true}); err == nil {
 		t.Fatal("unbound relations must fail")
 	}
 }
 
 func TestRunExplainAndPlanner(t *testing.T) {
 	_, flags := writeTri(t)
-	q := "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+	q := triQuery
 	// -explain prints the plan and skips execution for every policy.
 	for _, planner := range []string{"auto", "heuristic", "cost-based"} {
-		if err := run(q, "generic-join", "", planner, true, false, "", 1, flags); err != nil {
+		if err := run(config{query: q, algo: "generic-join", planner: planner, explain: true, parallel: 1, rels: flags}); err != nil {
 			t.Fatalf("explain/%s: %v", planner, err)
 		}
 	}
-	if err := run(q, "leapfrog-triejoin", "B,A,C", "explicit", true, false, "", 1, flags); err != nil {
+	if err := run(config{query: q, algo: "leapfrog-triejoin", order: "B,A,C", planner: "explicit", explain: true, parallel: 1, rels: flags}); err != nil {
+		t.Fatal(err)
+	}
+	// -explain -count prints the aggregate classification; with
+	// -project it explains the projected enumeration.
+	if err := run(config{query: q, algo: "generic-join", planner: "cost-based", explain: true, count: true, rels: flags}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{query: q, algo: "generic-join", planner: "auto", explain: true, project: "A,B", rels: flags}); err != nil {
 		t.Fatal(err)
 	}
 	// The cost-based planner also runs end-to-end.
-	if err := run(q, "leapfrog-triejoin", "", "cost-based", false, true, "", 2, flags); err != nil {
+	if err := run(config{query: q, algo: "leapfrog-triejoin", planner: "cost-based", count: true, parallel: 2, rels: flags}); err != nil {
 		t.Fatal(err)
 	}
 	// Bad settings fail: unknown planner, explicit without order,
 	// cost-based with an explicit order, and an order naming a
 	// variable the query lacks.
-	if err := run(q, "generic-join", "", "nope", false, true, "", 0, flags); err == nil {
+	if err := run(config{query: q, algo: "generic-join", planner: "nope", count: true, rels: flags}); err == nil {
 		t.Fatal("unknown planner must fail")
 	}
-	if err := run(q, "generic-join", "", "explicit", false, true, "", 0, flags); err == nil {
+	if err := run(config{query: q, algo: "generic-join", planner: "explicit", count: true, rels: flags}); err == nil {
 		t.Fatal("explicit planner without -order must fail")
 	}
-	if err := run(q, "generic-join", "A,B,C", "cost-based", false, true, "", 0, flags); err == nil {
+	if err := run(config{query: q, algo: "generic-join", order: "A,B,C", planner: "cost-based", count: true, rels: flags}); err == nil {
 		t.Fatal("cost-based with explicit -order must fail")
 	}
-	if err := run(q, "generic-join", "A,B,D", "auto", false, true, "", 0, flags); err == nil {
+	if err := run(config{query: q, algo: "generic-join", order: "A,B,D", planner: "auto", count: true, rels: flags}); err == nil {
 		t.Fatal("order with unknown variable must fail")
 	}
 }

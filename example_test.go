@@ -172,3 +172,70 @@ func ExampleExecute_costBasedPlanner() {
 	// (1, 2, 3)
 	// (2, 3, 4)
 }
+
+// ExampleCountFast counts 2-paths without enumerating them: the
+// endpoints A and C occur in one atom each, so the planner sinks them
+// to the end of the order where their subtree cardinalities are
+// multiplied instead of recursed into.
+func ExampleCountFast() {
+	db := wcoj.NewDatabase()
+	b := wcoj.NewRelationBuilder("E", "src", "dst")
+	for _, e := range [][2]wcoj.Value{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 1}, {2, 4}} {
+		if err := b.Add(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+
+	q, err := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _, err := wcoj.CountFast(q, wcoj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := wcoj.ExplainCount(q, wcoj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-paths: %d\n", n)
+	fmt.Printf("order: %v counted from level %d\n", e.Order, e.CountFrom)
+	// Output:
+	// 2-paths: 8
+	// order: [B A C] counted from level 1
+}
+
+// ExampleExecute_project enumerates the distinct endpoints of 2-paths:
+// the middle variable B is projected away and existence-checked, never
+// enumerated.
+func ExampleExecute_project() {
+	db := wcoj.NewDatabase()
+	b := wcoj.NewRelationBuilder("E", "src", "dst")
+	for _, e := range [][2]wcoj.Value{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 1}, {2, 4}} {
+		if err := b.Add(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+
+	q, err := wcoj.MustParse("Q(A,B,C) :- E(A,B), E(B,C)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _, err := wcoj.Execute(q, wcoj.Options{Project: []string{"A", "C"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		fmt.Println(out.Tuple(i, nil))
+	}
+	// Output:
+	// (1, 3)
+	// (1, 4)
+	// (2, 1)
+	// (2, 4)
+	// (3, 1)
+	// (4, 2)
+	// (4, 3)
+}

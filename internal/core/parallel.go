@@ -63,25 +63,8 @@ func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shar
 		sink.bind(0)
 		return nil
 	}
-	numChunks := workers * shardChunkFactor
-	if numChunks > n {
-		numChunks = n
-	}
-	if workers > numChunks {
-		workers = numChunks
-	}
+	starts, numChunks, workers := shardStarts(n, workers)
 	sink.bind(numChunks)
-
-	// Balanced contiguous partition: chunk i covers [starts[i],
-	// starts[i+1]).
-	starts := make([]int, numChunks+1)
-	base, rem := n/numChunks, n%numChunks
-	for i := 0; i < numChunks; i++ {
-		starts[i+1] = starts[i] + base
-		if i < rem {
-			starts[i+1]++
-		}
-	}
 
 	chunkStats := make([]Stats, numChunks)
 	chunkErrs := make([]error, numChunks)
@@ -231,4 +214,123 @@ func RunShardedCount(vals []relation.Value, workers int, parentStats *Stats,
 		return 0, err
 	}
 	return sink.total, nil
+}
+
+// shardStarts computes the balanced contiguous partition of n values
+// into chunks: chunk i covers [starts[i], starts[i+1]). It also
+// clamps the chunk and worker counts, returning the adjusted pair.
+func shardStarts(n, workers int) (starts []int, numChunks, w int) {
+	numChunks = workers * shardChunkFactor
+	if numChunks > n {
+		numChunks = n
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	starts = make([]int, numChunks+1)
+	base, rem := n/numChunks, n%numChunks
+	for i := 0; i < numChunks; i++ {
+		starts[i+1] = starts[i] + base
+		if i < rem {
+			starts[i+1]++
+		}
+	}
+	return starts, numChunks, workers
+}
+
+// RunShardedSum shards vals across workers and sums the per-chunk
+// int64 results of run. Unlike the tuple-emitting runners no output
+// ordering is needed, so chunks are claimed from an atomic counter;
+// per-chunk Stats are still merged in chunk order, keeping counter
+// totals deterministic for a fixed worker count. The aggregate-aware
+// engines use it for sharded CountFast.
+func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
+	run func(chunk []relation.Value, st *Stats) (int64, error)) (int64, error) {
+	n := len(vals)
+	if n == 0 {
+		return 0, nil
+	}
+	starts, numChunks, w := shardStarts(n, workers)
+	chunkStats := make([]Stats, numChunks)
+	sums := make([]int64, numChunks)
+	errs := make([]error, numChunks)
+	var abort atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks || abort.Load() {
+					return
+				}
+				sums[c], errs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c])
+				if errs[c] != nil {
+					abort.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for c := 0; c < numChunks; c++ {
+		if errs[c] != nil {
+			return 0, errs[c]
+		}
+		parentStats.Merge(&chunkStats[c])
+		total += sums[c]
+	}
+	return total, nil
+}
+
+// RunShardedAny shards vals across workers and reports whether any
+// chunk found a witness. The shared stop flag is set as soon as one
+// does (or a chunk errors); chunk searches are expected to poll it and
+// unwind, so the whole fleet short-circuits on the first witness.
+// Stats are merged from every chunk that ran; because chunks race the
+// stop flag, counter totals (unlike the boolean result) are not
+// deterministic across runs.
+func RunShardedAny(vals []relation.Value, workers int, parentStats *Stats,
+	run func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (bool, error)) (bool, error) {
+	n := len(vals)
+	if n == 0 {
+		return false, nil
+	}
+	starts, numChunks, w := shardStarts(n, workers)
+	chunkStats := make([]Stats, numChunks)
+	errs := make([]error, numChunks)
+	var stop atomic.Bool
+	var found atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks || stop.Load() {
+					return
+				}
+				ok, err := run(vals[starts[c]:starts[c+1]], &chunkStats[c], &stop)
+				errs[c] = err
+				if err != nil || ok {
+					stop.Store(true)
+				}
+				if ok && err == nil {
+					found.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < numChunks; c++ {
+		if errs[c] != nil {
+			return false, errs[c]
+		}
+		parentStats.Merge(&chunkStats[c])
+	}
+	return found.Load(), nil
 }

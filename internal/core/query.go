@@ -151,6 +151,16 @@ type Stats struct {
 	// Intermediate is the maximum intermediate relation size (binary
 	// join plans; zero for one-shot WCOJ algorithms).
 	Intermediate int
+	// AggMultiplies counts the free-counted shortcuts taken by the
+	// aggregate-aware engines: suffix levels whose subtree
+	// cardinalities were multiplied (or tail intersections counted)
+	// instead of recursed into.
+	AggMultiplies int
+	// AggMemoHits counts subtree results served from the aggregate
+	// memo. Memo tables are per-worker, so this total may differ
+	// between serial and parallel runs of the same query (the counted
+	// result never does).
+	AggMemoHits int
 }
 
 // Merge folds the counters of o into s. Additive counters sum;
@@ -168,4 +178,6 @@ func (s *Stats) Merge(o *Stats) {
 	if o.Intermediate > s.Intermediate {
 		s.Intermediate = o.Intermediate
 	}
+	s.AggMultiplies += o.AggMultiplies
+	s.AggMemoHits += o.AggMemoHits
 }

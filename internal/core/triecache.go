@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 
@@ -18,6 +19,16 @@ import (
 // Relations are immutable, so a built trie is valid forever and safe
 // to share across plans and worker goroutines; the cache key uses the
 // relation's pointer identity.
+//
+// The cache is bounded by a byte budget with LRU eviction: each entry
+// is charged its trie's estimated storage footprint, a hit moves the
+// entry to the front of the recency list, and inserting past the
+// budget evicts from the tail until the new entry fits. A process that
+// churns through arbitrarily many transient relations therefore holds
+// at most TrieCacheLimit bytes of cached tries (plus whatever the
+// caller itself still references) — the cache can no longer grow
+// without bound across queries. Entries larger than the whole budget
+// are returned to the caller uncached.
 
 // trieKey identifies one atom trie: the backing relation, the
 // variable binding of the atom, and the trie's attribute order.
@@ -26,24 +37,39 @@ type trieKey struct {
 	vars, order string
 }
 
-// trieCacheCap bounds the number of cached tries. When the cap is
-// reached the cache is cleared wholesale — an epoch flush is cheap,
-// deterministic and good enough for the access pattern (a handful of
-// hot tries per workload).
-//
-// The bound is an entry count, not a byte budget: each entry retains
-// its sorted trie copy and pins the keyed relation until the next
-// epoch flush, so a process that churns through large transient
-// relations holds their memory for up to one epoch. Callers that
-// drop big relations and want the memory back immediately should
-// call ResetTrieCache.
-const trieCacheCap = 256
+// trieEntry is one resident cache entry; list.Element.Value holds it.
+type trieEntry struct {
+	key   trieKey
+	tr    *trie.Trie
+	bytes int64
+}
+
+// DefaultTrieCacheLimit is the byte budget the process starts with.
+// 256 MiB of cached tries: generous for benchmark suites, small next
+// to the relations a workload at that scale already holds.
+const DefaultTrieCacheLimit int64 = 256 << 20
+
+// trieEntryOverhead is the fixed per-entry charge on top of the
+// trie's storage estimate: map slot, list element, key strings and
+// the entry struct. It keeps zero-byte tries (empty relations) from
+// slipping under the byte budget — without it a process churning
+// through distinct empty relations would accumulate entries forever,
+// the exact unbounded growth the budget exists to prevent — and makes
+// SetTrieCacheLimit(0) genuinely cache nothing.
+const trieEntryOverhead int64 = 256
 
 var trieCache = struct {
 	sync.Mutex
-	m            map[trieKey]*trie.Trie
-	hits, misses uint64
-}{m: make(map[trieKey]*trie.Trie)}
+	m                       map[trieKey]*list.Element
+	lru                     *list.List // front = most recently used
+	bytes                   int64
+	limit                   int64
+	hits, misses, evictions uint64
+}{
+	m:     make(map[trieKey]*list.Element),
+	lru:   list.New(),
+	limit: DefaultTrieCacheLimit,
+}
 
 // cachedTrie returns the trie for atom a under atomOrder, building and
 // caching it on first use.
@@ -54,8 +80,10 @@ func cachedTrie(a Atom, atomOrder []string) (*trie.Trie, error) {
 		order: strings.Join(atomOrder, "\x1f"),
 	}
 	trieCache.Lock()
-	if tr, ok := trieCache.m[key]; ok {
+	if el, ok := trieCache.m[key]; ok {
 		trieCache.hits++
+		trieCache.lru.MoveToFront(el)
+		tr := el.Value.(*trieEntry).tr
 		trieCache.Unlock()
 		return tr, nil
 	}
@@ -74,16 +102,64 @@ func cachedTrie(a Atom, atomOrder []string) (*trie.Trie, error) {
 	}
 
 	trieCache.Lock()
-	if got, ok := trieCache.m[key]; ok {
-		tr = got // a concurrent builder won the race; share its trie
+	if el, ok := trieCache.m[key]; ok {
+		// A concurrent builder won the race; share its trie.
+		trieCache.lru.MoveToFront(el)
+		tr = el.Value.(*trieEntry).tr
 	} else {
-		if len(trieCache.m) >= trieCacheCap {
-			trieCache.m = make(map[trieKey]*trie.Trie)
-		}
-		trieCache.m[key] = tr
+		insertLocked(key, tr)
 	}
 	trieCache.Unlock()
 	return tr, nil
+}
+
+// insertLocked adds a built trie under the byte budget, evicting
+// least-recently-used entries until it fits. Tries larger than the
+// whole budget are not cached at all. Callers hold trieCache.Mutex.
+func insertLocked(key trieKey, tr *trie.Trie) {
+	size := tr.SizeBytes() + trieEntryOverhead
+	if size > trieCache.limit {
+		return
+	}
+	for trieCache.bytes+size > trieCache.limit {
+		tail := trieCache.lru.Back()
+		if tail == nil {
+			break
+		}
+		evictLocked(tail)
+	}
+	el := trieCache.lru.PushFront(&trieEntry{key: key, tr: tr, bytes: size})
+	trieCache.m[key] = el
+	trieCache.bytes += size
+}
+
+// evictLocked removes one entry. Callers hold trieCache.Mutex.
+func evictLocked(el *list.Element) {
+	e := el.Value.(*trieEntry)
+	trieCache.lru.Remove(el)
+	delete(trieCache.m, e.key)
+	trieCache.bytes -= e.bytes
+	trieCache.evictions++
+}
+
+// SetTrieCacheLimit replaces the cache's byte budget, evicting from
+// the LRU tail if the resident set exceeds the new limit, and returns
+// the previous limit. Limits <= 0 disable caching entirely (every
+// resident entry is dropped). Tests and memory-constrained embedders
+// use it; the default is DefaultTrieCacheLimit.
+func SetTrieCacheLimit(bytes int64) int64 {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	prev := trieCache.limit
+	trieCache.limit = bytes
+	for trieCache.bytes > trieCache.limit {
+		tail := trieCache.lru.Back()
+		if tail == nil {
+			break
+		}
+		evictLocked(tail)
+	}
+	return prev
 }
 
 // TrieCacheStats reports the cache's lifetime hit/miss counters and
@@ -95,11 +171,22 @@ func TrieCacheStats() (hits, misses uint64, size int) {
 	return trieCache.hits, trieCache.misses, len(trieCache.m)
 }
 
-// ResetTrieCache empties the cache and zeroes its counters; tests and
-// benchmarks call it to measure cold builds.
+// TrieCacheUsage reports the resident byte total, the byte budget and
+// the lifetime eviction count.
+func TrieCacheUsage() (bytes, limit int64, evictions uint64) {
+	trieCache.Lock()
+	defer trieCache.Unlock()
+	return trieCache.bytes, trieCache.limit, trieCache.evictions
+}
+
+// ResetTrieCache empties the cache and zeroes its counters (the byte
+// budget is kept); tests and benchmarks call it to measure cold
+// builds.
 func ResetTrieCache() {
 	trieCache.Lock()
 	defer trieCache.Unlock()
-	trieCache.m = make(map[trieKey]*trie.Trie)
-	trieCache.hits, trieCache.misses = 0, 0
+	trieCache.m = make(map[trieKey]*list.Element)
+	trieCache.lru.Init()
+	trieCache.bytes = 0
+	trieCache.hits, trieCache.misses, trieCache.evictions = 0, 0, 0
 }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"wcoj/internal/relation"
+)
+
+// cacheTestQuery builds a 2-atom path query over two fresh relations
+// of n edges each (distinct pointers, so every call occupies new cache
+// entries).
+func cacheTestQuery(t *testing.T, n, seed int) *Query {
+	t.Helper()
+	mk := func(name string) *relation.Relation {
+		b := relation.NewBuilder(name, "x", "y")
+		for i := 0; i < n; i++ {
+			b.Add(relation.Value((i*7+seed)%n), relation.Value((i*13+seed)%n))
+		}
+		return b.Build()
+	}
+	q, err := NewQuery([]string{"A", "B", "C"}, []Atom{
+		{Name: "R", Vars: []string{"A", "B"}, Rel: mk("R")},
+		{Name: "S", Vars: []string{"B", "C"}, Rel: mk("S")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestTrieCacheEviction: the cache stays within its byte budget while
+// queries churn through distinct relations, evicted tries are rebuilt
+// transparently, and results are identical before and after eviction.
+func TestTrieCacheEviction(t *testing.T) {
+	ResetTrieCache()
+	// Budget of ~6 tries of this size: 200 tuples x 2 cols x 8 bytes
+	// plus the fixed per-entry overhead.
+	const n = 200
+	prev := SetTrieCacheLimit(6 * (n*2*8 + trieEntryOverhead))
+	defer func() {
+		SetTrieCacheLimit(prev)
+		ResetTrieCache()
+	}()
+
+	queries := make([]*Query, 12)
+	counts := make([]int, 12)
+	for i := range queries {
+		queries[i] = cacheTestQuery(t, n, i)
+		c, _, err := GenericJoinCount(queries[i], GenericJoinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = c
+	}
+	bytes, limit, evictions := TrieCacheUsage()
+	if bytes > limit {
+		t.Fatalf("resident %d bytes exceeds limit %d", bytes, limit)
+	}
+	if evictions == 0 {
+		t.Fatal("churning 24 tries through a 6-trie budget evicted nothing")
+	}
+	// Re-running the oldest queries rebuilds their evicted tries and
+	// reproduces identical counts.
+	for i, q := range queries {
+		c, _, err := GenericJoinCount(q, GenericJoinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != counts[i] {
+			t.Fatalf("query %d: count %d after eviction, want %d", i, c, counts[i])
+		}
+	}
+	if bytes, limit, _ := TrieCacheUsage(); bytes > limit {
+		t.Fatalf("resident %d bytes exceeds limit %d after rerun", bytes, limit)
+	}
+}
+
+// TestTrieCacheLRUOrder: a recently-touched entry survives an eviction
+// wave that claims colder entries.
+func TestTrieCacheLRUOrder(t *testing.T) {
+	ResetTrieCache()
+	const n = 200
+	entryBytes := int64(n*2*8) + trieEntryOverhead
+	prev := SetTrieCacheLimit(4 * entryBytes)
+	defer func() {
+		SetTrieCacheLimit(prev)
+		ResetTrieCache()
+	}()
+
+	hot := cacheTestQuery(t, n, 100)
+	if _, _, err := GenericJoinCount(hot, GenericJoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch hot again, then stream two cold queries (4 tries) through:
+	// the budget holds 4, so the cold entries must evict each other
+	// (and at most one hot trie) while the most recently used hot trie
+	// survives.
+	if _, _, err := GenericJoinCount(hot, GenericJoinOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, missesBefore, _ := TrieCacheStats()
+	for seed := 0; seed < 2; seed++ {
+		q := cacheTestQuery(t, n, seed)
+		if _, _, err := GenericJoinCount(q, GenericJoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, size := TrieCacheStats()
+	if misses != missesBefore+4 {
+		t.Fatalf("cold queries: %d misses, want %d", misses-missesBefore, 4)
+	}
+	if hits != hitsBefore {
+		t.Fatalf("cold queries should not hit, got %d extra hits", hits-hitsBefore)
+	}
+	if size > 4 {
+		t.Fatalf("resident entries = %d, budget holds 4", size)
+	}
+}
+
+// TestTrieCacheOversizeUncached: a trie larger than the whole budget
+// is built and used but never cached.
+func TestTrieCacheOversizeUncached(t *testing.T) {
+	ResetTrieCache()
+	prev := SetTrieCacheLimit(64) // 4 tuples worth
+	defer func() {
+		SetTrieCacheLimit(prev)
+		ResetTrieCache()
+	}()
+	q := cacheTestQuery(t, 500, 1)
+	c1, _, err := GenericJoinCount(q, GenericJoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, size := TrieCacheStats(); size != 0 {
+		t.Fatalf("oversize tries cached: %d entries", size)
+	}
+	c2, _, err := GenericJoinCount(q, GenericJoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("uncached reruns diverge: %d vs %d", c1, c2)
+	}
+}
+
+// TestTrieCacheEmptyRelationsBounded: empty relations still carry the
+// per-entry overhead, so churning through distinct empty tries cannot
+// grow the cache without bound.
+func TestTrieCacheEmptyRelationsBounded(t *testing.T) {
+	ResetTrieCache()
+	prev := SetTrieCacheLimit(4 * trieEntryOverhead)
+	defer func() {
+		SetTrieCacheLimit(prev)
+		ResetTrieCache()
+	}()
+	for i := 0; i < 32; i++ {
+		q, err := NewQuery([]string{"A", "B"}, []Atom{
+			{Name: "R", Vars: []string{"A", "B"}, Rel: relation.Empty("R", "x", "y")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := GenericJoinCount(q, GenericJoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, size := TrieCacheStats(); size > 4 {
+		t.Fatalf("32 empty tries left %d resident entries in a 4-entry budget", size)
+	}
+}
+
+// TestSetTrieCacheLimitShrink: shrinking the budget evicts down to it.
+func TestSetTrieCacheLimitShrink(t *testing.T) {
+	ResetTrieCache()
+	const n = 200
+	entryBytes := int64(n*2*8) + trieEntryOverhead
+	prev := SetTrieCacheLimit(8 * entryBytes)
+	defer func() {
+		SetTrieCacheLimit(prev)
+		ResetTrieCache()
+	}()
+	for seed := 0; seed < 3; seed++ {
+		if _, _, err := GenericJoinCount(cacheTestQuery(t, n, seed), GenericJoinOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bytes, _, _ := TrieCacheUsage(); bytes != 6*entryBytes {
+		t.Fatalf("resident = %d bytes, want %d", bytes, 6*entryBytes)
+	}
+	SetTrieCacheLimit(2 * entryBytes)
+	bytes, limit, _ := TrieCacheUsage()
+	if bytes > limit {
+		t.Fatalf("resident %d exceeds shrunken limit %d", bytes, limit)
+	}
+	if _, _, size := TrieCacheStats(); size != 2 {
+		t.Fatalf("resident entries = %d, want 2", size)
+	}
+	// A zero limit disables caching.
+	SetTrieCacheLimit(0)
+	if _, _, size := TrieCacheStats(); size != 0 {
+		t.Fatalf("zero limit left %d entries resident", size)
+	}
+}

@@ -1,0 +1,472 @@
+package lftj
+
+// Aggregate-aware Leapfrog Triejoin: the iterator-based twin of
+// core's aggregate Generic-Join. The same agg.Classification drives
+// both engines — free-counted suffix levels multiply the active
+// atoms' current row-range sizes instead of opening iterators, the
+// deepest level of a counting run counts leapfrog matches without
+// recursing, bound levels consult the per-(trie,prefix) memo, and
+// EXISTS short-circuits on the first witness (across shards via a
+// shared stop flag). Counts are byte-identical to
+// enumerate-then-aggregate at every parallelism setting.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"wcoj/internal/agg"
+	"wcoj/internal/core"
+	"wcoj/internal/relation"
+)
+
+// aggPlan resolves the options into a sunk, classified plan shared
+// with core.AggPlan (Policy wins over Order, as in plan).
+func (o Options) aggPlan(q *core.Query, spec agg.Spec) (*core.Plan, *agg.Classification, error) {
+	policy := o.Policy
+	if policy == nil && o.Order != nil {
+		policy = core.ExplicitOrder(o.Order)
+	}
+	return core.AggPlan(q, policy, spec)
+}
+
+// Agg evaluates an aggregate with leapfrog search. ModeCount returns
+// the result cardinality — full multiplicity with a nil spec.Project,
+// distinct projected tuples otherwise. ModeExists returns 1 or 0,
+// short-circuiting on the first witness.
+func Agg(q *core.Query, opts Options, spec agg.Spec) (int64, *core.Stats, error) {
+	stats := &core.Stats{}
+	p, cls, err := opts.aggPlan(q, spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch spec.Mode {
+	case agg.ModeCount:
+		if len(spec.Project) > 0 {
+			var n int64
+			err := projectVisit(p, cls, opts, stats, func(relation.Tuple) error {
+				n++
+				return nil
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			stats.Output = int(n)
+			return n, stats, nil
+		}
+		n, err := countFast(p, cls, opts, stats)
+		if err != nil {
+			return 0, nil, err
+		}
+		stats.Output = int(n)
+		return n, stats, nil
+	case agg.ModeExists:
+		found, err := existsFast(p, cls, opts, stats)
+		if err != nil {
+			return 0, nil, err
+		}
+		if found {
+			stats.Output = 1
+			return 1, stats, nil
+		}
+		return 0, stats, nil
+	}
+	return 0, nil, fmt.Errorf("lftj: unsupported aggregate mode %v", spec.Mode)
+}
+
+// ProjectVisit streams the distinct projected tuples of the query to
+// emit, in the lexicographic order of the sunk variable-order prefix.
+// The Tuple passed to emit is reused between calls; emit must copy it
+// to retain it.
+func ProjectVisit(q *core.Query, opts Options, project []string, stats *core.Stats, emit func(relation.Tuple) error) error {
+	p, cls, err := opts.aggPlan(q, agg.Spec{Mode: agg.ModeEnumerate, Project: project})
+	if err != nil {
+		return err
+	}
+	return projectVisit(p, cls, opts, stats, emit)
+}
+
+func countFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats) (int64, error) {
+	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		a := newAggWorker(p, cls, stats, nil)
+		n := a.count(0)
+		if a.overflow {
+			return 0, agg.ErrCountOverflow
+		}
+		return n, nil
+	}
+	vals := p.TopValues(nil)
+	stats.Recursions++
+	total, err := core.RunShardedSum(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *core.Stats) (int64, error) {
+		a := newAggWorker(p, cls, st, nil)
+		n := a.countChunk(chunk)
+		if a.overflow {
+			return 0, agg.ErrCountOverflow
+		}
+		return n, nil
+	})
+	if err == nil && total < 0 { // cross-chunk summation wrapped
+		err = agg.ErrCountOverflow
+	}
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func existsFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats) (bool, error) {
+	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		return newAggWorker(p, cls, stats, nil).exists(0), nil
+	}
+	vals := p.TopValues(nil)
+	stats.Recursions++
+	return core.RunShardedAny(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (bool, error) {
+		a := newAggWorker(p, cls, st, nil)
+		a.stop = stop
+		return a.existsChunk(chunk), nil
+	})
+}
+
+func projectVisit(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats, emit func(relation.Tuple) error) error {
+	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.EnumEnd == 0 {
+		return newAggWorker(p, cls, stats, emit).visit(0)
+	}
+	vals := p.TopValues(nil)
+	stats.Recursions++
+	return core.RunShardedTop(vals, opts.Parallelism, len(cls.Spec.Project), stats, emit,
+		func(chunk []relation.Value, st *core.Stats, chunkEmit func(relation.Tuple) error) error {
+			return newAggWorker(p, cls, st, chunkEmit).visitChunk(chunk)
+		})
+}
+
+// aggWorker is the per-goroutine state of an aggregate-aware leapfrog
+// search: the plain worker's iterators plus the classification, the
+// subtree memo and the projection buffer.
+type aggWorker struct {
+	w         *worker
+	cls       *agg.Classification
+	memo      *agg.Memo
+	stop      *atomic.Bool
+	projPos   []int
+	projBuf   relation.Tuple
+	keyRanges []int
+	// overflow records that a count exceeded int64 somewhere below;
+	// set by product, checked by the counting entry points.
+	overflow bool
+}
+
+func newAggWorker(p *core.Plan, cls *agg.Classification, stats *core.Stats, emit func(relation.Tuple) error) *aggWorker {
+	a := &aggWorker{
+		w:    newWorker(p, stats, emit),
+		cls:  cls,
+		memo: agg.NewMemo(),
+	}
+	if len(cls.Spec.Project) > 0 {
+		a.projPos = make([]int, len(cls.Spec.Project))
+		a.projBuf = make(relation.Tuple, len(cls.Spec.Project))
+		for i, v := range cls.Spec.Project {
+			for j, qv := range p.Q.Vars {
+				if qv == v {
+					a.projPos[i] = j
+				}
+			}
+		}
+	}
+	return a
+}
+
+// rangeOf returns atom ai's current row range given its bound level:
+// an atom with no variable bound yet spans its whole trie; otherwise
+// the segment of its deepest matched value, read through RangeAt so a
+// leapfrog loop mid-flight below that level cannot disturb it.
+func (a *aggWorker) rangeOf(ai, boundLevel int) (int, int) {
+	if boundLevel == 0 {
+		return 0, a.w.plan.Tries[ai].Len()
+	}
+	return a.w.atoms[ai].it.RangeAt(boundLevel - 1)
+}
+
+// product multiplies the active atoms' current row-range sizes — the
+// number of suffix extensions below depth d when every remaining level
+// is free-counted. Overflow marks the worker instead of wrapping; the
+// entry points turn the mark into agg.ErrCountOverflow.
+func (a *aggWorker) product(d int) int64 {
+	prod := int64(1)
+	for j, ai := range a.cls.ActiveAtoms[d] {
+		lo, hi := a.rangeOf(ai, a.cls.BoundLevel[d][j])
+		var ok bool
+		prod, ok = agg.Mul(prod, int64(hi-lo))
+		if !ok {
+			a.overflow = true
+			return 0
+		}
+		if prod == 0 {
+			return 0
+		}
+	}
+	return prod
+}
+
+// productNonEmpty is the existence twin of product: every active
+// atom's range is non-empty. No multiplication, so no overflow.
+func (a *aggWorker) productNonEmpty(d int) bool {
+	for j, ai := range a.cls.ActiveAtoms[d] {
+		lo, hi := a.rangeOf(ai, a.cls.BoundLevel[d][j])
+		if hi <= lo {
+			return false
+		}
+	}
+	return true
+}
+
+// memoKey builds the subtree signature at depth d from the active
+// atoms' current ranges.
+func (a *aggWorker) memoKey(d int) []byte {
+	a.keyRanges = a.keyRanges[:0]
+	for j, ai := range a.cls.ActiveAtoms[d] {
+		lo, hi := a.rangeOf(ai, a.cls.BoundLevel[d][j])
+		a.keyRanges = append(a.keyRanges, lo, hi)
+	}
+	return a.memo.Key(d, a.keyRanges)
+}
+
+// count returns the number of full result tuples below the current
+// prefix at depth d (all iterators positioned on the levels above d).
+func (a *aggWorker) count(d int) int64 {
+	w := a.w
+	w.stats.Recursions++
+	n := len(w.plan.Order)
+	if d == n {
+		return 1
+	}
+	if d >= a.cls.CountFrom {
+		w.stats.AggMultiplies++
+		return a.product(d)
+	}
+	useMemo := a.cls.MemoDepths[d] && a.memo.Enabled()
+	if useMemo {
+		if v, ok := a.memo.Get(a.memoKey(d)); ok {
+			w.stats.AggMemoHits++
+			return v
+		}
+	}
+	tail := d == n-1
+	if tail {
+		w.stats.AggMultiplies++
+	}
+	var total int64
+	a.leapfrog(d, func() bool {
+		if tail {
+			total++
+		} else {
+			total += a.count(d + 1)
+			if total < 0 { // summation wrapped
+				a.overflow = true
+				total = 0
+			}
+		}
+		return true
+	})
+	if useMemo && !a.overflow {
+		a.memo.Put(a.memoKey(d), total)
+	}
+	return total
+}
+
+// exists reports whether any result tuple extends the current prefix,
+// short-circuiting on the first witness.
+func (a *aggWorker) exists(d int) bool {
+	w := a.w
+	if a.stop != nil && a.stop.Load() {
+		return false
+	}
+	w.stats.Recursions++
+	n := len(w.plan.Order)
+	if d == n {
+		return true
+	}
+	if d >= a.cls.CountFrom {
+		w.stats.AggMultiplies++
+		return a.productNonEmpty(d)
+	}
+	useMemo := a.cls.MemoDepths[d] && a.memo.Enabled()
+	if useMemo {
+		if v, ok := a.memo.Get(a.memoKey(d)); ok {
+			w.stats.AggMemoHits++
+			return v != 0
+		}
+	}
+	tail := d == n-1
+	if tail {
+		w.stats.AggMultiplies++
+	}
+	found := false
+	a.leapfrog(d, func() bool {
+		if a.stop != nil && a.stop.Load() {
+			return false
+		}
+		if tail || a.exists(d+1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if useMemo && (a.stop == nil || !a.stop.Load()) {
+		var v int64
+		if found {
+			v = 1
+		}
+		a.memo.Put(a.memoKey(d), v)
+	}
+	return found
+}
+
+// visit enumerates the projected prefix, emitting one tuple per prefix
+// that has at least one extension.
+func (a *aggWorker) visit(d int) error {
+	w := a.w
+	if d == a.cls.EnumEnd {
+		if a.exists(d) {
+			for i, p := range a.projPos {
+				a.projBuf[i] = w.binding[p]
+			}
+			return w.emit(a.projBuf)
+		}
+		return nil
+	}
+	w.stats.Recursions++
+	var visitErr error
+	a.leapfrog(d, func() bool {
+		w.binding[w.plan.OutPos[d]] = a.w.participants[d][0].it.Key()
+		if err := a.visit(d + 1); err != nil {
+			visitErr = err
+			return false
+		}
+		return true
+	})
+	return visitErr
+}
+
+// leapfrog runs the level-d leapfrog intersection, invoking match at
+// every value all participating iterators agree on (each match also
+// counts toward IntersectValues, mirroring the plain engine). match
+// returns false to stop the loop early. Iterators are opened on entry
+// and restored on exit, so callers can resume the parent level.
+func (a *aggWorker) leapfrog(d int, match func() bool) {
+	w := a.w
+	iters := w.participants[d]
+	for _, st := range iters {
+		st.it.Open()
+	}
+	defer func() {
+		for _, st := range iters {
+			st.it.Up()
+		}
+	}()
+	for _, st := range iters {
+		if st.it.AtEnd() {
+			return
+		}
+	}
+	k := len(iters)
+	sort.Slice(iters, func(i, j int) bool { return iters[i].it.Key() < iters[j].it.Key() })
+	p := 0
+	for {
+		xmax := iters[(p+k-1)%k].it.Key()
+		x := iters[p].it.Key()
+		if x == xmax {
+			w.stats.IntersectValues++
+			if !match() {
+				return
+			}
+			iters[p].it.Next()
+			if iters[p].it.AtEnd() {
+				return
+			}
+			p = (p + 1) % k
+		} else {
+			iters[p].it.Seek(xmax)
+			if iters[p].it.AtEnd() {
+				return
+			}
+			p = (p + 1) % k
+		}
+	}
+}
+
+// countChunk, existsChunk and visitChunk run the depth-0 per-value
+// loop over one shard of the precomputed top-level intersection,
+// mirroring the plain engine's iterateTop.
+func (a *aggWorker) countChunk(vals []relation.Value) int64 {
+	var total int64
+	a.chunkEach(vals, func() bool {
+		total += a.count(1)
+		if total < 0 { // summation wrapped
+			a.overflow = true
+			total = 0
+		}
+		return true
+	})
+	return total
+}
+
+func (a *aggWorker) existsChunk(vals []relation.Value) bool {
+	found := false
+	a.chunkEach(vals, func() bool {
+		if a.stop != nil && a.stop.Load() {
+			return false
+		}
+		if a.exists(1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (a *aggWorker) visitChunk(vals []relation.Value) error {
+	var visitErr error
+	a.chunkEach(vals, func() bool {
+		if err := a.visit(1); err != nil {
+			visitErr = err
+			return false
+		}
+		return true
+	})
+	return visitErr
+}
+
+// chunkEach seeks each top-level value of one chunk on this worker's
+// depth-0 iterators and invokes body with the value bound; every v
+// comes from the full depth-0 intersection, so each participating
+// iterator seeks directly to it. body returns false to stop early.
+func (a *aggWorker) chunkEach(vals []relation.Value, body func() bool) {
+	w := a.w
+	iters := w.participants[0]
+	for _, v := range vals {
+		ok := true
+		for _, st := range iters {
+			st.it.Open()
+			st.it.Seek(v)
+			if st.it.AtEnd() || st.it.Key() != v {
+				ok = false // cannot happen: v came from the intersection
+				break
+			}
+		}
+		cont := true
+		if ok {
+			w.stats.IntersectValues++
+			w.binding[w.plan.OutPos[0]] = v
+			cont = body()
+		}
+		for _, st := range iters {
+			if st.it.Depth() == 0 {
+				st.it.Up()
+			}
+		}
+		if !cont {
+			return
+		}
+	}
+}

@@ -131,6 +131,7 @@ type atomState struct {
 // slices (rec sorts them in place) and a private binding tuple.
 type worker struct {
 	plan         *core.Plan
+	atoms        []*atomState
 	participants [][]*atomState
 	binding      relation.Tuple
 	stats        *core.Stats
@@ -144,6 +145,7 @@ func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error)
 	}
 	w := &worker{
 		plan:         p,
+		atoms:        atoms,
 		participants: make([][]*atomState, len(p.Order)),
 		binding:      make(relation.Tuple, len(p.Q.Vars)),
 		stats:        stats,

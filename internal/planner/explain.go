@@ -3,6 +3,8 @@ package planner
 import (
 	"fmt"
 	"strings"
+
+	"wcoj/internal/agg"
 )
 
 // Candidate is one scored variable order.
@@ -41,6 +43,18 @@ type Explanation struct {
 	// Constraints counts the measured degree constraints feeding the
 	// cost model.
 	Constraints int
+	// AggMode names the aggregate mode the plan was classified for
+	// ("count", "exists", "enumerate"); empty for plain enumeration
+	// plans.
+	AggMode string
+	// Classes classifies each level of Order for the aggregate-aware
+	// engines (bound / free-output / free-counted); nil without an
+	// aggregate spec.
+	Classes []agg.Class
+	// CountFrom is the first level of the free-counted suffix — the
+	// depth from which the engines multiply subtree cardinalities
+	// instead of recursing (len(Order) when there is no such suffix).
+	CountFrom int
 }
 
 // String renders the explanation in the -explain CLI format.
@@ -57,9 +71,27 @@ func (e *Explanation) String() string {
 		e.Policy, strings.Join(e.Order, " "), e.Cost, mode, e.Considered, e.Constraints)
 	if len(e.LogBounds) == len(e.Order) { // absent for >64-variable queries
 		for d, v := range e.Order {
-			fmt.Fprintf(&b, "  level %d: bind %-4s prefix {%s} ≤ 2^%.2f = %.4g tuples\n",
+			fmt.Fprintf(&b, "  level %d: bind %-4s prefix {%s} ≤ 2^%.2f = %.4g tuples",
 				d, v, strings.Join(e.Order[:d+1], ","), e.LogBounds[d], price(e.LogBounds[d]))
+			if len(e.Classes) == len(e.Order) {
+				fmt.Fprintf(&b, " [%v]", e.Classes[d])
+			}
+			b.WriteString("\n")
 		}
+	}
+	if e.AggMode != "" {
+		fmt.Fprintf(&b, "  agg: mode=%s", e.AggMode)
+		if e.CountFrom < len(e.Order) {
+			fmt.Fprintf(&b, " counted-suffix=[%s]", strings.Join(e.Order[e.CountFrom:], " "))
+		}
+		if len(e.Classes) == len(e.Order) && len(e.LogBounds) != len(e.Order) {
+			parts := make([]string, len(e.Classes))
+			for i, c := range e.Classes {
+				parts[i] = c.String()
+			}
+			fmt.Fprintf(&b, " classes=[%s]", strings.Join(parts, " "))
+		}
+		b.WriteString("\n")
 	}
 	if e.Policy == CostBased {
 		b.WriteString("  candidates:\n")

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wcoj/internal/agg"
 	"wcoj/internal/core"
 )
 
@@ -72,6 +73,12 @@ type Options struct {
 	// MaxCandidates caps the candidate list kept in the Explanation
 	// (default 8). The worst enumerated order is always kept.
 	MaxCandidates int
+	// Agg, when non-nil, plans for an aggregate-aware run: variables
+	// the aggregate engines never enumerate are sunk to the end of the
+	// order (the cost-based policies only enumerate orders with that
+	// suffix), and the Explanation reports the resulting
+	// bound/free-output/free-counted level classification.
+	Agg *agg.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -128,7 +135,7 @@ func Choose(q *core.Query, opt Options) (*Explanation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return explainSingle(c, opt.Policy, h.DegreeOrder())
+		return explainSingle(c, opt.Policy, sinkFor(q, h.DegreeOrder(), opt.Agg), q, opt.Agg)
 	case Explicit:
 		if len(opt.Explicit) == 0 {
 			return nil, fmt.Errorf("planner: explicit policy requires an order")
@@ -136,7 +143,7 @@ func Choose(q *core.Query, opt Options) (*Explanation, error) {
 		if err := core.CheckOrder(q, opt.Explicit); err != nil {
 			return nil, err
 		}
-		return explainSingle(c, opt.Policy, opt.Explicit)
+		return explainSingle(c, opt.Policy, sinkFor(q, opt.Explicit, opt.Agg), q, opt.Agg)
 	case CostBased:
 		if wide {
 			return nil, fmt.Errorf("planner: cost-based planning supports at most 64 variables, query has %d; use the heuristic or an explicit order", len(q.Vars))
@@ -149,14 +156,52 @@ func Choose(q *core.Query, opt Options) (*Explanation, error) {
 	return nil, fmt.Errorf("planner: unknown policy %v", opt.Policy)
 }
 
+// atomVarLists projects the query's atoms to their variable lists, the
+// shape the agg classifier and sinker work on.
+func atomVarLists(q *core.Query) [][]string {
+	out := make([][]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out[i] = a.Vars
+	}
+	return out
+}
+
+// sinkFor applies the aggregate sink to an order (identity without an
+// aggregate spec).
+func sinkFor(q *core.Query, order []string, spec *agg.Spec) []string {
+	if spec == nil {
+		return order
+	}
+	return agg.Sink(order, atomVarLists(q), *spec)
+}
+
+// attachAgg classifies the chosen order for the aggregate spec and
+// records the result on the explanation.
+func attachAgg(e *Explanation, q *core.Query, spec *agg.Spec) error {
+	if spec == nil {
+		return nil
+	}
+	cls, err := agg.Classify(e.Order, atomVarLists(q), *spec)
+	if err != nil {
+		return err
+	}
+	e.AggMode = spec.Mode.String()
+	e.Classes = cls.Classes
+	e.CountFrom = cls.CountFrom
+	return nil
+}
+
 // explainSingle prices one order and wraps it as a one-candidate
 // explanation (the heuristic and explicit policies). A nil coster
 // (query wider than the 64-variable cost model) omits the bounds.
-func explainSingle(c *coster, p Policy, order []string) (*Explanation, error) {
+func explainSingle(c *coster, p Policy, order []string, q *core.Query, spec *agg.Spec) (*Explanation, error) {
 	e := &Explanation{
 		Policy:     p,
 		Order:      append([]string(nil), order...),
 		Considered: 1,
+	}
+	if err := attachAgg(e, q, spec); err != nil {
+		return nil, err
 	}
 	if c == nil {
 		e.Candidates = []Candidate{{Order: e.Order}}
@@ -180,8 +225,9 @@ func explainSingle(c *coster, p Policy, order []string) (*Explanation, error) {
 func exhaustive(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 	n := len(q.Vars)
 	if n == 0 {
-		return explainSingle(c, CostBased, nil)
+		return explainSingle(c, CostBased, nil, q, opt.Agg)
 	}
+	keepCount, isSunk, sunkSeq := sinkPlan(q, opt.Agg)
 	perm := make([]int, 0, n)
 	used := make([]bool, n)
 	var (
@@ -225,8 +271,19 @@ func exhaustive(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 			record(cost)
 			return
 		}
+		d := len(perm)
 		for i := 0; i < n; i++ {
 			if used[i] {
+				continue
+			}
+			// With an aggregate spec only sunk-suffix orders are
+			// enumerated: kept variables fill the prefix, then the fixed
+			// sunk sequence.
+			if d < keepCount {
+				if isSunk != nil && isSunk[i] {
+					continue
+				}
+			} else if sunkSeq != nil && i != sunkSeq[d-keepCount] {
 				continue
 			}
 			m := mask | 1<<uint(i)
@@ -247,7 +304,7 @@ func exhaustive(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		return nil, walkErr
 	}
 	best := keep[0]
-	return &Explanation{
+	e := &Explanation{
 		Policy:      CostBased,
 		Order:       best.Order,
 		LogBounds:   best.LogBounds,
@@ -257,7 +314,31 @@ func exhaustive(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		Considered:  considered,
 		Exhaustive:  true,
 		Constraints: c.numConstraints(),
-	}, nil
+	}
+	if err := attachAgg(e, q, opt.Agg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// sinkPlan precomputes the enumeration restriction for an aggregate
+// spec: the kept-prefix length, the sunk membership by variable index
+// and the fixed sunk sequence. Without a spec nothing is restricted.
+func sinkPlan(q *core.Query, spec *agg.Spec) (keepCount int, isSunk []bool, sunkSeq []int) {
+	if spec == nil {
+		return len(q.Vars), nil, nil
+	}
+	keep, sunk := agg.SinkPartition(q.Vars, atomVarLists(q), *spec)
+	idx := make(map[string]int, len(q.Vars))
+	for i, v := range q.Vars {
+		idx[v] = i
+	}
+	isSunk = make([]bool, len(q.Vars))
+	for _, v := range sunk {
+		isSunk[idx[v]] = true
+		sunkSeq = append(sunkSeq, idx[v])
+	}
+	return len(keep), isSunk, sunkSeq
 }
 
 // beam runs a greedy beam search for wide queries: keep the BeamWidth
@@ -273,6 +354,7 @@ func beam(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		logs  []float64
 	}
 	n := len(q.Vars)
+	keepCount, isSunk, sunkSeq := sinkPlan(q, opt.Agg)
 	front := []entry{{}}
 	considered := 0
 	var worst *Candidate
@@ -281,6 +363,14 @@ func beam(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		for _, e := range front {
 			for i, v := range q.Vars {
 				if e.mask&(1<<uint(i)) != 0 {
+					continue
+				}
+				// Only sunk-suffix orders are enumerated (see exhaustive).
+				if d < keepCount {
+					if isSunk != nil && isSunk[i] {
+						continue
+					}
+				} else if sunkSeq != nil && i != sunkSeq[d-keepCount] {
 					continue
 				}
 				m := e.mask | 1<<uint(i)
@@ -333,7 +423,7 @@ func beam(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		cands = cands[:opt.MaxCandidates]
 	}
 	best := cands[0]
-	return &Explanation{
+	e := &Explanation{
 		Policy:      CostBased,
 		Order:       best.Order,
 		LogBounds:   best.LogBounds,
@@ -342,5 +432,9 @@ func beam(q *core.Query, c *coster, opt Options) (*Explanation, error) {
 		Worst:       worst,
 		Considered:  considered,
 		Constraints: c.numConstraints(),
-	}, nil
+	}
+	if err := attachAgg(e, q, opt.Agg); err != nil {
+		return nil, err
+	}
+	return e, nil
 }

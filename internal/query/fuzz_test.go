@@ -1,0 +1,71 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the conjunctive-query parser with arbitrary input.
+// Beyond not panicking, every accepted parse must satisfy the
+// grammar's invariants and round-trip through String: rendering a
+// Parsed and re-parsing it yields an identical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Q(A,B,C) :- R(A,B), S(B,C), T(A,C).",
+		"Q(A) :- R(A)",
+		"Q(A,B) <- E(A,B), E(B,A).",
+		"Out(X1, Y_2) ← Edge(X1, Y_2) , Edge(Y_2, X1)",
+		"Q(A,B,C,D) :- R(A), S(A,B), T(B,C), W(C,A,D).",
+		"  Q ( A , B )  :-  R ( B , A ) . ",
+		"Q() :- R()",
+		"Q(A :- R(A)",
+		"Q(A) :- ",
+		"Q(A) : - R(A)",
+		"Q(A) :- R(A),",
+		"Q(A) :- R(A). trailing",
+		"Ω(δ) :- ρ(δ)",
+		"Q(A) :- R(A)\x00",
+		strings.Repeat("Q(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("non-nil Parsed alongside error %v", err)
+			}
+			return
+		}
+		if p.HeadName == "" {
+			t.Fatal("accepted a query with an empty head name")
+		}
+		if len(p.HeadVars) == 0 {
+			t.Fatal("accepted a query with no head variables")
+		}
+		if len(p.Atoms) == 0 {
+			t.Fatal("accepted a query with an empty body")
+		}
+		for _, a := range p.Atoms {
+			if a.Name == "" || len(a.Vars) == 0 {
+				t.Fatalf("accepted malformed atom %+v", a)
+			}
+			for _, v := range a.Vars {
+				if v == "" || !utf8.ValidString(v) {
+					t.Fatalf("accepted malformed variable %q", v)
+				}
+			}
+		}
+		// Round-trip: the rendering must re-parse to the same rendering.
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted input %q does not re-parse: %v", s1, src, err)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("round-trip diverges: %q -> %q", s1, s2)
+		}
+	})
+}

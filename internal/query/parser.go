@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"wcoj/internal/core"
 	"wcoj/internal/relation"
@@ -115,8 +116,15 @@ func (p *parser) rest() string {
 }
 
 func (p *parser) ws() {
-	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
-		p.pos++
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if r == utf8.RuneError && size <= 1 {
+			return // invalid encoding is never whitespace
+		}
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += size
 	}
 }
 
@@ -132,9 +140,15 @@ func (p *parser) ident() (string, error) {
 	p.ws()
 	start := p.pos
 	for p.pos < len(p.src) {
-		c := rune(p.src[p.pos])
+		// Decode full runes: walking bytes would accept stray UTF-8
+		// continuation bytes (many decode-as-Latin-1 to letters) and
+		// produce invalid-UTF-8 identifiers.
+		c, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if c == utf8.RuneError && size <= 1 {
+			break // invalid encoding ends the identifier
+		}
 		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
-			p.pos++
+			p.pos += size
 			continue
 		}
 		break

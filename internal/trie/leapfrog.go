@@ -98,6 +98,130 @@ func IntersectLevels(dst []relation.Value, ranges []LevelRange) []relation.Value
 	}
 }
 
+// IntersectLevelsCount returns the size of the multiway intersection
+// without materializing its values — the tail level of a counting run
+// needs only the cardinality, so the append traffic of IntersectLevels
+// is pure waste there. Same leapfrog search, same cost bound.
+func IntersectLevelsCount(ranges []LevelRange) int {
+	k := len(ranges)
+	if k == 0 {
+		return 0
+	}
+	for _, r := range ranges {
+		if r.Lo >= r.Hi {
+			return 0
+		}
+	}
+	if k == 1 {
+		return DistinctCount(ranges[0].Col, ranges[0].Lo, ranges[0].Hi)
+	}
+	cur := make([]int, k)
+	for i, r := range ranges {
+		cur[i] = r.Lo
+	}
+	n := 0
+	p := 0
+	max := ranges[k-1].Col[cur[k-1]]
+	for i := range ranges {
+		if v := ranges[i].Col[cur[i]]; v > max {
+			max = v
+		}
+	}
+	for {
+		r := ranges[p]
+		c := lowerBound(r.Col, cur[p], r.Hi, max)
+		if c >= r.Hi {
+			return n
+		}
+		v := r.Col[c]
+		cur[p] = c
+		if v == max {
+			all := true
+			for i := range ranges {
+				if ranges[i].Col[cur[i]] != max {
+					all = false
+					break
+				}
+			}
+			if all {
+				n++
+				for i := range ranges {
+					cur[i] = upperBound(ranges[i].Col, cur[i], ranges[i].Hi, max)
+					if cur[i] >= ranges[i].Hi {
+						return n
+					}
+				}
+				max = ranges[0].Col[cur[0]]
+				for i := 1; i < k; i++ {
+					if w := ranges[i].Col[cur[i]]; w > max {
+						max = w
+					}
+				}
+				p = 0
+				continue
+			}
+		}
+		if v > max {
+			max = v
+		}
+		p = (p + 1) % k
+	}
+}
+
+// IntersectLevelsAny reports whether the multiway intersection is
+// non-empty, stopping at the first common value — the tail level of an
+// existence check.
+func IntersectLevelsAny(ranges []LevelRange) bool {
+	k := len(ranges)
+	if k == 0 {
+		return false
+	}
+	for _, r := range ranges {
+		if r.Lo >= r.Hi {
+			return false
+		}
+	}
+	if k == 1 {
+		return true
+	}
+	cur := make([]int, k)
+	for i, r := range ranges {
+		cur[i] = r.Lo
+	}
+	p := 0
+	max := ranges[k-1].Col[cur[k-1]]
+	for i := range ranges {
+		if v := ranges[i].Col[cur[i]]; v > max {
+			max = v
+		}
+	}
+	for {
+		r := ranges[p]
+		c := lowerBound(r.Col, cur[p], r.Hi, max)
+		if c >= r.Hi {
+			return false
+		}
+		v := r.Col[c]
+		cur[p] = c
+		if v == max {
+			all := true
+			for i := range ranges {
+				if ranges[i].Col[cur[i]] != max {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		if v > max {
+			max = v
+		}
+		p = (p + 1) % k
+	}
+}
+
 // SmallestRange returns the index of the range with the fewest rows,
 // used by variable-ordering heuristics.
 func SmallestRange(ranges []LevelRange) int {

@@ -68,6 +68,14 @@ func (t *Trie) Len() int { return t.n }
 // Relation returns the (possibly re-sorted) relation backing the trie.
 func (t *Trie) Relation() *relation.Relation { return t.rel }
 
+// SizeBytes estimates the heap footprint of the trie's columnar
+// storage (tuples x arity x 8-byte values). When Build shared the
+// relation's native storage the estimate still charges the full
+// columns — the cache that budgets by SizeBytes pins them either way.
+func (t *Trie) SizeBytes() int64 {
+	return int64(t.n) * int64(len(t.cols)) * 8
+}
+
 // lowerBound returns the first index i in [lo,hi) with col[i] >= v.
 func lowerBound(col []relation.Value, lo, hi int, v relation.Value) int {
 	return lo + sort.Search(hi-lo, func(i int) bool { return col[lo+i] >= v })
@@ -202,4 +210,13 @@ func (it *Iterator) Seek(v relation.Value) {
 func (it *Iterator) CurrentRange() (lo, hi int) {
 	d := it.depth
 	return it.segStart[d], it.segEnd[d]
+}
+
+// RangeAt returns the row range [lo,hi) of the current value at an
+// already-open level, independent of the iterator's current depth.
+// Levels above the current one keep their segments while deeper levels
+// are explored, so aggregate operators read a parent's bound range
+// through RangeAt while the leapfrog loop is mid-flight below it.
+func (it *Iterator) RangeAt(level int) (lo, hi int) {
+	return it.segStart[level], it.segEnd[level]
 }

@@ -31,9 +31,11 @@
 package wcoj
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
+	"wcoj/internal/agg"
 	"wcoj/internal/baseline"
 	"wcoj/internal/bounds"
 	"wcoj/internal/constraints"
@@ -90,6 +92,20 @@ type (
 	PlanExplanation = planner.Explanation
 	// PlanCandidate is one scored variable order in a PlanExplanation.
 	PlanCandidate = planner.Candidate
+
+	// LevelClass classifies one plan level for the aggregate-aware
+	// engines (see PlanExplanation.Classes): ClassBound levels are
+	// searched but not emitted, ClassFreeOutput levels are enumerated
+	// into the output, ClassFreeCounted levels are multiplied through
+	// without recursion.
+	LevelClass = agg.Class
+)
+
+// Level classes reported by ExplainCount and projection Explain plans.
+const (
+	ClassBound       = agg.Bound
+	ClassFreeOutput  = agg.FreeOutput
+	ClassFreeCounted = agg.FreeCounted
 )
 
 // Constructors re-exported from the storage layer.
@@ -241,6 +257,19 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces the serial search. The other
 	// algorithms run serially regardless.
 	Parallelism int
+	// Project, when non-nil, projects the result onto these variables:
+	// Execute and ExecuteFunc produce the distinct projected tuples
+	// (attributes in Project order) and Count counts them. It must be a
+	// non-empty, duplicate-free subset of the query variables.
+	//
+	// For AlgoGenericJoin and AlgoLeapfrog the projection is pushed
+	// into the search: projected-away variables are sunk to the end of
+	// the resolved variable order (explicit orders included) and their
+	// levels are existence-checked per prefix — short-circuiting on the
+	// first witness — instead of enumerated, so a prefix with a million
+	// extensions costs the same as one with a single extension. The
+	// other algorithms materialize the full result and project it.
+	Project []string
 }
 
 // workers resolves Options.Parallelism to a concrete worker count.
@@ -283,11 +312,19 @@ func (o Options) plannerOptions() (planner.Options, error) {
 // orderPolicy resolves Options.Planner and Options.Order into the
 // core.OrderPolicy the WCOJ engines plan with. Heuristic and explicit
 // plans skip the planner package entirely (no statistics to measure).
-func (o Options) orderPolicy() (core.OrderPolicy, error) {
+func (o Options) orderPolicy() (core.OrderPolicy, error) { return o.orderPolicyFor(nil) }
+
+// orderPolicyFor is orderPolicy carrying an aggregate spec: the
+// cost-based planner then enumerates only orders with the spec's sunk
+// suffix. Heuristic and explicit plans need no spec here — the
+// engines' AggPlan sinks any resolved order identically (Sink is
+// idempotent, so cost-based orders pass through unchanged).
+func (o Options) orderPolicyFor(spec *agg.Spec) (core.OrderPolicy, error) {
 	popt, err := o.plannerOptions()
 	if err != nil {
 		return nil, err
 	}
+	popt.Agg = spec
 	switch popt.Policy {
 	case planner.Explicit:
 		return core.ExplicitOrder(popt.Explicit), nil
@@ -296,6 +333,33 @@ func (o Options) orderPolicy() (core.OrderPolicy, error) {
 	default:
 		return planner.New(popt), nil
 	}
+}
+
+// validateProject checks Options.Project against the query: when set
+// it must be a non-empty, duplicate-free subset of the query
+// variables.
+func (o Options) validateProject(q *Query) error {
+	if o.Project == nil {
+		return nil
+	}
+	if len(o.Project) == 0 {
+		return fmt.Errorf("wcoj: Options.Project must name at least one variable when set")
+	}
+	qvars := make(map[string]bool, len(q.Vars))
+	for _, v := range q.Vars {
+		qvars[v] = true
+	}
+	seen := make(map[string]bool, len(o.Project))
+	for _, v := range o.Project {
+		if seen[v] {
+			return fmt.Errorf("wcoj: Options.Project repeats variable %q", v)
+		}
+		seen[v] = true
+		if !qvars[v] {
+			return fmt.Errorf("wcoj: Options.Project names %q, which is not a query variable", v)
+		}
+	}
+	return nil
 }
 
 // validatePlanner rejects planner settings the selected algorithm
@@ -310,10 +374,19 @@ func (o Options) validatePlanner() error {
 	return nil
 }
 
-// Execute evaluates the query with the selected algorithm.
+// Execute evaluates the query with the selected algorithm. With
+// Options.Project set it returns the distinct projected tuples; see
+// the Project field for how the WCOJ engines push the projection into
+// the search.
 func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 	if err := opts.validatePlanner(); err != nil {
 		return nil, nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return nil, nil, err
+	}
+	if opts.Project != nil {
+		return executeProjected(q, opts)
 	}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
@@ -342,6 +415,50 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 	return nil, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
 }
 
+// executeProjected materializes Execute's projected mode: pushdown
+// through the aggregate-aware WCOJ engines, materialize-then-project
+// for the other algorithms.
+func executeProjected(q *Query, opts Options) (*Relation, *Stats, error) {
+	switch opts.Algorithm {
+	case AlgoGenericJoin, AlgoLeapfrog:
+		stats := &Stats{}
+		out := relation.NewBuilder(q.OutputName(), opts.Project...)
+		err := projectVisit(q, opts, stats, func(t Tuple) error { return out.Add(t...) })
+		if err != nil {
+			return nil, nil, err
+		}
+		rel := out.Build()
+		stats.Output = rel.Len()
+		return rel, stats, nil
+	default:
+		full := opts
+		full.Project = nil
+		out, stats, err := Execute(q, full)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj, err := out.Project(opts.Project...)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Output = proj.Len()
+		return proj, stats, nil
+	}
+}
+
+// projectVisit streams the projected enumeration of the WCOJ engines.
+func projectVisit(q *Query, opts Options, stats *Stats, emit func(Tuple) error) error {
+	spec := agg.Spec{Mode: agg.ModeEnumerate, Project: opts.Project}
+	pol, err := opts.orderPolicyFor(&spec)
+	if err != nil {
+		return err
+	}
+	if opts.Algorithm == AlgoLeapfrog {
+		return lftj.ProjectVisit(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, opts.Project, stats, emit)
+	}
+	return core.GenericJoinProjectVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, opts.Project, stats, emit)
+}
+
 // ExecuteFunc evaluates the query, streaming each result tuple to emit
 // instead of materializing a Relation. Tuples arrive in the canonical
 // order Execute would store them in; the Tuple passed to emit is
@@ -353,9 +470,34 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 // preserving the serial emit sequence); AlgoBacktracking streams
 // serially. The binary-join baselines have no streaming mode: their
 // full output is materialized first and then replayed to emit.
+//
+// With Options.Project set the distinct projected tuples are streamed
+// in the plan's prefix enumeration order — deterministic for fixed
+// Options (and identical at every Parallelism), but not necessarily
+// the sorted order the materialized Execute relation stores, since the
+// planner may enumerate projected variables in a different relative
+// order than Project lists them.
 func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error) {
 	if err := opts.validatePlanner(); err != nil {
 		return nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return nil, err
+	}
+	if opts.Project != nil {
+		switch opts.Algorithm {
+		case AlgoGenericJoin, AlgoLeapfrog:
+			stats := &Stats{}
+			n := 0
+			err := projectVisit(q, opts, stats, func(t Tuple) error { n++; return emit(t) })
+			if err != nil {
+				return nil, err
+			}
+			stats.Output = n
+			return stats, nil
+		default:
+			return replayRelation(q, opts, emit)
+		}
 	}
 	stats := &Stats{}
 	switch opts.Algorithm {
@@ -399,31 +541,58 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 		stats.Output = n
 		return stats, nil
 	case AlgoBinaryJoin, AlgoBinaryJoinProject:
-		out, stats, err := Execute(q, opts)
-		if err != nil {
-			return nil, err
-		}
-		var row Tuple
-		for i := 0; i < out.Len(); i++ {
-			row = out.Tuple(i, row)
-			if err := emit(row); err != nil {
-				return nil, err
-			}
-		}
-		return stats, nil
+		return replayRelation(q, opts, emit)
 	}
 	return nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
+}
+
+// replayRelation is the no-streaming-mode fallback of ExecuteFunc:
+// materialize via Execute (projected or not) and replay the rows.
+func replayRelation(q *Query, opts Options, emit func(Tuple) error) (*Stats, error) {
+	out, stats, err := Execute(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	var row Tuple
+	for i := 0; i < out.Len(); i++ {
+		row = out.Tuple(i, row)
+		if err := emit(row); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
 }
 
 // Count evaluates the query returning only the output cardinality.
 // The WCOJ algorithms (AlgoGenericJoin, AlgoLeapfrog, AlgoBacktracking)
 // stream: they count without materializing the result or, under
-// parallelism, buffering any tuples. The binary-join baselines have no
-// streaming mode — for AlgoBinaryJoin and AlgoBinaryJoinProject Count
-// materializes the full output via Execute and returns its length.
+// parallelism, buffering any tuples — but they still enumerate every
+// result tuple to count it; CountFast skips the enumeration the count
+// does not need. The binary-join baselines have no streaming mode —
+// for AlgoBinaryJoin and AlgoBinaryJoinProject Count materializes the
+// full output via Execute and returns its length. With Options.Project
+// set, Count counts the distinct projected tuples.
 func Count(q *Query, opts Options) (int, *Stats, error) {
 	if err := opts.validatePlanner(); err != nil {
 		return 0, nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return 0, nil, err
+	}
+	if opts.Project != nil {
+		switch opts.Algorithm {
+		case AlgoGenericJoin, AlgoLeapfrog:
+			// Distinct projected counting is inherently aggregate-aware:
+			// there is no slower enumerate-every-multiplicity variant
+			// worth preserving.
+			return CountFast(q, opts)
+		default:
+			out, stats, err := Execute(q, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			return out.Len(), stats, nil
+		}
 	}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
@@ -452,6 +621,120 @@ func Count(q *Query, opts Options) (int, *Stats, error) {
 		return out.Len(), stats, nil
 	}
 	return 0, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
+}
+
+// CountFast evaluates COUNT with the aggregate-aware engines. Where
+// Count enumerates every result tuple to count it, CountFast
+// classifies each plan level (see PlanExplanation.Classes, reported by
+// ExplainCount) and skips the enumeration work the count does not
+// need: variables occurring in a single atom are sunk to the end of
+// the variable order, where the number of extensions is the product of
+// the atoms' current row-range sizes (relations are duplicate-free
+// sets); the deepest searched level contributes its intersection size
+// without recursing; and a per-(trie,prefix) memo counts shared
+// suffixes once. The result is identical to Count — full multiplicity
+// with a nil Options.Project, distinct projected tuples otherwise — at
+// every Parallelism setting and under every planner policy.
+//
+// CountFast applies to AlgoGenericJoin and AlgoLeapfrog; the other
+// algorithms fall back to Count.
+func CountFast(q *Query, opts Options) (int, *Stats, error) {
+	if err := opts.validatePlanner(); err != nil {
+		return 0, nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return 0, nil, err
+	}
+	spec := agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
+	switch opts.Algorithm {
+	case AlgoGenericJoin:
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		return int(n), stats, nil
+	case AlgoLeapfrog:
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		return int(n), stats, nil
+	default:
+		if opts.Project != nil {
+			out, stats, err := Execute(q, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			return out.Len(), stats, nil
+		}
+		return Count(q, opts)
+	}
+}
+
+// errFirstWitness aborts ExecuteFunc once Exists has its answer.
+var errFirstWitness = errors.New("wcoj: stop after first witness")
+
+// Exists reports whether the query has any result, short-circuiting on
+// the first witness: the aggregate-aware WCOJ engines unwind the whole
+// search (all shards, via a shared stop flag) as soon as one tuple is
+// found, and free-counted suffix levels are checked by range
+// non-emptiness without being searched at all. AlgoBacktracking stops
+// at its first streamed tuple; the binary-join baselines materialize
+// their output regardless.
+//
+// Options.Project cannot change the answer (a projection is non-empty
+// iff the full join is); it is validated for consistency with the
+// other entry points and otherwise ignored.
+func Exists(q *Query, opts Options) (bool, *Stats, error) {
+	if err := opts.validatePlanner(); err != nil {
+		return false, nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return false, nil, err
+	}
+	spec := agg.Spec{Mode: agg.ModeExists}
+	switch opts.Algorithm {
+	case AlgoGenericJoin:
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			return false, nil, err
+		}
+		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, spec)
+		return n != 0, stats, err
+	case AlgoLeapfrog:
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			return false, nil, err
+		}
+		n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, spec)
+		return n != 0, stats, err
+	default:
+		full := opts
+		full.Project = nil
+		found := false
+		stats, err := ExecuteFunc(q, full, func(Tuple) error {
+			found = true
+			return errFirstWitness
+		})
+		if err != nil && !errors.Is(err, errFirstWitness) {
+			return false, nil, err
+		}
+		if stats == nil {
+			stats = &Stats{}
+		}
+		if found {
+			stats.Output = 1
+		}
+		return found, stats, nil
+	}
 }
 
 // backtrackConstraints defaults to per-atom cardinalities and repairs
@@ -484,11 +767,39 @@ func backtrackConstraints(q *Query, dc ConstraintSet) (ConstraintSet, error) {
 // AlgoGenericJoin and AlgoLeapfrog. Explain performs no join work
 // beyond measuring degree statistics and solving the (poly-size)
 // modular bound LPs.
+//
+// With Options.Project set the plan is the projected enumeration's:
+// projected-away variables are sunk and the explanation reports each
+// level's bound/free-output/free-counted classification.
 func Explain(q *Query, opts Options) (*PlanExplanation, error) {
 	popt, err := opts.plannerOptions()
 	if err != nil {
 		return nil, err
 	}
+	if opts.Project != nil {
+		if err := opts.validateProject(q); err != nil {
+			return nil, err
+		}
+		popt.Agg = &agg.Spec{Mode: agg.ModeEnumerate, Project: opts.Project}
+	}
+	return planner.Choose(q, popt)
+}
+
+// ExplainCount is Explain for the plan CountFast would run: variables
+// occurring in a single atom (or projected away, with Options.Project
+// set) are sunk to the end of the order and the explanation carries
+// the level classification — which levels are searched (bound), which
+// are enumerated into the output (free-output) and which are counted
+// by range multiplication without being searched (free-counted).
+func ExplainCount(q *Query, opts Options) (*PlanExplanation, error) {
+	if err := opts.validateProject(q); err != nil {
+		return nil, err
+	}
+	popt, err := opts.plannerOptions()
+	if err != nil {
+		return nil, err
+	}
+	popt.Agg = &agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
 	return planner.Choose(q, popt)
 }
 
