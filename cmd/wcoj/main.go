@@ -1,5 +1,6 @@
-// Command wcoj evaluates a conjunctive query over TSV relations with a
-// selectable join algorithm.
+// Command wcoj evaluates a conjunctive query over TSV/CSV relations
+// with a selectable join algorithm, through a long-lived wcoj.DB (the
+// query is prepared once; -repeat re-executes the prepared plan).
 //
 // Usage:
 //
@@ -8,7 +9,12 @@
 //	     [-algo generic-join|leapfrog-triejoin|backtracking|binary-join|binary-join-project] \
 //	     [-order A,B,C] [-planner auto|heuristic|cost-based|explicit] \
 //	     [-explain] [-count] [-exists] [-project A,C] \
-//	     [-out out.tsv] [-parallel N]
+//	     [-out out.tsv] [-parallel N] [-repeat N]
+//
+// Relations whose path ends in .csv are loaded through the CSV reader
+// (quoted fields; strings interned through the DB dictionary);
+// everything else is integer TSV. For a many-query serving or batch
+// process, see cmd/wcojd.
 //
 // Each TSV file has an attribute header line followed by integer
 // tuples (see wcojgen to generate workloads). -planner selects how
@@ -26,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +63,7 @@ type config struct {
 	exists   bool
 	outPath  string
 	parallel int
+	repeat   int
 	rels     relFlags
 }
 
@@ -71,7 +79,8 @@ func main() {
 	flag.BoolVar(&c.exists, "exists", false, "print only whether the output is non-empty (first-witness short-circuit)")
 	flag.StringVar(&c.outPath, "out", "", "write the result as TSV to this file")
 	flag.IntVar(&c.parallel, "parallel", 0, "worker goroutines for the WCOJ algorithms (0 = all cores, 1 = serial)")
-	flag.Var(&c.rels, "rel", "NAME=path.tsv (repeatable)")
+	flag.IntVar(&c.repeat, "repeat", 1, "execute the prepared query N times (plan and indexes are built once)")
+	flag.Var(&c.rels, "rel", "NAME=path.tsv|.csv (repeatable)")
 	flag.Parse()
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "wcoj:", err)
@@ -94,29 +103,8 @@ func run(c config) error {
 	if err != nil {
 		return err
 	}
-	db := wcoj.NewDatabase()
-	for _, spec := range c.rels {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		r, err := relation.ReadTSV(f, name)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		db.Put(r)
-	}
-	parsed, err := wcoj.Parse(c.query)
-	if err != nil {
-		return err
-	}
-	q, err := parsed.Bind(db)
-	if err != nil {
+	db := wcoj.NewDB()
+	if err := loadRelations(db, c.rels); err != nil {
 		return err
 	}
 	var order, project []string
@@ -129,6 +117,12 @@ func run(c config) error {
 	opts := wcoj.Options{Algorithm: algo, Order: order, Planner: planner, Parallelism: c.parallel, Project: project}
 
 	if c.explain {
+		// Explain never runs the join, so bind without preparing —
+		// Prepare would eagerly build the tries the explanation skips.
+		q, err := db.Bind(c.query)
+		if err != nil {
+			return err
+		}
 		var e *wcoj.PlanExplanation
 		if c.count || c.exists {
 			e, err = wcoj.ExplainCount(q, opts)
@@ -142,29 +136,52 @@ func run(c config) error {
 		return nil
 	}
 
-	start := time.Now()
-	if c.exists {
-		found, stats, err := wcoj.Exists(q, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("exists=%v algo=%v elapsed=%v recursions=%d\n", found, algo, time.Since(start), stats.Recursions)
-		return nil
-	}
-	if c.count {
-		n, stats, err := wcoj.CountFast(q, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("count=%d algo=%v elapsed=%v recursions=%d multiplies=%d memohits=%d\n",
-			n, algo, time.Since(start), stats.Recursions, stats.AggMultiplies, stats.AggMemoHits)
-		return nil
-	}
-	out, stats, err := wcoj.Execute(q, opts)
+	prepStart := time.Now()
+	pq, err := db.Prepare(c.query, opts)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	prepElapsed := time.Since(prepStart)
+	if c.repeat < 1 {
+		c.repeat = 1
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	if c.exists {
+		var found bool
+		var stats *wcoj.Stats
+		for i := 0; i < c.repeat; i++ {
+			if found, stats, err = pq.Exists(ctx); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("exists=%v algo=%v elapsed=%v recursions=%d\n", found, algo, perCall(start, c.repeat), stats.Recursions)
+		reportRepeat(pq, prepElapsed, c.repeat)
+		return nil
+	}
+	if c.count {
+		var n int
+		var stats *wcoj.Stats
+		for i := 0; i < c.repeat; i++ {
+			if n, stats, err = pq.CountFast(ctx); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("count=%d algo=%v elapsed=%v recursions=%d multiplies=%d memohits=%d\n",
+			n, algo, perCall(start, c.repeat), stats.Recursions, stats.AggMultiplies, stats.AggMemoHits)
+		reportRepeat(pq, prepElapsed, c.repeat)
+		return nil
+	}
+	var out *wcoj.Relation
+	var stats *wcoj.Stats
+	for i := 0; i < c.repeat; i++ {
+		if out, stats, err = pq.Execute(ctx); err != nil {
+			return err
+		}
+	}
+	elapsed := perCall(start, c.repeat)
+	reportRepeat(pq, prepElapsed, c.repeat)
 	fmt.Printf("rows=%d algo=%v elapsed=%v intermediate=%d\n", out.Len(), algo, elapsed, stats.Intermediate)
 	if c.outPath != "" {
 		f, err := os.Create(c.outPath)
@@ -193,4 +210,35 @@ func run(c config) error {
 		fmt.Printf("... (%d more rows; use -out to save)\n", out.Len()-limit)
 	}
 	return nil
+}
+
+// loadRelations registers every -rel file through DB.LoadFile (.csv
+// via the CSV reader with dictionary interning, anything else as
+// integer TSV) — the same dispatch cmd/wcojd uses.
+func loadRelations(db *wcoj.DB, rels relFlags) error {
+	for _, spec := range rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
+		}
+		if _, err := db.LoadFile(path, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perCall averages the elapsed wall clock over the repeat count.
+func perCall(start time.Time, repeat int) time.Duration {
+	return time.Since(start) / time.Duration(repeat)
+}
+
+// reportRepeat prints the plan-reuse summary for -repeat runs.
+func reportRepeat(pq *wcoj.PreparedQuery, prep time.Duration, repeat int) {
+	if repeat <= 1 {
+		return
+	}
+	st := pq.Stats()
+	fmt.Printf("prepared once in %v; %d calls, %v total execution, %v/call\n",
+		prep, st.Calls, st.Duration, st.Duration/time.Duration(st.Calls))
 }

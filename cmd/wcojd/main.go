@@ -1,0 +1,353 @@
+// Command wcojd runs many queries against one long-lived wcoj.DB —
+// the serving shape: relations and indexes are loaded once, plans are
+// prepared once, and traffic re-executes them concurrently.
+//
+// Batch mode reads one query per line and drives the shared DB with a
+// configurable worker count:
+//
+//	wcojd -rel E=edges.tsv -queries queries.txt -repeat 100 -concurrency 8
+//
+// Serve mode exposes the DB over HTTP:
+//
+//	wcojd -rel E=edges.tsv -serve :8077
+//
+//	POST /query   {"query": "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)",
+//	               "count": true | "exists": true | "limit": 50,
+//	               "project": ["A","C"], "algo": "...", "planner": "..."}
+//	GET  /stats   engine counters (relations, trie store, plan cache)
+//	GET  /healthz liveness
+//
+// Every request round-trips through the DB's plan cache, so repeated
+// query shapes never re-plan; request cancellation (a closed client
+// connection) propagates into the join and unwinds its workers.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcoj"
+)
+
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+type config struct {
+	rels        relFlags
+	queriesPath string
+	serveAddr   string
+	algo        string
+	planner     string
+	parallel    int
+	repeat      int
+	concurrency int
+}
+
+func main() {
+	var c config
+	flag.Var(&c.rels, "rel", "NAME=path.tsv|.csv (repeatable)")
+	flag.StringVar(&c.queriesPath, "queries", "", "batch mode: file with one conjunctive query per line ('-' = stdin)")
+	flag.StringVar(&c.serveAddr, "serve", "", "serve mode: HTTP listen address, e.g. :8077")
+	flag.StringVar(&c.algo, "algo", "generic-join", "join algorithm for batch queries")
+	flag.StringVar(&c.planner, "planner", "auto", "variable-order planner for batch queries")
+	flag.IntVar(&c.parallel, "parallel", 1, "per-query worker goroutines (batch mode defaults serial: concurrency supplies the parallelism)")
+	flag.IntVar(&c.repeat, "repeat", 1, "batch mode: times each query is executed")
+	flag.IntVar(&c.concurrency, "concurrency", 4, "batch mode: concurrent executor goroutines")
+	flag.Parse()
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "wcojd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c config) error {
+	if (c.queriesPath == "") == (c.serveAddr == "") {
+		return fmt.Errorf("exactly one of -queries (batch) or -serve (HTTP) is required")
+	}
+	db := wcoj.NewDB()
+	loadStart := time.Now()
+	for _, spec := range c.rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
+		}
+		r, err := db.LoadFile(path, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %d tuples (%v)\n", r, r.Len(), time.Since(loadStart))
+	}
+	if c.serveAddr != "" {
+		return serve(db, c.serveAddr)
+	}
+	return batch(db, c)
+}
+
+// batch prepares every query, then re-executes the prepared set from
+// `concurrency` goroutines `repeat` times each, reporting per-query
+// answers and aggregate throughput.
+func batch(db *wcoj.DB, c config) error {
+	algo, err := wcoj.ParseAlgorithm(c.algo)
+	if err != nil {
+		return err
+	}
+	planner, err := wcoj.ParsePlanner(c.planner)
+	if err != nil {
+		return err
+	}
+	var in *os.File
+	if c.queriesPath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(c.queriesPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	opts := wcoj.Options{Algorithm: algo, Planner: planner, Parallelism: c.parallel}
+	var prepared []*wcoj.PreparedQuery
+	prepStart := time.Now()
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pq, err := db.Prepare(line, opts)
+		if err != nil {
+			return fmt.Errorf("prepare %q: %w", line, err)
+		}
+		prepared = append(prepared, pq)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(prepared) == 0 {
+		return fmt.Errorf("no queries in %s", c.queriesPath)
+	}
+	fmt.Printf("prepared %d queries in %v\n", len(prepared), time.Since(prepStart))
+
+	if c.repeat < 1 {
+		c.repeat = 1
+	}
+	if c.concurrency < 1 {
+		c.concurrency = 1
+	}
+	type job struct{ pq *wcoj.PreparedQuery }
+	jobs := make(chan job)
+	var calls atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	runStart := time.Now()
+	for w := 0; w < c.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for j := range jobs {
+				if _, _, err := j.pq.Count(ctx); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				calls.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < c.repeat; i++ {
+		for _, pq := range prepared {
+			jobs <- job{pq}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	elapsed := time.Since(runStart)
+	for _, pq := range prepared {
+		st := pq.Stats()
+		fmt.Printf("%-60s calls=%d tuples=%d avg=%v\n",
+			pq.Source(), st.Calls, st.Tuples/st.Calls, st.Duration/time.Duration(st.Calls))
+	}
+	fmt.Printf("%d calls in %v (%.0f queries/sec, concurrency %d)\n",
+		calls.Load(), elapsed, float64(calls.Load())/elapsed.Seconds(), c.concurrency)
+	return nil
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query   string   `json:"query"`
+	Algo    string   `json:"algo,omitempty"`
+	Planner string   `json:"planner,omitempty"`
+	Project []string `json:"project,omitempty"`
+	Count   bool     `json:"count,omitempty"`
+	Exists  bool     `json:"exists,omitempty"`
+	// Limit caps the rows returned (default 100, server maximum
+	// 100000) and stops the enumeration there — a limited request
+	// never materializes a huge result. Use Count for exact totals.
+	Limit    int `json:"limit,omitempty"`
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// queryResponse is the POST /query reply. For row requests Count is
+// the number of rows returned (enumeration stops at Limit; Truncated
+// marks the cut); count/exists requests report exact answers.
+type queryResponse struct {
+	Count     int       `json:"count"`
+	Exists    *bool     `json:"exists,omitempty"`
+	Attrs     []string  `json:"attrs,omitempty"`
+	Rows      [][]int64 `json:"rows,omitempty"`
+	Truncated bool      `json:"truncated,omitempty"`
+	ElapsedUS int64     `json:"elapsed_us"`
+}
+
+// serve exposes the DB over HTTP until the process is killed.
+func serve(db *wcoj.DB, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(db.Stats())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, status, err := handleQuery(r.Context(), db, req)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	fmt.Printf("serving on %s (POST /query, GET /stats)\n", addr)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// A serving daemon must not let stalled clients pin goroutines
+		// forever; joins themselves stay bounded by request contexts.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}
+
+// errRowLimit aborts a row enumeration once Limit rows are streamed.
+var errRowLimit = errors.New("row limit reached")
+
+// maxRowLimit bounds client-supplied limits: the handler allocates the
+// row buffer up front, so the cap must be server-controlled.
+const maxRowLimit = 100000
+
+// handleQuery resolves one request against the DB's plan cache. The
+// request context cancels the join when the client goes away.
+func handleQuery(ctx context.Context, db *wcoj.DB, req queryRequest) (*queryResponse, int, error) {
+	opts := wcoj.Options{Project: req.Project, Parallelism: req.Parallel}
+	if req.Algo != "" {
+		a, err := wcoj.ParseAlgorithm(req.Algo)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		opts.Algorithm = a
+	}
+	if req.Planner != "" {
+		p, err := wcoj.ParsePlanner(req.Planner)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		opts.Planner = p
+	}
+	pq, err := db.Prepare(req.Query, opts)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	start := time.Now()
+	resp := &queryResponse{}
+	switch {
+	case req.Exists:
+		found, _, err := pq.Exists(ctx)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.Exists = &found
+		if found {
+			resp.Count = 1
+		}
+	case req.Count:
+		n, _, err := pq.CountFast(ctx)
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.Count = n
+	default:
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 100
+		}
+		if limit > maxRowLimit {
+			limit = maxRowLimit
+		}
+		attrs := pq.Query().Vars
+		if len(req.Project) > 0 {
+			attrs = req.Project
+		}
+		resp.Attrs = attrs
+		capHint := limit
+		if capHint > 1024 {
+			capHint = 1024 // grow on demand past this; limit only caps
+		}
+		resp.Rows = make([][]int64, 0, capHint)
+		_, err := pq.ExecuteFunc(ctx, func(t wcoj.Tuple) error {
+			if len(resp.Rows) == limit {
+				resp.Truncated = true
+				return errRowLimit
+			}
+			row := make([]int64, len(t))
+			for j, v := range t {
+				row[j] = int64(v)
+			}
+			resp.Rows = append(resp.Rows, row)
+			return nil
+		})
+		if err != nil && !errors.Is(err, errRowLimit) {
+			return nil, http.StatusInternalServerError, err
+		}
+		resp.Count = len(resp.Rows)
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	return resp, 0, nil
+}

@@ -1,0 +1,718 @@
+package wcoj
+
+// The long-lived engine. One-shot Execute re-derives everything per
+// call: the plan (variable order, possibly cost-based LP solves over
+// freshly measured degree statistics), the agg classification, and the
+// atom tries (served from a process-global cache shared with every
+// other caller). DB is the serving-shape alternative: it owns named
+// relations and a private trie store, and Prepare compiles a query
+// once into a PreparedQuery whose plan is re-executed concurrently by
+// any number of goroutines with per-call Stats and context
+// cancellation — the pod-style shape of many tenants hitting shared,
+// pre-built state.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcoj/internal/agg"
+	"wcoj/internal/core"
+	"wcoj/internal/lftj"
+	"wcoj/internal/planner"
+	"wcoj/internal/query"
+	"wcoj/internal/relation"
+)
+
+// CSVOptions configure DB.LoadCSV / ReadCSV; see
+// internal/relation.CSVOptions for field semantics.
+type CSVOptions = relation.CSVOptions
+
+// DB is a long-lived query engine: a named collection of immutable
+// relations, a private bounded trie store holding their indexes, and a
+// cache of prepared plans. All methods are safe for concurrent use; a
+// PreparedQuery snapshot remains consistent (it keeps the relations it
+// was bound to) even if Register later replaces them.
+type DB struct {
+	mu    sync.RWMutex
+	data  *Database
+	store *core.TrieStore
+
+	plansMu    sync.Mutex
+	plans      map[string]*planCacheEntry
+	planLimit  int
+	planClock  uint64
+	gen        uint64 // bumped by Register; guards stale plan inserts
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+}
+
+// planCacheEntry is one resident prepared plan with its recency stamp
+// (guarded by plansMu).
+type planCacheEntry struct {
+	pq    *PreparedQuery
+	stamp uint64
+}
+
+// DefaultPlanCacheLimit bounds a DB's plan cache. Each entry pins its
+// bound relations and built plans, so — like the trie store — the
+// cache must not grow without bound under adversarial query shapes
+// (e.g. a serving daemon fed arbitrary client text); past the limit
+// the least-recently-prepared entries are dropped and will replan on
+// next use.
+const DefaultPlanCacheLimit = 512
+
+// NewDB returns an empty engine whose trie store starts at the default
+// byte budget (see SetTrieCacheLimit to change it).
+func NewDB() *DB {
+	return &DB{
+		data:      relation.NewDatabase(),
+		store:     core.NewTrieStore(core.DefaultTrieCacheLimit),
+		plans:     make(map[string]*planCacheEntry),
+		planLimit: DefaultPlanCacheLimit,
+	}
+}
+
+// Register stores (or replaces) relations under their own names.
+// Replacing a relation drops every cached plan — prepared queries held
+// by callers stay valid against the data they were bound to, but new
+// Prepare calls see the new relation. Tries of replaced relations age
+// out of the store by LRU.
+func (db *DB) Register(rels ...*Relation) error {
+	for _, r := range rels {
+		if r == nil {
+			return fmt.Errorf("wcoj: Register: nil relation")
+		}
+	}
+	db.mu.Lock()
+	for _, r := range rels {
+		db.data.Put(r)
+	}
+	db.mu.Unlock()
+	db.plansMu.Lock()
+	db.plans = make(map[string]*planCacheEntry)
+	db.gen++
+	db.plansMu.Unlock()
+	return nil
+}
+
+// SetPlanCacheLimit replaces the plan cache's entry budget and returns
+// the previous one; limits <= 0 disable plan caching (every Prepare
+// replans). The default is DefaultPlanCacheLimit.
+func (db *DB) SetPlanCacheLimit(n int) int {
+	db.plansMu.Lock()
+	defer db.plansMu.Unlock()
+	prev := db.planLimit
+	db.planLimit = n
+	db.evictPlansLocked()
+	return prev
+}
+
+// evictPlansLocked drops least-recently-prepared entries until the
+// cache fits its budget. Callers hold plansMu.
+func (db *DB) evictPlansLocked() {
+	limit := db.planLimit
+	if limit < 0 {
+		limit = 0
+	}
+	for len(db.plans) > limit {
+		var oldestKey string
+		oldest := uint64(0)
+		first := true
+		for k, e := range db.plans {
+			if first || e.stamp < oldest {
+				oldestKey, oldest, first = k, e.stamp, false
+			}
+		}
+		delete(db.plans, oldestKey)
+	}
+}
+
+// LoadCSV reads a relation from delimited text (see CSVOptions; the
+// zero value reads comma-separated integer data with a header row) and
+// registers it. When opt.Dict is nil and the data is non-integer, set
+// Dict to db.Dict() — or any *Dict — to intern strings.
+func (db *DB) LoadCSV(r io.Reader, name string, opt CSVOptions) (*Relation, error) {
+	rel, err := relation.ReadCSV(r, name, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Register(rel); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path. Paths ending in .tsv or
+// .tab default the delimiter to a tab when opt.Comma is unset.
+func (db *DB) LoadCSVFile(path, name string, opt CSVOptions) (*Relation, error) {
+	if opt.Comma == 0 && (strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".tab")) {
+		opt.Comma = '\t'
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return db.LoadCSV(f, name, opt)
+}
+
+// LoadFile registers a relation from a file, dispatching on the
+// extension: .csv loads through the CSV reader with strings interned
+// via the DB dictionary; everything else loads as plain integer TSV
+// (the cmd/wcojgen format). Both commands (cmd/wcoj, cmd/wcojd) load
+// through here, so a given -rel flag means the same thing everywhere.
+func (db *DB) LoadFile(path, name string) (*Relation, error) {
+	if strings.HasSuffix(path, ".csv") {
+		return db.LoadCSVFile(path, name, CSVOptions{Dict: db.Dict()})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := relation.ReadTSV(f, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Register(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dict returns the engine's string dictionary (shared with LoadCSV
+// callers that intern through it).
+func (db *DB) Dict() *Dict {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Dict()
+}
+
+// Relation returns the named registered relation.
+func (db *DB) Relation(name string) (*Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Get(name)
+}
+
+// Names returns the registered relation names in sorted order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Names()
+}
+
+// SetTrieCacheLimit replaces the DB-owned trie store's byte budget and
+// returns the previous one; it does not touch the process-global store
+// one-shot Execute uses.
+func (db *DB) SetTrieCacheLimit(bytes int64) int64 { return db.store.SetLimit(bytes) }
+
+// DBStats is a point-in-time snapshot of the engine's shared state.
+type DBStats struct {
+	// Relations and Tuples size the registered data.
+	Relations, Tuples int
+	// TrieEntries / TrieBytes / TrieLimit describe the owned trie
+	// store; TrieHits / TrieMisses are its lifetime counters.
+	TrieEntries          int
+	TrieBytes, TrieLimit int64
+	TrieHits, TrieMisses uint64
+	// PlansCached is the resident plan-cache size; PlanHits and
+	// PlanMisses count Prepare calls served from / missing the cache.
+	PlansCached          int
+	PlanHits, PlanMisses uint64
+}
+
+// Stats snapshots the engine counters.
+func (db *DB) Stats() DBStats {
+	db.mu.RLock()
+	rels, tuples := len(db.data.Names()), db.data.Size()
+	db.mu.RUnlock()
+	hits, misses, entries := db.store.Stats()
+	bytes, limit, _ := db.store.Usage()
+	db.plansMu.Lock()
+	cached := len(db.plans)
+	db.plansMu.Unlock()
+	return DBStats{
+		Relations: rels, Tuples: tuples,
+		TrieEntries: entries, TrieBytes: bytes, TrieLimit: limit,
+		TrieHits: hits, TrieMisses: misses,
+		PlansCached: cached,
+		PlanHits:    db.planHits.Load(), PlanMisses: db.planMisses.Load(),
+	}
+}
+
+// planKey fingerprints (query shape, options) for the plan cache.
+// Parallelism is part of the key: it is captured by the prepared query
+// (execution calls take only a context), so two parallelism settings
+// are two prepared entries sharing tries through the store. The
+// constraint set is fingerprinted too — AlgoBacktracking runs under
+// it, so two constraint sets must never share a cached plan. Slices
+// are rendered with sliceKey so nil (defaulted) and empty (invalid,
+// must still reach validation) options never collide, and no slice
+// element can forge a separator.
+func planKey(src string, opts Options) string {
+	return fmt.Sprintf("%s|algo=%d|planner=%d|order=%s|project=%s|par=%d|dc=%#v",
+		src, opts.Algorithm, opts.Planner,
+		sliceKey(opts.Order), sliceKey(opts.Project), opts.Parallelism,
+		opts.Constraints)
+}
+
+// sliceKey renders an options slice for the cache key: nil is distinct
+// from empty, and %q escapes every element (Constraints use %#v above
+// for the same reason — %v space-joins nested slices ambiguously).
+func sliceKey(s []string) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+// Prepare parses, binds and validates the query against the
+// registered relations and returns a PreparedQuery that re-executes
+// it concurrently. Each execution mode's plan (variable order —
+// including any cost-based LP work — tries, and the aggregate
+// classification) is resolved once, on the mode's first call; Warm
+// forces the enumeration plan eagerly. Prepared plans are cached by
+// (query shape, options): preparing the same query again is a map
+// hit, and the cached instance accumulates call stats across all
+// holders. Register invalidates the cache.
+func (db *DB) Prepare(src string, opts Options) (*PreparedQuery, error) {
+	parsed, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	canonical := parsed.String()
+	key := planKey(canonical, opts)
+	db.plansMu.Lock()
+	if e, ok := db.plans[key]; ok {
+		db.planClock++
+		e.stamp = db.planClock
+		db.plansMu.Unlock()
+		db.planHits.Add(1)
+		return e.pq, nil
+	}
+	gen := db.gen
+	db.plansMu.Unlock()
+	db.planMisses.Add(1)
+
+	db.mu.RLock()
+	q, err := parsed.Bind(db.data)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.validatePlanner(); err != nil {
+		return nil, err
+	}
+	if err := opts.validateProject(q); err != nil {
+		return nil, err
+	}
+	// Validate the planner/order combination now (cheap — no planning
+	// work), so Prepare still rejects what eager plan building used to:
+	// a missing explicit order, a conflicting Planner+Order pair, or an
+	// explicit order that is not a permutation of the query variables.
+	popt, err := opts.plannerOptions()
+	if err != nil {
+		return nil, err
+	}
+	if wcojAlgorithm(opts.Algorithm) && popt.Policy == planner.Explicit {
+		if err := core.CheckOrder(q, popt.Explicit); err != nil {
+			return nil, err
+		}
+	}
+	// Plans are built lazily, once per mode (enumerate/count/exists),
+	// on first use: a query served only through CountFast never pays
+	// for the enumeration plan's order resolution or tries. Warm
+	// forces the enumeration build for startup warm-up.
+	pq := &PreparedQuery{db: db, src: canonical, q: q, opts: opts}
+	db.plansMu.Lock()
+	switch won, ok := db.plans[key]; {
+	case ok:
+		pq = won.pq // a concurrent Prepare won the race; share its plans
+	case db.gen != gen:
+		// A Register slipped in after this Prepare bound its relations:
+		// the plan is valid for the data it saw, but caching it would
+		// serve stale data to future Prepare calls. Hand it back uncached.
+	case db.planLimit > 0:
+		db.planClock++
+		db.plans[key] = &planCacheEntry{pq: pq, stamp: db.planClock}
+		db.evictPlansLocked()
+	}
+	db.plansMu.Unlock()
+	return pq, nil
+}
+
+// Bind parses the query and binds its atoms against the registered
+// relations without preparing a plan — what Explain-style tooling
+// needs (a prepared plan would eagerly build execution state the
+// explanation never runs).
+func (db *DB) Bind(src string) (*Query, error) {
+	parsed, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return parsed.Bind(db.data)
+}
+
+// Warm prepares each query and eagerly builds its enumeration plan
+// (order resolution and tries), returning the first error. Use it at
+// startup so serving traffic never pays a cold plan.
+func (db *DB) Warm(srcs ...string) error {
+	for _, src := range srcs {
+		pq, err := db.Prepare(src, Options{})
+		if err != nil {
+			return err
+		}
+		if wcojAlgorithm(pq.opts.Algorithm) {
+			if _, _, err := pq.enumPlan(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Query is Prepare + Execute in one call; repeated calls hit the plan
+// cache, so ad-hoc callers still amortize planning.
+func (db *DB) Query(ctx context.Context, src string, opts Options) (*Relation, *Stats, error) {
+	pq, err := db.Prepare(src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pq.Execute(ctx)
+}
+
+// wcojAlgorithm reports whether the algorithm runs through the
+// trie-based plan machinery prepared queries cache.
+func wcojAlgorithm(a Algorithm) bool {
+	return a == AlgoGenericJoin || a == AlgoLeapfrog
+}
+
+// PreparedQuery is a compiled query: parse, bind, variable order, agg
+// classification and tries are resolved once, then Execute / Count /
+// Exists re-run the search any number of times, from any number of
+// goroutines. Results are identical to the equivalent one-shot calls.
+// Per-call Stats are returned by each call; cumulative counters are
+// read by Stats.
+//
+// For AlgoBacktracking and the binary-join baselines — which have no
+// trie plan to cache — the prepared query falls back to the one-shot
+// path per call (parse and bind still amortized); those paths have no
+// cancellation plumbing, so ctx is checked only before the call
+// starts, not during it.
+type PreparedQuery struct {
+	db   *DB
+	src  string
+	q    *Query
+	opts Options
+
+	// Lazily-built per-mode plans. enum is the Execute/ExecuteFunc plan
+	// (projected when opts.Project is set: enumCls non-nil), count the
+	// CountFast plan, exists the Exists plan.
+	enumOnce   sync.Once
+	enum       *core.Plan
+	enumCls    *agg.Classification
+	enumErr    error
+	countOnce  sync.Once
+	count      *core.Plan
+	countCls   *agg.Classification
+	countErr   error
+	existsOnce sync.Once
+	exists     *core.Plan
+	existsCls  *agg.Classification
+	existsErr  error
+
+	calls  atomic.Int64
+	tuples atomic.Int64
+	nanos  atomic.Int64
+}
+
+// Source returns the canonical text of the prepared query.
+func (pq *PreparedQuery) Source() string { return pq.src }
+
+// Query returns the bound query.
+func (pq *PreparedQuery) Query() *Query { return pq.q }
+
+// Options returns the options the query was prepared with.
+func (pq *PreparedQuery) Options() Options { return pq.opts }
+
+// Order returns the resolved global variable order of the primary
+// plan (nil for the non-WCOJ algorithms).
+func (pq *PreparedQuery) Order() []string {
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		return nil
+	}
+	p, _, err := pq.enumPlan()
+	if err != nil {
+		return nil
+	}
+	return append([]string(nil), p.Order...)
+}
+
+// Explain returns the planning record of the prepared plan; see
+// Explain (package level) for its contents.
+func (pq *PreparedQuery) Explain() (*PlanExplanation, error) { return Explain(pq.q, pq.opts) }
+
+// enumPlan builds (once) the enumeration plan: plain when no
+// projection is requested, a sunk projected plan otherwise.
+func (pq *PreparedQuery) enumPlan() (*core.Plan, *agg.Classification, error) {
+	pq.enumOnce.Do(func() {
+		if pq.opts.Project != nil {
+			spec := agg.Spec{Mode: agg.ModeEnumerate, Project: pq.opts.Project}
+			pol, err := pq.opts.orderPolicyFor(&spec)
+			if err != nil {
+				pq.enumErr = err
+				return
+			}
+			pq.enum, pq.enumCls, pq.enumErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
+			return
+		}
+		pol, err := pq.opts.orderPolicy()
+		if err != nil {
+			pq.enumErr = err
+			return
+		}
+		pq.enum, pq.enumErr = core.BuildPlanIn(pq.db.store, pq.q, pol)
+	})
+	return pq.enum, pq.enumCls, pq.enumErr
+}
+
+// countPlan builds (once) the CountFast plan and classification.
+func (pq *PreparedQuery) countPlan() (*core.Plan, *agg.Classification, error) {
+	pq.countOnce.Do(func() {
+		spec := agg.Spec{Mode: agg.ModeCount, Project: pq.opts.Project}
+		pol, err := pq.opts.orderPolicyFor(&spec)
+		if err != nil {
+			pq.countErr = err
+			return
+		}
+		pq.count, pq.countCls, pq.countErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
+	})
+	return pq.count, pq.countCls, pq.countErr
+}
+
+// existsPlan builds (once) the Exists plan and classification.
+func (pq *PreparedQuery) existsPlan() (*core.Plan, *agg.Classification, error) {
+	pq.existsOnce.Do(func() {
+		spec := agg.Spec{Mode: agg.ModeExists}
+		pol, err := pq.opts.orderPolicyFor(&spec)
+		if err != nil {
+			pq.existsErr = err
+			return
+		}
+		pq.exists, pq.existsCls, pq.existsErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
+	})
+	return pq.exists, pq.existsCls, pq.existsErr
+}
+
+// record folds one call into the cumulative call/time counters;
+// result cardinalities are added to pq.tuples by each entry point once
+// it knows them.
+func (pq *PreparedQuery) record(start time.Time) {
+	pq.calls.Add(1)
+	pq.nanos.Add(int64(time.Since(start)))
+}
+
+// PreparedStats are cumulative counters across every call of a
+// prepared query (all goroutines).
+type PreparedStats struct {
+	// Calls counts completed executions (including failed ones).
+	Calls int64
+	// Tuples totals the result cardinalities.
+	Tuples int64
+	// Duration totals wall-clock execution time.
+	Duration time.Duration
+}
+
+// Stats snapshots the cumulative per-query counters.
+func (pq *PreparedQuery) Stats() PreparedStats {
+	return PreparedStats{
+		Calls:    pq.calls.Load(),
+		Tuples:   pq.tuples.Load(),
+		Duration: time.Duration(pq.nanos.Load()),
+	}
+}
+
+// Execute runs the prepared plan and materializes the result (the
+// distinct projected tuples when prepared with Options.Project).
+// Cancelling ctx stops the search workers promptly and returns
+// ctx.Err().
+func (pq *PreparedQuery) Execute(ctx context.Context) (*Relation, *Stats, error) {
+	defer pq.record(time.Now())
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		out, stats, err := Execute(pq.q, pq.opts)
+		if err == nil {
+			pq.tuples.Add(int64(out.Len()))
+		}
+		return out, stats, err
+	}
+	attrs := pq.q.Vars
+	if pq.opts.Project != nil {
+		attrs = pq.opts.Project
+	}
+	stats := &Stats{}
+	out := relation.NewBuilder(pq.q.OutputName(), attrs...)
+	err := pq.visit(ctx, stats, func(t Tuple) error { return out.Add(t...) })
+	if err != nil {
+		return nil, nil, err
+	}
+	rel := out.Build()
+	stats.Output = rel.Len()
+	pq.tuples.Add(int64(rel.Len()))
+	return rel, stats, nil
+}
+
+// ExecuteFunc streams the prepared query's result to emit under the
+// one-shot ExecuteFunc contract (canonical order, reused Tuple).
+func (pq *PreparedQuery) ExecuteFunc(ctx context.Context, emit func(Tuple) error) (*Stats, error) {
+	defer pq.record(time.Now())
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		stats, err := ExecuteFunc(pq.q, pq.opts, emit)
+		if err == nil {
+			pq.tuples.Add(int64(stats.Output))
+		}
+		return stats, err
+	}
+	stats := &Stats{}
+	n := 0
+	err := pq.visit(ctx, stats, func(t Tuple) error { n++; return emit(t) })
+	if err != nil {
+		return nil, err
+	}
+	stats.Output = n
+	pq.tuples.Add(int64(n))
+	return stats, nil
+}
+
+// visit drives the prepared enumeration (plain or projected) on the
+// engine the query was prepared for.
+func (pq *PreparedQuery) visit(ctx context.Context, stats *Stats, emit func(Tuple) error) error {
+	p, cls, err := pq.enumPlan()
+	if err != nil {
+		return err
+	}
+	workers := pq.opts.workers()
+	switch {
+	case cls != nil && pq.opts.Algorithm == AlgoLeapfrog:
+		return lftj.ProjectVisitPlan(ctx, p, cls, workers, stats, emit)
+	case cls != nil:
+		return core.GenericJoinProjectVisitPlan(ctx, p, cls, workers, stats, emit)
+	case pq.opts.Algorithm == AlgoLeapfrog:
+		return lftj.PlanVisit(ctx, p, workers, stats, emit)
+	default:
+		return core.GenericJoinPlanVisit(ctx, p, workers, stats, emit)
+	}
+}
+
+// Count runs the prepared streaming count: every result tuple is
+// enumerated and counted (distinct projected tuples when prepared with
+// Options.Project — that path is aggregate-aware, mirroring the
+// one-shot Count). See CountFast for the classification-driven count.
+func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
+	if pq.opts.Project != nil {
+		return pq.CountFast(ctx)
+	}
+	defer pq.record(time.Now())
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		n, stats, err := Count(pq.q, pq.opts)
+		if err == nil {
+			pq.tuples.Add(int64(n))
+		}
+		return n, stats, err
+	}
+	p, _, err := pq.enumPlan()
+	if err != nil {
+		return 0, nil, err
+	}
+	var n int
+	var stats *Stats
+	if pq.opts.Algorithm == AlgoLeapfrog {
+		n, stats, err = lftj.PlanCount(ctx, p, pq.opts.workers())
+	} else {
+		n, stats, err = core.GenericJoinPlanCount(ctx, p, pq.opts.workers())
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	pq.tuples.Add(int64(n))
+	return n, stats, nil
+}
+
+// CountFast runs the prepared aggregate-aware count (see the one-shot
+// CountFast for the level-classification machinery it reuses).
+func (pq *PreparedQuery) CountFast(ctx context.Context) (int, *Stats, error) {
+	defer pq.record(time.Now())
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		n, stats, err := CountFast(pq.q, pq.opts)
+		if err == nil {
+			pq.tuples.Add(int64(n))
+		}
+		return n, stats, err
+	}
+	p, cls, err := pq.countPlan()
+	if err != nil {
+		return 0, nil, err
+	}
+	var n int64
+	var stats *Stats
+	if pq.opts.Algorithm == AlgoLeapfrog {
+		n, stats, err = lftj.AggPlan(ctx, p, cls, pq.opts.workers())
+	} else {
+		n, stats, err = core.GenericJoinAggPlan(ctx, p, cls, pq.opts.workers())
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	pq.tuples.Add(n)
+	return int(n), stats, nil
+}
+
+// Exists reports whether the prepared query has any result,
+// short-circuiting on the first witness across all workers.
+func (pq *PreparedQuery) Exists(ctx context.Context) (bool, *Stats, error) {
+	defer pq.record(time.Now())
+	if !wcojAlgorithm(pq.opts.Algorithm) {
+		if err := ctx.Err(); err != nil {
+			return false, nil, err
+		}
+		return Exists(pq.q, pq.opts)
+	}
+	p, cls, err := pq.existsPlan()
+	if err != nil {
+		return false, nil, err
+	}
+	var n int64
+	var stats *Stats
+	if pq.opts.Algorithm == AlgoLeapfrog {
+		n, stats, err = lftj.AggPlan(ctx, p, cls, pq.opts.workers())
+	} else {
+		n, stats, err = core.GenericJoinAggPlan(ctx, p, cls, pq.opts.workers())
+	}
+	if err != nil {
+		return false, nil, err
+	}
+	if n != 0 {
+		pq.tuples.Add(1)
+	}
+	return n != 0, stats, nil
+}

@@ -1,8 +1,10 @@
 package wcoj_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"wcoj"
 )
@@ -238,4 +240,35 @@ func ExampleExecute_project() {
 	// (3, 1)
 	// (4, 2)
 	// (4, 3)
+}
+
+// ExampleDB demonstrates the long-lived engine: relations are
+// registered once (here from CSV text), queries are prepared once, and
+// the prepared plan is re-executed with context cancellation and
+// per-call stats.
+func ExampleDB() {
+	db := wcoj.NewDB()
+	csv := "person,follows\nalice,bob\nbob,carol\nalice,carol\n"
+	if _, err := db.LoadCSV(strings.NewReader(csv), "F", wcoj.CSVOptions{Dict: db.Dict()}); err != nil {
+		log.Fatal(err)
+	}
+
+	pq, err := db.Prepare("Q(A,B,C) :- F(A,B), F(B,C), F(A,C)", wcoj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _, err := pq.Execute(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := db.Dict()
+	var row wcoj.Tuple
+	for i := 0; i < out.Len(); i++ {
+		row = out.Tuple(i, row)
+		fmt.Printf("%s -> %s -> %s\n", dict.String(row[0]), dict.String(row[1]), dict.String(row[2]))
+	}
+	fmt.Println("calls:", pq.Stats().Calls)
+	// Output:
+	// alice -> bob -> carol
+	// calls: 1
 }

@@ -20,6 +20,7 @@ package core
 // parallelism setting and under every order policy.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -44,6 +45,12 @@ func atomVarLists(q *Query) [][]string {
 // classified. Both WCOJ engines plan through here, so Generic-Join and
 // LFTJ agree on orders and classifications.
 func AggPlan(q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classification, error) {
+	return AggPlanIn(nil, q, policy, spec)
+}
+
+// AggPlanIn is AggPlan with tries served from the given store (nil
+// selects the process-global one); long-lived DBs plan through here.
+func AggPlanIn(store *TrieStore, q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classification, error) {
 	if policy == nil {
 		policy = HeuristicOrder()
 	}
@@ -54,7 +61,7 @@ func AggPlan(q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classific
 		}
 		return agg.Sink(order, atomVarLists(q), spec), nil
 	})
-	p, err := BuildPlanWith(q, sunk)
+	p, err := BuildPlanIn(store, q, sunk)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -72,7 +79,7 @@ func (o GenericJoinOptions) aggPlan(q *Query, spec agg.Spec) (*Plan, *agg.Classi
 	if policy == nil && o.Order != nil {
 		policy = ExplicitOrder(o.Order)
 	}
-	return AggPlan(q, policy, spec)
+	return AggPlanIn(o.Store, q, policy, spec)
 }
 
 // GenericJoinAgg evaluates an aggregate with Generic-Join search.
@@ -81,18 +88,29 @@ func (o GenericJoinOptions) aggPlan(q *Query, spec agg.Spec) (*Plan, *agg.Classi
 // returns 1 or 0, short-circuiting on the first witness. Counts are
 // identical to enumerate-then-aggregate at every Parallelism setting.
 func GenericJoinAgg(q *Query, opts GenericJoinOptions, spec agg.Spec) (int64, *Stats, error) {
-	stats := &Stats{}
 	p, cls, err := opts.aggPlan(q, spec)
 	if err != nil {
 		return 0, nil, err
 	}
-	switch spec.Mode {
+	return GenericJoinAggPlan(opts.Ctx, p, cls, opts.Parallelism)
+}
+
+// GenericJoinAggPlan is GenericJoinAgg over a prebuilt sunk plan and
+// classification — the re-execution path of prepared aggregate
+// queries, with context cancellation. The spec is the one the plan was
+// classified for (cls.Spec).
+func GenericJoinAggPlan(ctx context.Context, p *Plan, cls *agg.Classification, parallelism int) (int64, *Stats, error) {
+	stats := &Stats{}
+	if err := CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
+	switch cls.Spec.Mode {
 	case agg.ModeCount:
-		if len(spec.Project) > 0 {
+		if len(cls.Spec.Project) > 0 {
 			// Distinct projected count: the projected enumeration with a
 			// counting sink.
 			var n int64
-			err := gjProjectVisit(p, cls, opts, stats, func(relation.Tuple) error {
+			err := gjProjectVisit(ctx, p, cls, parallelism, stats, func(relation.Tuple) error {
 				n++
 				return nil
 			})
@@ -102,14 +120,14 @@ func GenericJoinAgg(q *Query, opts GenericJoinOptions, spec agg.Spec) (int64, *S
 			stats.Output = int(n)
 			return n, stats, nil
 		}
-		n, err := gjCountFast(p, cls, opts, stats)
+		n, err := gjCountFast(ctx, p, cls, parallelism, stats)
 		if err != nil {
 			return 0, nil, err
 		}
 		stats.Output = int(n)
 		return n, stats, nil
 	case agg.ModeExists:
-		found, err := gjExists(p, cls, opts, stats)
+		found, err := gjExists(ctx, p, cls, parallelism, stats)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -119,7 +137,7 @@ func GenericJoinAgg(q *Query, opts GenericJoinOptions, spec agg.Spec) (int64, *S
 		}
 		return 0, stats, nil
 	}
-	return 0, nil, fmt.Errorf("core: unsupported aggregate mode %v", spec.Mode)
+	return 0, nil, fmt.Errorf("core: unsupported aggregate mode %v", cls.Spec.Mode)
 }
 
 // GenericJoinProjectVisit streams the distinct projected tuples of the
@@ -134,16 +152,29 @@ func GenericJoinProjectVisit(q *Query, opts GenericJoinOptions, project []string
 	if err != nil {
 		return err
 	}
-	return gjProjectVisit(p, cls, opts, stats, emit)
+	return gjProjectVisit(opts.Ctx, p, cls, opts.Parallelism, stats, emit)
+}
+
+// GenericJoinProjectVisitPlan is GenericJoinProjectVisit over a
+// prebuilt sunk plan and enumerate-mode classification, with context
+// cancellation.
+func GenericJoinProjectVisitPlan(ctx context.Context, p *Plan, cls *agg.Classification, parallelism int, stats *Stats, emit func(relation.Tuple) error) error {
+	return gjProjectVisit(ctx, p, cls, parallelism, stats, emit)
 }
 
 // gjCountFast runs the counting search, sharding the depth-0
 // intersection when parallelism is requested and the query is not
 // already a pure product (CountFrom == 0 answers in O(#atoms)).
-func gjCountFast(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stats *Stats) (int64, error) {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+func gjCountFast(ctx context.Context, p *Plan, cls *agg.Classification, parallelism int, stats *Stats) (int64, error) {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		var stop atomic.Bool
+		defer WatchCancel(ctx, &stop)()
 		a := newGJAggWorker(p, cls, stats, nil)
+		a.stop = &stop
 		n := a.count(0)
+		if a.aborted {
+			return 0, CtxAbortErr(ctx, ErrAborted)
+		}
 		if a.overflow {
 			return 0, agg.ErrCountOverflow
 		}
@@ -152,9 +183,13 @@ func gjCountFast(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stat
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
-	total, err := RunShardedSum(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *Stats) (int64, error) {
+	total, err := RunShardedSum(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (int64, error) {
 		a := newGJAggWorker(p, cls, st, nil)
+		a.stop = stop
 		n := a.countChunk(chunk)
+		if a.aborted {
+			return 0, ErrAborted
+		}
 		if a.overflow {
 			return 0, agg.ErrCountOverflow
 		}
@@ -171,14 +206,26 @@ func gjCountFast(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stat
 
 // gjExists runs the existence search; shards poll a shared stop flag
 // so the whole fleet unwinds once any worker finds a witness.
-func gjExists(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stats *Stats) (bool, error) {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
-		return newGJAggWorker(p, cls, stats, nil).exists(0), nil
+func gjExists(ctx context.Context, p *Plan, cls *agg.Classification, parallelism int, stats *Stats) (bool, error) {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		var stop atomic.Bool
+		defer WatchCancel(ctx, &stop)()
+		a := newGJAggWorker(p, cls, stats, nil)
+		a.stop = &stop
+		found := a.exists(0)
+		if !found {
+			// The stop flag is only set by cancellation here, so a false
+			// under a cancelled context is inconclusive, not a "no".
+			if err := CtxErr(ctx); err != nil {
+				return false, err
+			}
+		}
+		return found, nil
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
-	return RunShardedAny(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (bool, error) {
+	return RunShardedAny(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (bool, error) {
 		a := newGJAggWorker(p, cls, st, nil)
 		a.stop = stop
 		return a.existsChunk(chunk), nil
@@ -187,16 +234,30 @@ func gjExists(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stats *
 
 // gjProjectVisit runs the projected enumeration, replaying sharded
 // chunks in deterministic order exactly like the full-tuple engine.
-func gjProjectVisit(p *Plan, cls *agg.Classification, opts GenericJoinOptions, stats *Stats, emit func(relation.Tuple) error) error {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.EnumEnd == 0 {
-		return newGJAggWorker(p, cls, stats, emit).visit(0)
+func gjProjectVisit(ctx context.Context, p *Plan, cls *agg.Classification, parallelism int, stats *Stats, emit func(relation.Tuple) error) error {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.EnumEnd == 0 {
+		var stop atomic.Bool
+		defer WatchCancel(ctx, &stop)()
+		a := newGJAggWorker(p, cls, stats, emit)
+		a.stop = &stop
+		err := a.visit(0)
+		if err == nil {
+			// A cancellation landing between polls makes the inner
+			// existence checks return false, silently skipping prefixes;
+			// a nil completion under a cancelled ctx is therefore
+			// inconclusive, never a complete answer.
+			return CtxErr(ctx)
+		}
+		return CtxAbortErr(ctx, err)
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
-	return RunShardedTop(vals, opts.Parallelism, len(cls.Spec.Project), stats, emit,
-		func(chunk []relation.Value, st *Stats, chunkEmit func(relation.Tuple) error) error {
-			return newGJAggWorker(p, cls, st, chunkEmit).visitChunk(chunk)
+	return RunShardedTop(ctx, vals, parallelism, len(cls.Spec.Project), stats, emit,
+		func(chunk []relation.Value, st *Stats, stop *atomic.Bool, chunkEmit func(relation.Tuple) error) error {
+			a := newGJAggWorker(p, cls, st, chunkEmit)
+			a.stop = stop
+			return a.visitChunk(chunk)
 		})
 }
 
@@ -208,9 +269,13 @@ type gjAggWorker struct {
 	w    *gjWorker
 	cls  *agg.Classification
 	memo *agg.Memo
-	// stop, when non-nil, is polled by the existence search so sharded
-	// EXISTS short-circuits across workers.
+	// stop, when non-nil, is polled by every search mode: sharded
+	// EXISTS short-circuits across workers through it, and a cancelled
+	// or aborted run unwinds at the next poll.
 	stop *atomic.Bool
+	// aborted records that a stop-flag poll fired inside a counting
+	// search (which has no error path); the entry points translate it.
+	aborted bool
 	// overflow records that a count exceeded int64 somewhere below;
 	// set by product, checked by the counting entry points.
 	overflow bool
@@ -338,6 +403,10 @@ func (a *gjAggWorker) memoKey(d int) []byte {
 func (a *gjAggWorker) count(d int) int64 {
 	w := a.w
 	w.stats.Recursions++
+	if a.aborted || (a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load()) {
+		a.aborted = true
+		return 0
+	}
 	n := len(w.plan.Order)
 	if d == n {
 		return 1
@@ -442,6 +511,9 @@ func boolToInt64(b bool) int64 {
 // that has at least one extension.
 func (a *gjAggWorker) visit(d int) error {
 	w := a.w
+	if a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load() {
+		return ErrAborted
+	}
 	if d == a.cls.EnumEnd {
 		if a.exists(d) {
 			for i, p := range a.projPos {

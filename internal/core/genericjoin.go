@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
+
 	"wcoj/internal/relation"
 	"wcoj/internal/trie"
 )
@@ -18,15 +21,24 @@ type GenericJoinOptions struct {
 	// depth-0 intersection. Values <= 1 run the serial search. Output
 	// order and Stats totals are identical at every setting.
 	Parallelism int
+	// Store, when non-nil, serves the per-atom tries (a long-lived DB
+	// passes its own); nil uses the process-global trie store.
+	Store *TrieStore
+	// Ctx, when non-nil, cancels the run: workers poll it and unwind
+	// promptly, and the entry points return ctx.Err(). Nil means no
+	// cancellation.
+	Ctx context.Context
 }
 
 // plan resolves the options into an execution plan: Policy wins when
-// set, otherwise Order (nil Order selects the heuristic).
+// set, otherwise Order (nil Order selects the heuristic). Tries come
+// from o.Store (nil = the process-global store).
 func (o GenericJoinOptions) plan(q *Query) (*Plan, error) {
-	if o.Policy != nil {
-		return BuildPlanWith(q, o.Policy)
+	policy := o.Policy
+	if policy == nil && o.Order != nil {
+		policy = ExplicitOrder(o.Order)
 	}
-	return BuildPlan(q, o.Order)
+	return BuildPlanIn(o.Store, q, policy)
 }
 
 // GenericJoin evaluates the query with the Generic-Join algorithm of
@@ -55,22 +67,36 @@ func GenericJoin(q *Query, opts GenericJoinOptions) (*relation.Relation, *Stats,
 // no intermediate state beyond the search stack. Under parallelism
 // each worker counts locally; no tuples are buffered.
 func GenericJoinCount(q *Query, opts GenericJoinOptions) (int, *Stats, error) {
-	stats := &Stats{}
 	p, err := opts.plan(q)
 	if err != nil {
 		return 0, nil, err
 	}
+	return GenericJoinPlanCount(opts.Ctx, p, opts.Parallelism)
+}
+
+// GenericJoinPlanCount is GenericJoinCount over a prebuilt plan — the
+// re-execution path of prepared queries, with context cancellation.
+func GenericJoinPlanCount(ctx context.Context, p *Plan, parallelism int) (int, *Stats, error) {
+	stats := &Stats{}
+	if err := CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
 	n := 0
-	if opts.Parallelism <= 1 || len(p.Order) == 0 {
-		err = newGJWorker(p, stats, func(relation.Tuple) error {
+	var err error
+	if parallelism <= 1 || len(p.Order) == 0 {
+		var stop atomic.Bool
+		defer WatchCancel(ctx, &stop)()
+		w := newGJWorker(p, stats, func(relation.Tuple) error {
 			n++
 			return nil
-		}).rec(0)
+		})
+		w.stop = &stop
+		err = CtxAbortErr(ctx, w.rec(0))
 	} else {
 		vals := p.TopValues(nil)
 		stats.Recursions++
 		stats.IntersectValues += len(vals)
-		n, err = RunShardedCount(vals, opts.Parallelism, stats, gjShardRun(p))
+		n, err = RunShardedCount(ctx, vals, parallelism, stats, gjShardRun(p))
 	}
 	if err != nil {
 		return 0, nil, err
@@ -90,22 +116,37 @@ func GenericJoinVisit(q *Query, opts GenericJoinOptions, stats *Stats, emit func
 	if err != nil {
 		return err
 	}
-	if opts.Parallelism <= 1 || len(p.Order) == 0 {
-		return newGJWorker(p, stats, emit).rec(0)
+	return GenericJoinPlanVisit(opts.Ctx, p, opts.Parallelism, stats, emit)
+}
+
+// GenericJoinPlanVisit is GenericJoinVisit over a prebuilt plan — the
+// re-execution path of prepared queries, with context cancellation.
+func GenericJoinPlanVisit(ctx context.Context, p *Plan, parallelism int, stats *Stats, emit func(relation.Tuple) error) error {
+	if err := CtxErr(ctx); err != nil {
+		return err
+	}
+	if parallelism <= 1 || len(p.Order) == 0 {
+		var stop atomic.Bool
+		defer WatchCancel(ctx, &stop)()
+		w := newGJWorker(p, stats, emit)
+		w.stop = &stop
+		return CtxAbortErr(ctx, w.rec(0))
 	}
 	vals := p.TopValues(nil)
 	// Account for the root node exactly as the serial search does.
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
-	return RunShardedTop(vals, opts.Parallelism, len(q.Vars), stats, emit, gjShardRun(p))
+	return RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, gjShardRun(p))
 }
 
 // gjShardRun adapts the Generic-Join search to the sharded runner:
 // each chunk gets a fresh worker iterating its slice of the
 // precomputed depth-0 intersection.
-func gjShardRun(p *Plan) func([]relation.Value, *Stats, func(relation.Tuple) error) error {
-	return func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error {
-		return newGJWorker(p, st, emit).iterate(0, chunk)
+func gjShardRun(p *Plan) shardRun {
+	return func(chunk []relation.Value, st *Stats, stop *atomic.Bool, emit func(relation.Tuple) error) error {
+		w := newGJWorker(p, st, emit)
+		w.stop = stop
+		return w.iterate(0, chunk)
 	}
 }
 
@@ -133,6 +174,10 @@ type gjWorker struct {
 	ranges  []trie.LevelRange
 	stats   *Stats
 	emit    func(relation.Tuple) error
+	// stop, when non-nil, is polled every few hundred search nodes so a
+	// cancelled (or aborted) run unwinds promptly even when it emits
+	// rarely; the recursion returns ErrAborted.
+	stop *atomic.Bool
 }
 
 func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWorker {
@@ -162,6 +207,9 @@ func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWork
 // level ranges at depth d and recurse per value.
 func (w *gjWorker) rec(d int) error {
 	w.stats.Recursions++
+	if w.stop != nil && w.stats.Recursions&255 == 0 && w.stop.Load() {
+		return ErrAborted
+	}
 	if d == len(w.plan.Order) {
 		return w.emit(w.binding)
 	}

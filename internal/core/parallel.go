@@ -13,6 +13,7 @@ package core
 // the serial run at any worker count.
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -25,16 +26,60 @@ import (
 // the run: idle workers steal the remaining chunks.
 const shardChunkFactor = 4
 
-// errShardAborted is injected through a chunk's emit path once a
-// sibling chunk (or the consuming sink) has failed, unwinding the
-// chunk's recursion mid-search instead of letting it run to
-// completion. It is never returned to callers.
-var errShardAborted = errors.New("core: sharded run aborted")
+// ErrAborted is injected through a chunk's emit path (and returned by
+// worker stop-flag polls) once a sibling chunk has failed, the
+// consuming sink has errored, or the run's context was cancelled. It
+// unwinds a search mid-flight instead of letting it run to completion
+// and is never returned from the package-level entry points — they
+// translate it to the causing error (see CtxAbortErr).
+var ErrAborted = errors.New("core: sharded run aborted")
+
+// CtxErr returns the context's error, tolerating nil contexts.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// WatchCancel links ctx cancellation to a stop flag the search workers
+// poll: once ctx is done, stop is set and in-flight searches unwind at
+// their next poll instead of enumerating to completion. The returned
+// cleanup releases the watcher goroutine and must be called (defer it)
+// when the run ends. Nil or never-cancelled contexts cost nothing.
+func WatchCancel(ctx context.Context, stop *atomic.Bool) func() {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// CtxAbortErr translates the ErrAborted sentinel of a cancelled serial
+// search into the context's error; other errors pass through.
+func CtxAbortErr(ctx context.Context, err error) error {
+	if err == ErrAborted {
+		if cerr := CtxErr(ctx); cerr != nil {
+			return cerr
+		}
+		return context.Canceled
+	}
+	return err
+}
 
 // shardRun searches one chunk of top-level values, writing counters to
 // st and tuples to emit. It runs on a worker goroutine with no state
-// shared with other chunks.
-type shardRun func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error
+// shared with other chunks except the run's stop flag, which the
+// search should poll (cheaply, every few hundred nodes) and unwind on
+// by returning ErrAborted.
+type shardRun func(chunk []relation.Value, st *Stats, stop *atomic.Bool, emit func(relation.Tuple) error) error
 
 // shardSink consumes the output of sharded execution. chunkEmit is
 // called from worker goroutines (concurrently, but never concurrently
@@ -51,13 +96,16 @@ type shardSink interface {
 // into parentStats in chunk order; the first error (from a chunk or
 // from the sink) aborts the remaining work — queued chunks are
 // skipped, and in-flight chunks are unwound at their next emitted
-// tuple via errShardAborted. Chunk issue is windowed: a chunk is only
+// tuple via ErrAborted. Chunk issue is windowed: a chunk is only
 // handed to a worker once all chunks more than shardWindow(workers)
 // positions behind it have been consumed by the sink, bounding how
 // much un-consumed output the ordered sinks can buffer. It returns
 // only after all worker goroutines have exited, so the caller may
 // reuse any state afterwards.
-func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shardRun, sink shardSink) error {
+func runSharded(ctx context.Context, vals []relation.Value, workers int, parentStats *Stats, run shardRun, sink shardSink) error {
+	if err := CtxErr(ctx); err != nil {
+		return err
+	}
 	n := len(vals)
 	if n == 0 {
 		sink.bind(0)
@@ -75,6 +123,7 @@ func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shar
 		consumed[i] = make(chan struct{})
 	}
 	var abort atomic.Bool
+	defer WatchCancel(ctx, &abort)()
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -84,10 +133,10 @@ func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shar
 			for c := range next {
 				if !abort.Load() {
 					emit := sink.chunkEmit(c)
-					chunkErrs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c],
+					chunkErrs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c], &abort,
 						func(t relation.Tuple) error {
 							if abort.Load() {
-								return errShardAborted
+								return ErrAborted
 							}
 							return emit(t)
 						})
@@ -119,7 +168,7 @@ func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shar
 		<-done[c]
 		cerr := chunkErrs[c]
 		switch {
-		case err != nil || cerr == errShardAborted:
+		case err != nil || cerr == ErrAborted:
 			// A chunk unwound by the abort flag produced partial
 			// output; never merge or consume it.
 		case cerr != nil:
@@ -135,6 +184,11 @@ func runSharded(vals []relation.Value, workers int, parentStats *Stats, run shar
 		close(consumed[c])
 	}
 	wg.Wait()
+	if err == nil {
+		// A cancelled run's chunks unwind with ErrAborted, which is
+		// never surfaced per chunk; report the cancellation itself.
+		err = CtxErr(ctx)
+	}
 	return err
 }
 
@@ -200,17 +254,17 @@ func (s *countSink) finishChunk(chunk int) error {
 // packages (lftj): it shards vals across workers, invoking run per
 // chunk with a private Stats, and streams the buffered per-chunk
 // tuples to emit in chunk order. Arity is the emitted tuple width.
-func RunShardedTop(vals []relation.Value, workers, arity int, parentStats *Stats,
-	emit func(relation.Tuple) error, run func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error) error {
-	return runSharded(vals, workers, parentStats, run, newBufferSink(arity, emit))
+func RunShardedTop(ctx context.Context, vals []relation.Value, workers, arity int, parentStats *Stats,
+	emit func(relation.Tuple) error, run shardRun) error {
+	return runSharded(ctx, vals, workers, parentStats, run, newBufferSink(arity, emit))
 }
 
 // RunShardedCount is RunShardedTop's counting twin: no tuple is
 // buffered; per-chunk counts are summed in chunk order.
-func RunShardedCount(vals []relation.Value, workers int, parentStats *Stats,
-	run func(chunk []relation.Value, st *Stats, emit func(relation.Tuple) error) error) (int, error) {
+func RunShardedCount(ctx context.Context, vals []relation.Value, workers int, parentStats *Stats,
+	run shardRun) (int, error) {
 	sink := newCountSink()
-	if err := runSharded(vals, workers, parentStats, run, sink); err != nil {
+	if err := runSharded(ctx, vals, workers, parentStats, run, sink); err != nil {
 		return 0, err
 	}
 	return sink.total, nil
@@ -244,8 +298,11 @@ func shardStarts(n, workers int) (starts []int, numChunks, w int) {
 // per-chunk Stats are still merged in chunk order, keeping counter
 // totals deterministic for a fixed worker count. The aggregate-aware
 // engines use it for sharded CountFast.
-func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
-	run func(chunk []relation.Value, st *Stats) (int64, error)) (int64, error) {
+func RunShardedSum(ctx context.Context, vals []relation.Value, workers int, parentStats *Stats,
+	run func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (int64, error)) (int64, error) {
+	if err := CtxErr(ctx); err != nil {
+		return 0, err
+	}
 	n := len(vals)
 	if n == 0 {
 		return 0, nil
@@ -255,6 +312,7 @@ func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
 	sums := make([]int64, numChunks)
 	errs := make([]error, numChunks)
 	var abort atomic.Bool
+	defer WatchCancel(ctx, &abort)()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -266,7 +324,7 @@ func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
 				if c >= numChunks || abort.Load() {
 					return
 				}
-				sums[c], errs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c])
+				sums[c], errs[c] = run(vals[starts[c]:starts[c+1]], &chunkStats[c], &abort)
 				if errs[c] != nil {
 					abort.Store(true)
 				}
@@ -275,12 +333,25 @@ func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
 	}
 	wg.Wait()
 	var total int64
+	aborted := false
 	for c := 0; c < numChunks; c++ {
+		if errs[c] == ErrAborted {
+			aborted = true
+			continue
+		}
 		if errs[c] != nil {
 			return 0, errs[c]
 		}
 		parentStats.Merge(&chunkStats[c])
 		total += sums[c]
+	}
+	if err := CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if aborted {
+		// A chunk unwound on the abort flag but no cause surfaced (it
+		// was claimed before a sibling's error stored the flag).
+		return 0, context.Canceled
 	}
 	return total, nil
 }
@@ -292,8 +363,11 @@ func RunShardedSum(vals []relation.Value, workers int, parentStats *Stats,
 // Stats are merged from every chunk that ran; because chunks race the
 // stop flag, counter totals (unlike the boolean result) are not
 // deterministic across runs.
-func RunShardedAny(vals []relation.Value, workers int, parentStats *Stats,
+func RunShardedAny(ctx context.Context, vals []relation.Value, workers int, parentStats *Stats,
 	run func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (bool, error)) (bool, error) {
+	if err := CtxErr(ctx); err != nil {
+		return false, err
+	}
 	n := len(vals)
 	if n == 0 {
 		return false, nil
@@ -302,6 +376,7 @@ func RunShardedAny(vals []relation.Value, workers int, parentStats *Stats,
 	chunkStats := make([]Stats, numChunks)
 	errs := make([]error, numChunks)
 	var stop atomic.Bool
+	defer WatchCancel(ctx, &stop)()
 	var found atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -327,10 +402,13 @@ func RunShardedAny(vals []relation.Value, workers int, parentStats *Stats,
 	}
 	wg.Wait()
 	for c := 0; c < numChunks; c++ {
-		if errs[c] != nil {
+		if errs[c] != nil && errs[c] != ErrAborted {
 			return false, errs[c]
 		}
 		parentStats.Merge(&chunkStats[c])
 	}
-	return found.Load(), nil
+	if found.Load() {
+		return true, nil
+	}
+	return false, CtxErr(ctx)
 }

@@ -72,12 +72,22 @@ func BuildPlan(q *Query, order []string) (*Plan, error) {
 	return BuildPlanWith(q, ExplicitOrder(order))
 }
 
-// BuildPlanWith validates the query, asks the policy for the variable
-// order and builds the per-atom tries. Tries are served from the
-// process-wide trie cache keyed by (relation, variable binding, trie
-// order), so repeated queries — and planner probes over the same
-// relations — reuse built tries instead of rebuilding them.
+// BuildPlanWith is BuildPlanIn against the process-global trie store.
 func BuildPlanWith(q *Query, policy OrderPolicy) (*Plan, error) {
+	return BuildPlanIn(nil, q, policy)
+}
+
+// BuildPlanIn validates the query, asks the policy for the variable
+// order and builds the per-atom tries. Tries are served from the given
+// store (nil selects the process-global one) keyed by (relation,
+// variable binding, trie order), so repeated queries — and planner
+// probes over the same relations — reuse built tries instead of
+// rebuilding them. A long-lived DB passes its own store, giving it
+// ownership of its indexes independent of global cache churn.
+func BuildPlanIn(store *TrieStore, q *Query, policy OrderPolicy) (*Plan, error) {
+	if store == nil {
+		store = defaultTrieStore
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,7 +120,7 @@ func BuildPlanWith(q *Query, policy OrderPolicy) (*Plan, error) {
 				}
 			}
 		}
-		tr, err := cachedTrie(a, atomOrder)
+		tr, err := store.Get(a, atomOrder)
 		if err != nil {
 			return nil, fmt.Errorf("core: atom %s: %w", a.Name, err)
 		}

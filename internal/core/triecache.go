@@ -1,15 +1,18 @@
 package core
 
 import (
-	"container/list"
+	"hash/maphash"
+	"reflect"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"wcoj/internal/relation"
 	"wcoj/internal/trie"
 )
 
-// The trie cache memoizes the expensive half of plan construction.
+// The trie store memoizes the expensive half of plan construction.
 // Building a trie for an atom means renaming the relation's columns to
 // the atom's variables and re-sorting the storage by the atom's slice
 // of the global variable order — O(N log N) per atom. The same
@@ -20,15 +23,26 @@ import (
 // to share across plans and worker goroutines; the cache key uses the
 // relation's pointer identity.
 //
-// The cache is bounded by a byte budget with LRU eviction: each entry
-// is charged its trie's estimated storage footprint, a hit moves the
-// entry to the front of the recency list, and inserting past the
-// budget evicts from the tail until the new entry fits. A process that
-// churns through arbitrarily many transient relations therefore holds
-// at most TrieCacheLimit bytes of cached tries (plus whatever the
-// caller itself still references) — the cache can no longer grow
-// without bound across queries. Entries larger than the whole budget
-// are returned to the caller uncached.
+// The store is bounded by a byte budget with LRU eviction: each entry
+// is charged its trie's estimated storage footprint and stamped from a
+// store-wide logical clock on every hit; when the resident total
+// exceeds the budget the stalest stamps are evicted until it fits.
+// Entries larger than the whole budget are returned to the caller
+// uncached.
+//
+// Concurrency: the key space is striped across trieStoreShards
+// independently locked segments, and the hit path — the only path a
+// steady-state workload touches — takes a shard *read* lock plus one
+// atomic stamp update. Concurrent plan builds therefore scale with
+// cores even when every worker wants the same trie; the old
+// single-mutex cache serialized them all. Builds still happen outside
+// any lock, and a lost build race shares the winner's trie.
+//
+// Two kinds of store exist: the process-global default (what the
+// one-shot wcoj.Execute paths use, accessible through the
+// TrieCache* package functions) and per-DB stores (NewTrieStore) that
+// give a long-lived engine ownership of its indexes, isolated from
+// global churn.
 
 // trieKey identifies one atom trie: the backing relation, the
 // variable binding of the atom, and the trie's attribute order.
@@ -37,60 +51,108 @@ type trieKey struct {
 	vars, order string
 }
 
-// trieEntry is one resident cache entry; list.Element.Value holds it.
+// trieEntry is one resident store entry.
 type trieEntry struct {
 	key   trieKey
 	tr    *trie.Trie
 	bytes int64
+	// stamp is the store's logical clock value at the entry's last
+	// touch; eviction removes the smallest stamps first.
+	stamp atomic.Uint64
 }
 
-// DefaultTrieCacheLimit is the byte budget the process starts with.
-// 256 MiB of cached tries: generous for benchmark suites, small next
-// to the relations a workload at that scale already holds.
+// DefaultTrieCacheLimit is the byte budget the process-global store
+// starts with (per-DB stores default to it too). 256 MiB of cached
+// tries: generous for benchmark suites, small next to the relations a
+// workload at that scale already holds.
 const DefaultTrieCacheLimit int64 = 256 << 20
 
 // trieEntryOverhead is the fixed per-entry charge on top of the
-// trie's storage estimate: map slot, list element, key strings and
-// the entry struct. It keeps zero-byte tries (empty relations) from
-// slipping under the byte budget — without it a process churning
-// through distinct empty relations would accumulate entries forever,
-// the exact unbounded growth the budget exists to prevent — and makes
-// SetTrieCacheLimit(0) genuinely cache nothing.
+// trie's storage estimate: map slot, key strings and the entry struct.
+// It keeps zero-byte tries (empty relations) from slipping under the
+// byte budget — without it a process churning through distinct empty
+// relations would accumulate entries forever, the exact unbounded
+// growth the budget exists to prevent — and makes SetLimit(0)
+// genuinely cache nothing.
 const trieEntryOverhead int64 = 256
 
-var trieCache = struct {
-	sync.Mutex
-	m                       map[trieKey]*list.Element
-	lru                     *list.List // front = most recently used
-	bytes                   int64
-	limit                   int64
-	hits, misses, evictions uint64
-}{
-	m:     make(map[trieKey]*list.Element),
-	lru:   list.New(),
-	limit: DefaultTrieCacheLimit,
+// trieStoreShards is the stripe count. 32 shards keep the probability
+// of two concurrent *distinct-key* operations colliding low on any
+// realistic core count; same-key hits don't collide at all (read
+// lock).
+const trieStoreShards = 32
+
+// trieShard is one independently locked stripe of the key space.
+type trieShard struct {
+	mu sync.RWMutex
+	m  map[trieKey]*trieEntry
 }
 
-// cachedTrie returns the trie for atom a under atomOrder, building and
+// TrieStore is a bounded, sharded cache of built atom tries. The zero
+// value is not usable; create one with NewTrieStore. A DB owns one
+// store per engine instance; the process-global default store backs
+// the one-shot execution paths.
+type TrieStore struct {
+	limit     atomic.Int64
+	bytes     atomic.Int64
+	clock     atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	// evictMu serializes eviction sweeps (never held by the hit path).
+	evictMu sync.Mutex
+	shards  [trieStoreShards]trieShard
+}
+
+// NewTrieStore returns an empty store with the given byte budget;
+// limit <= 0 disables caching (every Get builds).
+func NewTrieStore(limit int64) *TrieStore {
+	s := &TrieStore{}
+	s.limit.Store(limit)
+	for i := range s.shards {
+		s.shards[i].m = make(map[trieKey]*trieEntry)
+	}
+	return s
+}
+
+// trieKeySeed seeds the shard hash; one per process is plenty.
+var trieKeySeed = maphash.MakeSeed()
+
+// shardOf maps a key to its stripe.
+func (s *TrieStore) shardOf(key trieKey) *trieShard {
+	var h maphash.Hash
+	h.SetSeed(trieKeySeed)
+	var p [8]byte
+	ptr := reflect.ValueOf(key.rel).Pointer()
+	for i := range p {
+		p[i] = byte(ptr >> (8 * i))
+	}
+	h.Write(p[:])
+	h.WriteString(key.vars)
+	h.WriteString(key.order)
+	return &s.shards[h.Sum64()%trieStoreShards]
+}
+
+// Get returns the trie for atom a under atomOrder, building and
 // caching it on first use.
-func cachedTrie(a Atom, atomOrder []string) (*trie.Trie, error) {
+func (s *TrieStore) Get(a Atom, atomOrder []string) (*trie.Trie, error) {
 	key := trieKey{
 		rel:   a.Rel,
 		vars:  strings.Join(a.Vars, "\x1f"),
 		order: strings.Join(atomOrder, "\x1f"),
 	}
-	trieCache.Lock()
-	if el, ok := trieCache.m[key]; ok {
-		trieCache.hits++
-		trieCache.lru.MoveToFront(el)
-		tr := el.Value.(*trieEntry).tr
-		trieCache.Unlock()
-		return tr, nil
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e != nil {
+		e.stamp.Store(s.clock.Add(1))
+		s.hits.Add(1)
+		return e.tr, nil
 	}
-	trieCache.misses++
-	trieCache.Unlock()
+	s.misses.Add(1)
 
-	// Build outside the lock: sorting a large relation must not block
+	// Build outside any lock: sorting a large relation must not block
 	// concurrent plan construction.
 	rel, err := a.Rel.Rename(a.Name, a.Vars...)
 	if err != nil {
@@ -101,92 +163,143 @@ func cachedTrie(a Atom, atomOrder []string) (*trie.Trie, error) {
 		return nil, err
 	}
 
-	trieCache.Lock()
-	if el, ok := trieCache.m[key]; ok {
-		// A concurrent builder won the race; share its trie.
-		trieCache.lru.MoveToFront(el)
-		tr = el.Value.(*trieEntry).tr
-	} else {
-		insertLocked(key, tr)
+	size := tr.SizeBytes() + trieEntryOverhead
+	if size > s.limit.Load() {
+		// Larger than the whole budget: hand it to the caller uncached.
+		return tr, nil
 	}
-	trieCache.Unlock()
+	sh.mu.Lock()
+	if won, ok := sh.m[key]; ok {
+		// A concurrent builder won the race; share its trie.
+		won.stamp.Store(s.clock.Add(1))
+		tr = won.tr
+		sh.mu.Unlock()
+		return tr, nil
+	}
+	e = &trieEntry{key: key, tr: tr, bytes: size}
+	e.stamp.Store(s.clock.Add(1))
+	sh.m[key] = e
+	sh.mu.Unlock()
+	if limit := s.limit.Load(); s.bytes.Add(size) > limit {
+		// Evict with hysteresis (to 7/8 of the budget): each sweep
+		// snapshots and sorts every resident stamp, so freeing only one
+		// entry's worth would pay that cost again on the very next miss
+		// of a workload sitting at its budget.
+		s.evictTo(limit - limit/8)
+	}
 	return tr, nil
 }
 
-// insertLocked adds a built trie under the byte budget, evicting
-// least-recently-used entries until it fits. Tries larger than the
-// whole budget are not cached at all. Callers hold trieCache.Mutex.
-func insertLocked(key trieKey, tr *trie.Trie) {
-	size := tr.SizeBytes() + trieEntryOverhead
-	if size > trieCache.limit {
+// evictTo removes stalest-stamp entries until the resident total is at
+// most target bytes. Sweeps are serialized; concurrent hits proceed
+// under shard read locks and an entry touched after the sweep snapshot
+// is skipped rather than evicted.
+func (s *TrieStore) evictTo(target int64) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	if target < 0 {
+		target = 0
+	}
+	if s.bytes.Load() <= target {
 		return
 	}
-	for trieCache.bytes+size > trieCache.limit {
-		tail := trieCache.lru.Back()
-		if tail == nil {
-			break
-		}
-		evictLocked(tail)
+	type victim struct {
+		shard *trieShard
+		e     *trieEntry
+		stamp uint64
 	}
-	el := trieCache.lru.PushFront(&trieEntry{key: key, tr: tr, bytes: size})
-	trieCache.m[key] = el
-	trieCache.bytes += size
+	var all []victim
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.m {
+			all = append(all, victim{shard: sh, e: e, stamp: e.stamp.Load()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].stamp < all[j].stamp })
+	for _, v := range all {
+		if s.bytes.Load() <= target {
+			return
+		}
+		sh := v.shard
+		sh.mu.Lock()
+		cur, ok := sh.m[v.e.key]
+		if ok && cur == v.e && cur.stamp.Load() == v.stamp {
+			delete(sh.m, v.e.key)
+			s.bytes.Add(-v.e.bytes)
+			s.evictions.Add(1)
+		}
+		sh.mu.Unlock()
+	}
 }
 
-// evictLocked removes one entry. Callers hold trieCache.Mutex.
-func evictLocked(el *list.Element) {
-	e := el.Value.(*trieEntry)
-	trieCache.lru.Remove(el)
-	delete(trieCache.m, e.key)
-	trieCache.bytes -= e.bytes
-	trieCache.evictions++
-}
-
-// SetTrieCacheLimit replaces the cache's byte budget, evicting from
-// the LRU tail if the resident set exceeds the new limit, and returns
-// the previous limit. Limits <= 0 disable caching entirely (every
-// resident entry is dropped). Tests and memory-constrained embedders
-// use it; the default is DefaultTrieCacheLimit.
-func SetTrieCacheLimit(bytes int64) int64 {
-	trieCache.Lock()
-	defer trieCache.Unlock()
-	prev := trieCache.limit
-	trieCache.limit = bytes
-	for trieCache.bytes > trieCache.limit {
-		tail := trieCache.lru.Back()
-		if tail == nil {
-			break
-		}
-		evictLocked(tail)
-	}
+// SetLimit replaces the store's byte budget, evicting stale entries if
+// the resident set exceeds the new limit, and returns the previous
+// limit. Limits <= 0 disable caching entirely (every resident entry is
+// dropped).
+func (s *TrieStore) SetLimit(bytes int64) int64 {
+	prev := s.limit.Swap(bytes)
+	// Exact (no hysteresis): SetLimit is rare and callers expect the
+	// resident set to land exactly within the new budget.
+	s.evictTo(bytes)
 	return prev
 }
 
-// TrieCacheStats reports the cache's lifetime hit/miss counters and
-// current size; the benchmark harness uses it to show planner probes
+// Stats reports the store's lifetime hit/miss counters and current
+// entry count; the benchmark harness uses it to show planner probes
 // reusing tries.
-func TrieCacheStats() (hits, misses uint64, size int) {
-	trieCache.Lock()
-	defer trieCache.Unlock()
-	return trieCache.hits, trieCache.misses, len(trieCache.m)
+func (s *TrieStore) Stats() (hits, misses uint64, size int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		size += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return s.hits.Load(), s.misses.Load(), size
 }
 
-// TrieCacheUsage reports the resident byte total, the byte budget and
-// the lifetime eviction count.
-func TrieCacheUsage() (bytes, limit int64, evictions uint64) {
-	trieCache.Lock()
-	defer trieCache.Unlock()
-	return trieCache.bytes, trieCache.limit, trieCache.evictions
+// Usage reports the resident byte total, the byte budget and the
+// lifetime eviction count.
+func (s *TrieStore) Usage() (bytes, limit int64, evictions uint64) {
+	return s.bytes.Load(), s.limit.Load(), s.evictions.Load()
 }
 
-// ResetTrieCache empties the cache and zeroes its counters (the byte
-// budget is kept); tests and benchmarks call it to measure cold
-// builds.
-func ResetTrieCache() {
-	trieCache.Lock()
-	defer trieCache.Unlock()
-	trieCache.m = make(map[trieKey]*list.Element)
-	trieCache.lru.Init()
-	trieCache.bytes = 0
-	trieCache.hits, trieCache.misses, trieCache.evictions = 0, 0, 0
+// Reset empties the store and zeroes its counters (the byte budget is
+// kept); tests and benchmarks call it to measure cold builds.
+func (s *TrieStore) Reset() {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[trieKey]*trieEntry)
+		sh.mu.Unlock()
+	}
+	s.bytes.Store(0)
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.evictions.Store(0)
 }
+
+// defaultTrieStore backs the one-shot execution paths (and any plan
+// build that does not name a store).
+var defaultTrieStore = NewTrieStore(DefaultTrieCacheLimit)
+
+// DefaultTrieStore returns the process-global store.
+func DefaultTrieStore() *TrieStore { return defaultTrieStore }
+
+// SetTrieCacheLimit replaces the process-global store's byte budget
+// and returns the previous limit; see TrieStore.SetLimit.
+func SetTrieCacheLimit(bytes int64) int64 { return defaultTrieStore.SetLimit(bytes) }
+
+// TrieCacheStats reports the process-global store's counters; see
+// TrieStore.Stats.
+func TrieCacheStats() (hits, misses uint64, size int) { return defaultTrieStore.Stats() }
+
+// TrieCacheUsage reports the process-global store's resident bytes,
+// budget and evictions; see TrieStore.Usage.
+func TrieCacheUsage() (bytes, limit int64, evictions uint64) { return defaultTrieStore.Usage() }
+
+// ResetTrieCache empties the process-global store; see TrieStore.Reset.
+func ResetTrieCache() { defaultTrieStore.Reset() }

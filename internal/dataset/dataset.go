@@ -12,40 +12,83 @@ import (
 	"wcoj/internal/relation"
 )
 
+// edgeRetryFactor bounds the resampling loops of the graph
+// generators: a generator gives up after edgeRetryFactor*m + 1000
+// draws. Uniform sampling hits the bound only when m is very close to
+// the n(n-1) maximum; heavily skewed sampling can exhaust it earlier,
+// in which case the graph simply has fewer edges.
+const edgeRetryFactor = 64
+
+// clampEdges caps a requested edge count at the n(n-1) distinct
+// non-loop directed edges a graph on n vertices can hold.
+func clampEdges(n, m int) int {
+	if max := int64(n) * int64(n-1); int64(m) > max {
+		return int(max)
+	}
+	return m
+}
+
 // RandomGraph returns an Erdős–Rényi-style directed edge relation
-// E(src,dst) with m edges sampled uniformly over [n]×[n] (self-loops
-// removed, duplicates deduped by the builder).
+// E(src,dst) with exactly m distinct edges sampled uniformly over
+// [n]×[n] minus the diagonal. Rejected draws — self-loops and
+// duplicates — are resampled (with a bounded retry budget) instead of
+// silently shrinking the graph, so benchmarks get the edge count they
+// ask for; m is clamped to the n(n-1) maximum, and n < 2 yields the
+// empty relation (no non-loop edge exists).
 func RandomGraph(n, m int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	b := relation.NewBuilder("E", "src", "dst")
-	for i := 0; i < m; i++ {
-		u := relation.Value(rng.Intn(n))
-		v := relation.Value(rng.Intn(n))
+	if n < 2 || m <= 0 {
+		return b.Build()
+	}
+	m = clampEdges(n, m)
+	seen := make(map[[2]int]struct{}, m)
+	for tries := edgeRetryFactor*m + 1000; len(seen) < m && tries > 0; tries-- {
+		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v {
 			continue
 		}
-		b.Add(u, v)
+		e := [2]int{u, v}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		b.Add(relation.Value(u), relation.Value(v))
 	}
 	return b.Build()
 }
 
-// PowerLawGraph returns a directed graph of ~m edges whose source
-// vertices follow a Zipf(s) distribution — the skewed-degree workloads
-// where WCOJ algorithms shine.
+// PowerLawGraph returns a directed graph of m distinct edges whose
+// source vertices follow a Zipf(s) distribution — the skewed-degree
+// workloads where WCOJ algorithms shine. Self-loops and duplicates are
+// resampled like RandomGraph's; under extreme skew the retry budget
+// can run out before m distinct edges exist, leaving a smaller graph.
+// Degenerate n (< 2) yields the empty relation instead of the invalid
+// Zipf parameterization the old code fed rand.NewZipf.
 func PowerLawGraph(n, m int, s float64, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("E", "src", "dst")
+	if n < 2 || m <= 0 {
+		return b.Build()
+	}
 	if s <= 1 {
 		s = 1.01
 	}
+	m = clampEdges(n, m)
 	z := rand.NewZipf(rng, s, 1, uint64(n-1))
-	b := relation.NewBuilder("E", "src", "dst")
-	for i := 0; i < m; i++ {
-		u := relation.Value(z.Uint64())
-		v := relation.Value(rng.Intn(n))
+	seen := make(map[[2]int]struct{}, m)
+	for tries := edgeRetryFactor*m + 1000; len(seen) < m && tries > 0; tries-- {
+		u := int(z.Uint64())
+		v := rng.Intn(n)
 		if u == v {
 			continue
 		}
-		b.Add(u, v)
+		e := [2]int{u, v}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		b.Add(relation.Value(u), relation.Value(v))
 	}
 	return b.Build()
 }

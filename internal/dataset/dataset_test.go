@@ -28,6 +28,53 @@ func TestRandomGraph(t *testing.T) {
 	}
 }
 
+// TestRandomGraphEdgeCount: rejected draws (self-loops, duplicates)
+// are resampled, so the generator delivers exactly the m edges the
+// caller asked for — the old code silently returned fewer.
+func TestRandomGraphEdgeCount(t *testing.T) {
+	for _, c := range []struct{ n, m int }{
+		{50, 200}, {100, 500}, {10, 90}, // m = n(n-1): the complete digraph
+		{2, 2},
+	} {
+		g := RandomGraph(c.n, c.m, 7)
+		if g.Len() != c.m {
+			t.Errorf("RandomGraph(%d, %d): %d edges, want %d", c.n, c.m, g.Len(), c.m)
+		}
+	}
+	// m beyond the n(n-1) maximum clamps instead of spinning.
+	if g := RandomGraph(5, 1000, 7); g.Len() != 20 {
+		t.Errorf("over-requested graph: %d edges, want the full 20", g.Len())
+	}
+	// Degenerate vertex counts yield empty graphs, not panics or loops.
+	for _, n := range []int{0, 1, -3} {
+		if g := RandomGraph(n, 10, 7); g.Len() != 0 {
+			t.Errorf("RandomGraph(%d, 10): %d edges, want 0", n, g.Len())
+		}
+	}
+}
+
+// TestPowerLawGraphEdgeCount: same contract for the skewed generator,
+// plus the degenerate-n guard (the old code handed rand.NewZipf an
+// imax of uint64(n-1), which underflows for n = 0).
+func TestPowerLawGraphEdgeCount(t *testing.T) {
+	for _, c := range []struct {
+		n, m int
+		s    float64
+	}{
+		{100, 500, 1.5}, {200, 1000, 1.1}, {50, 300, 2.0},
+	} {
+		g := PowerLawGraph(c.n, c.m, c.s, 11)
+		if g.Len() != c.m {
+			t.Errorf("PowerLawGraph(%d, %d, %g): %d edges, want %d", c.n, c.m, c.s, g.Len(), c.m)
+		}
+	}
+	for _, n := range []int{0, 1, -3} {
+		if g := PowerLawGraph(n, 10, 1.5, 11); g.Len() != 0 {
+			t.Errorf("PowerLawGraph(%d, 10): %d edges, want 0", n, g.Len())
+		}
+	}
+}
+
 func TestPowerLawGraph(t *testing.T) {
 	g := PowerLawGraph(100, 500, 1.5, 3)
 	if g.Len() == 0 {

@@ -11,6 +11,7 @@ package lftj
 // enumerate-then-aggregate at every parallelism setting.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -27,7 +28,7 @@ func (o Options) aggPlan(q *core.Query, spec agg.Spec) (*core.Plan, *agg.Classif
 	if policy == nil && o.Order != nil {
 		policy = core.ExplicitOrder(o.Order)
 	}
-	return core.AggPlan(q, policy, spec)
+	return core.AggPlanIn(o.Store, q, policy, spec)
 }
 
 // Agg evaluates an aggregate with leapfrog search. ModeCount returns
@@ -35,16 +36,27 @@ func (o Options) aggPlan(q *core.Query, spec agg.Spec) (*core.Plan, *agg.Classif
 // distinct projected tuples otherwise. ModeExists returns 1 or 0,
 // short-circuiting on the first witness.
 func Agg(q *core.Query, opts Options, spec agg.Spec) (int64, *core.Stats, error) {
-	stats := &core.Stats{}
 	p, cls, err := opts.aggPlan(q, spec)
 	if err != nil {
 		return 0, nil, err
 	}
-	switch spec.Mode {
+	return AggPlan(opts.Ctx, p, cls, opts.Parallelism)
+}
+
+// AggPlan is Agg over a prebuilt sunk plan and classification — the
+// re-execution path of prepared aggregate queries, with context
+// cancellation. The spec is the one the plan was classified for
+// (cls.Spec).
+func AggPlan(ctx context.Context, p *core.Plan, cls *agg.Classification, parallelism int) (int64, *core.Stats, error) {
+	stats := &core.Stats{}
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
+	switch cls.Spec.Mode {
 	case agg.ModeCount:
-		if len(spec.Project) > 0 {
+		if len(cls.Spec.Project) > 0 {
 			var n int64
-			err := projectVisit(p, cls, opts, stats, func(relation.Tuple) error {
+			err := projectVisit(ctx, p, cls, parallelism, stats, func(relation.Tuple) error {
 				n++
 				return nil
 			})
@@ -54,14 +66,14 @@ func Agg(q *core.Query, opts Options, spec agg.Spec) (int64, *core.Stats, error)
 			stats.Output = int(n)
 			return n, stats, nil
 		}
-		n, err := countFast(p, cls, opts, stats)
+		n, err := countFast(ctx, p, cls, parallelism, stats)
 		if err != nil {
 			return 0, nil, err
 		}
 		stats.Output = int(n)
 		return n, stats, nil
 	case agg.ModeExists:
-		found, err := existsFast(p, cls, opts, stats)
+		found, err := existsFast(ctx, p, cls, parallelism, stats)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -71,7 +83,7 @@ func Agg(q *core.Query, opts Options, spec agg.Spec) (int64, *core.Stats, error)
 		}
 		return 0, stats, nil
 	}
-	return 0, nil, fmt.Errorf("lftj: unsupported aggregate mode %v", spec.Mode)
+	return 0, nil, fmt.Errorf("lftj: unsupported aggregate mode %v", cls.Spec.Mode)
 }
 
 // ProjectVisit streams the distinct projected tuples of the query to
@@ -83,13 +95,25 @@ func ProjectVisit(q *core.Query, opts Options, project []string, stats *core.Sta
 	if err != nil {
 		return err
 	}
-	return projectVisit(p, cls, opts, stats, emit)
+	return projectVisit(opts.Ctx, p, cls, opts.Parallelism, stats, emit)
 }
 
-func countFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats) (int64, error) {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+// ProjectVisitPlan is ProjectVisit over a prebuilt sunk plan and
+// enumerate-mode classification, with context cancellation.
+func ProjectVisitPlan(ctx context.Context, p *core.Plan, cls *agg.Classification, parallelism int, stats *core.Stats, emit func(relation.Tuple) error) error {
+	return projectVisit(ctx, p, cls, parallelism, stats, emit)
+}
+
+func countFast(ctx context.Context, p *core.Plan, cls *agg.Classification, parallelism int, stats *core.Stats) (int64, error) {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		var stop atomic.Bool
+		defer core.WatchCancel(ctx, &stop)()
 		a := newAggWorker(p, cls, stats, nil)
+		a.stop = &stop
 		n := a.count(0)
+		if a.aborted {
+			return 0, core.CtxAbortErr(ctx, core.ErrAborted)
+		}
 		if a.overflow {
 			return 0, agg.ErrCountOverflow
 		}
@@ -97,9 +121,13 @@ func countFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
-	total, err := core.RunShardedSum(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *core.Stats) (int64, error) {
+	total, err := core.RunShardedSum(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (int64, error) {
 		a := newAggWorker(p, cls, st, nil)
+		a.stop = stop
 		n := a.countChunk(chunk)
+		if a.aborted {
+			return 0, core.ErrAborted
+		}
 		if a.overflow {
 			return 0, agg.ErrCountOverflow
 		}
@@ -114,28 +142,53 @@ func countFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.
 	return total, nil
 }
 
-func existsFast(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats) (bool, error) {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
-		return newAggWorker(p, cls, stats, nil).exists(0), nil
+func existsFast(ctx context.Context, p *core.Plan, cls *agg.Classification, parallelism int, stats *core.Stats) (bool, error) {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.CountFrom == 0 {
+		var stop atomic.Bool
+		defer core.WatchCancel(ctx, &stop)()
+		a := newAggWorker(p, cls, stats, nil)
+		a.stop = &stop
+		found := a.exists(0)
+		if !found {
+			// The stop flag is only set by cancellation here, so a false
+			// under a cancelled context is inconclusive, not a "no".
+			if err := core.CtxErr(ctx); err != nil {
+				return false, err
+			}
+		}
+		return found, nil
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
-	return core.RunShardedAny(vals, opts.Parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (bool, error) {
+	return core.RunShardedAny(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (bool, error) {
 		a := newAggWorker(p, cls, st, nil)
 		a.stop = stop
 		return a.existsChunk(chunk), nil
 	})
 }
 
-func projectVisit(p *core.Plan, cls *agg.Classification, opts Options, stats *core.Stats, emit func(relation.Tuple) error) error {
-	if opts.Parallelism <= 1 || len(p.Order) == 0 || cls.EnumEnd == 0 {
-		return newAggWorker(p, cls, stats, emit).visit(0)
+func projectVisit(ctx context.Context, p *core.Plan, cls *agg.Classification, parallelism int, stats *core.Stats, emit func(relation.Tuple) error) error {
+	if parallelism <= 1 || len(p.Order) == 0 || cls.EnumEnd == 0 {
+		var stop atomic.Bool
+		defer core.WatchCancel(ctx, &stop)()
+		a := newAggWorker(p, cls, stats, emit)
+		a.stop = &stop
+		err := a.visit(0)
+		if err == nil {
+			// See the Generic-Join twin: a nil completion under a
+			// cancelled ctx may have skipped prefixes via the suppressed
+			// existence checks — report the cancellation, not success.
+			return core.CtxErr(ctx)
+		}
+		return core.CtxAbortErr(ctx, err)
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
-	return core.RunShardedTop(vals, opts.Parallelism, len(cls.Spec.Project), stats, emit,
-		func(chunk []relation.Value, st *core.Stats, chunkEmit func(relation.Tuple) error) error {
-			return newAggWorker(p, cls, st, chunkEmit).visitChunk(chunk)
+	return core.RunShardedTop(ctx, vals, parallelism, len(cls.Spec.Project), stats, emit,
+		func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool, chunkEmit func(relation.Tuple) error) error {
+			a := newAggWorker(p, cls, st, chunkEmit)
+			a.stop = stop
+			return a.visitChunk(chunk)
 		})
 }
 
@@ -143,13 +196,19 @@ func projectVisit(p *core.Plan, cls *agg.Classification, opts Options, stats *co
 // search: the plain worker's iterators plus the classification, the
 // subtree memo and the projection buffer.
 type aggWorker struct {
-	w         *worker
-	cls       *agg.Classification
-	memo      *agg.Memo
+	w    *worker
+	cls  *agg.Classification
+	memo *agg.Memo
+	// stop, when non-nil, is polled by every search mode: sharded
+	// EXISTS short-circuits across workers through it, and a cancelled
+	// or aborted run unwinds at the next poll.
 	stop      *atomic.Bool
 	projPos   []int
 	projBuf   relation.Tuple
 	keyRanges []int
+	// aborted records that a stop-flag poll fired inside a counting
+	// search (which has no error path); the entry points translate it.
+	aborted bool
 	// overflow records that a count exceeded int64 somewhere below;
 	// set by product, checked by the counting entry points.
 	overflow bool
@@ -235,6 +294,10 @@ func (a *aggWorker) memoKey(d int) []byte {
 func (a *aggWorker) count(d int) int64 {
 	w := a.w
 	w.stats.Recursions++
+	if a.aborted || (a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load()) {
+		a.aborted = true
+		return 0
+	}
 	n := len(w.plan.Order)
 	if d == n {
 		return 1
@@ -325,6 +388,9 @@ func (a *aggWorker) exists(d int) bool {
 // that has at least one extension.
 func (a *aggWorker) visit(d int) error {
 	w := a.w
+	if a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load() {
+		return core.ErrAborted
+	}
 	if d == a.cls.EnumEnd {
 		if a.exists(d) {
 			for i, p := range a.projPos {

@@ -16,7 +16,9 @@
 package lftj
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"wcoj/internal/core"
 	"wcoj/internal/relation"
@@ -36,15 +38,24 @@ type Options struct {
 	// depth-0 intersection. Values <= 1 run the serial join. Output
 	// order and Stats totals are identical at every setting.
 	Parallelism int
+	// Store, when non-nil, serves the per-atom tries (a long-lived DB
+	// passes its own); nil uses the process-global trie store.
+	Store *core.TrieStore
+	// Ctx, when non-nil, cancels the run: workers poll it and unwind
+	// promptly, and the entry points return ctx.Err(). Nil means no
+	// cancellation.
+	Ctx context.Context
 }
 
 // plan resolves the options into an execution plan: Policy wins when
-// set, otherwise Order (nil Order selects the heuristic).
+// set, otherwise Order (nil Order selects the heuristic). Tries come
+// from o.Store (nil = the process-global store).
 func (o Options) plan(q *core.Query) (*core.Plan, error) {
-	if o.Policy != nil {
-		return core.BuildPlanWith(q, o.Policy)
+	policy := o.Policy
+	if policy == nil && o.Order != nil {
+		policy = core.ExplicitOrder(o.Order)
 	}
-	return core.BuildPlan(q, o.Order)
+	return core.BuildPlanIn(o.Store, q, policy)
 }
 
 // Join evaluates the query with leapfrog triejoin and materializes the
@@ -67,21 +78,35 @@ func Join(q *core.Query, opts Options) (*relation.Relation, *core.Stats, error) 
 // Under parallelism each worker counts locally; no tuples are
 // buffered.
 func Count(q *core.Query, opts Options) (int, *core.Stats, error) {
-	stats := &core.Stats{}
 	p, err := opts.plan(q)
 	if err != nil {
 		return 0, nil, err
 	}
+	return PlanCount(opts.Ctx, p, opts.Parallelism)
+}
+
+// PlanCount is Count over a prebuilt plan — the re-execution path of
+// prepared queries, with context cancellation.
+func PlanCount(ctx context.Context, p *core.Plan, parallelism int) (int, *core.Stats, error) {
+	stats := &core.Stats{}
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, nil, err
+	}
 	n := 0
-	if opts.Parallelism <= 1 || len(p.Order) == 0 {
-		err = newWorker(p, stats, func(relation.Tuple) error {
+	var err error
+	if parallelism <= 1 || len(p.Order) == 0 {
+		var stop atomic.Bool
+		defer core.WatchCancel(ctx, &stop)()
+		w := newWorker(p, stats, func(relation.Tuple) error {
 			n++
 			return nil
-		}).rec(0)
+		})
+		w.stop = &stop
+		err = core.CtxAbortErr(ctx, w.rec(0))
 	} else {
 		vals := p.TopValues(nil)
 		stats.Recursions++
-		n, err = core.RunShardedCount(vals, opts.Parallelism, stats, shardRun(p))
+		n, err = core.RunShardedCount(ctx, vals, parallelism, stats, shardRun(p))
 	}
 	if err != nil {
 		return 0, nil, err
@@ -100,22 +125,37 @@ func Visit(q *core.Query, opts Options, stats *core.Stats, emit func(relation.Tu
 	if err != nil {
 		return err
 	}
-	if opts.Parallelism <= 1 || len(p.Order) == 0 {
-		return newWorker(p, stats, emit).rec(0)
+	return PlanVisit(opts.Ctx, p, opts.Parallelism, stats, emit)
+}
+
+// PlanVisit is Visit over a prebuilt plan — the re-execution path of
+// prepared queries, with context cancellation.
+func PlanVisit(ctx context.Context, p *core.Plan, parallelism int, stats *core.Stats, emit func(relation.Tuple) error) error {
+	if err := core.CtxErr(ctx); err != nil {
+		return err
+	}
+	if parallelism <= 1 || len(p.Order) == 0 {
+		var stop atomic.Bool
+		defer core.WatchCancel(ctx, &stop)()
+		w := newWorker(p, stats, emit)
+		w.stop = &stop
+		return core.CtxAbortErr(ctx, w.rec(0))
 	}
 	vals := p.TopValues(nil)
 	// Account for the root node exactly as the serial search does;
 	// per-value IntersectValues are counted by the workers.
 	stats.Recursions++
-	return core.RunShardedTop(vals, opts.Parallelism, len(q.Vars), stats, emit, shardRun(p))
+	return core.RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, shardRun(p))
 }
 
 // shardRun adapts the leapfrog search to the sharded runner: each
 // chunk gets a fresh worker (private iterators over the shared tries)
 // walking its slice of the precomputed depth-0 intersection.
-func shardRun(p *core.Plan) func([]relation.Value, *core.Stats, func(relation.Tuple) error) error {
-	return func(chunk []relation.Value, st *core.Stats, emit func(relation.Tuple) error) error {
-		return newWorker(p, st, emit).iterateTop(chunk)
+func shardRun(p *core.Plan) func([]relation.Value, *core.Stats, *atomic.Bool, func(relation.Tuple) error) error {
+	return func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool, emit func(relation.Tuple) error) error {
+		w := newWorker(p, st, emit)
+		w.stop = stop
+		return w.iterateTop(chunk)
 	}
 }
 
@@ -136,6 +176,10 @@ type worker struct {
 	binding      relation.Tuple
 	stats        *core.Stats
 	emit         func(relation.Tuple) error
+	// stop, when non-nil, is polled every few hundred search nodes so a
+	// cancelled (or aborted) run unwinds promptly even when it emits
+	// rarely; the recursion returns core.ErrAborted.
+	stop *atomic.Bool
 }
 
 func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error) *worker {
@@ -164,6 +208,9 @@ func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error)
 // the levels above d).
 func (w *worker) rec(d int) error {
 	w.stats.Recursions++
+	if w.stop != nil && w.stats.Recursions&255 == 0 && w.stop.Load() {
+		return core.ErrAborted
+	}
 	if d == len(w.plan.Order) {
 		return w.emit(w.binding)
 	}

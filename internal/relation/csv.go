@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions configure ReadCSV.
+type CSVOptions struct {
+	// Comma is the field delimiter; 0 means ',' (pass '\t' for
+	// quoted-TSV input — plain integer TSV is also what ReadTSV reads).
+	Comma rune
+	// Comment, when non-zero and positive, makes lines starting with
+	// that rune comments. The zero value enables '#' comments only for
+	// integer data (Dict nil — the cmd/wcojgen TSV convention); with a
+	// Dict set, rows are arbitrary strings and nothing is skipped, so
+	// a record like "#hashtag,topic" loads instead of vanishing. Set
+	// to -1 to disable comment handling unconditionally.
+	Comment rune
+	// NoHeader declares the input headerless; attribute names then come
+	// from Attrs, or default to c0..c{k-1} for the first record's width.
+	NoHeader bool
+	// Attrs overrides the attribute names (required width = arity).
+	// With a header present the header row is still consumed.
+	Attrs []string
+	// Dict, when non-nil, interns every field through the dictionary,
+	// so arbitrary string data loads; when nil every field must parse
+	// as a base-10 int64.
+	Dict *Dict
+}
+
+// ReadCSV reads a relation from delimited text via encoding/csv (so
+// quoted fields, embedded delimiters and CRLF all work). The first
+// record is the attribute header unless opt.NoHeader is set; every
+// following record is one tuple. With opt.Dict set, fields are
+// interned strings; otherwise they must be integers. Duplicate tuples
+// are deduplicated by the builder, like every relation in the system.
+func ReadCSV(r io.Reader, name string, opt CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opt.Comma != 0 {
+		cr.Comma = opt.Comma
+	}
+	switch {
+	case opt.Comment > 0:
+		cr.Comment = opt.Comment
+	case opt.Comment == 0 && opt.Dict == nil:
+		cr.Comment = '#'
+	}
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1 // arity is checked below with row numbers
+
+	var b *Builder
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: %s: %w", name, err)
+		}
+		row++
+		if b == nil {
+			attrs := opt.Attrs
+			data := rec
+			if !opt.NoHeader {
+				if attrs == nil {
+					attrs = trimAll(rec)
+				}
+				data = nil
+			} else if attrs == nil {
+				attrs = make([]string, len(rec))
+				for i := range attrs {
+					attrs[i] = fmt.Sprintf("c%d", i)
+				}
+			}
+			if len(attrs) == 0 {
+				return nil, fmt.Errorf("relation: %s: empty schema", name)
+			}
+			b = NewBuilder(name, attrs...)
+			if data == nil {
+				continue
+			}
+			rec = data
+		}
+		if err := addCSVRow(b, rec, opt.Dict, name, row); err != nil {
+			return nil, err
+		}
+	}
+	if b == nil {
+		if opt.NoHeader && opt.Attrs != nil {
+			return NewBuilder(name, opt.Attrs...).Build(), nil
+		}
+		return nil, fmt.Errorf("relation: %s: empty input (missing header)", name)
+	}
+	return b.Build(), nil
+}
+
+// addCSVRow converts one record and appends it to the builder.
+func addCSVRow(b *Builder, rec []string, dict *Dict, name string, row int) error {
+	if len(rec) != b.arity {
+		return fmt.Errorf("relation: %s record %d: %d fields, want %d", name, row, len(rec), b.arity)
+	}
+	vals := make([]Value, len(rec))
+	for i, f := range rec {
+		f = strings.TrimSpace(f)
+		if dict != nil {
+			vals[i] = dict.ID(f)
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("relation: %s record %d field %d: %w", name, row, i+1, err)
+		}
+		vals[i] = Value(v)
+	}
+	return b.Add(vals...)
+}
+
+func trimAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// WriteCSV writes the relation as delimited text in the format ReadCSV
+// reads: a header record then one record per tuple. With a non-nil
+// dict, values are written as their interned strings (quoting handled
+// by encoding/csv); otherwise as integers.
+func WriteCSV(w io.Writer, r *Relation, comma rune, dict *Dict) error {
+	cw := csv.NewWriter(w)
+	if comma != 0 {
+		cw.Comma = comma
+	}
+	if err := cw.Write(r.Attrs()); err != nil {
+		return err
+	}
+	rec := make([]string, r.Arity())
+	var row Tuple
+	for i := 0; i < r.Len(); i++ {
+		row = r.Tuple(i, row)
+		for j, v := range row {
+			if dict != nil {
+				rec[j] = dict.String(v)
+			} else {
+				rec[j] = strconv.FormatInt(int64(v), 10)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVIntegers(t *testing.T) {
+	in := "src,dst\n1,2\n# comment\n3,4\n1,2\n"
+	r, err := ReadCSV(strings.NewReader(in), "E", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Attrs(); got[0] != "src" || got[1] != "dst" {
+		t.Fatalf("attrs = %v", got)
+	}
+	if r.Len() != 2 { // duplicate (1,2) deduped
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	if !r.Contains(Tuple{1, 2}) || !r.Contains(Tuple{3, 4}) {
+		t.Fatalf("tuples missing: %v", r.Tuples())
+	}
+}
+
+func TestReadCSVTabDelimited(t *testing.T) {
+	in := "x\ty\n10\t20\n30\t40\n"
+	r, err := ReadCSV(strings.NewReader(in), "R", CSVOptions{Comma: '\t'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || !r.Contains(Tuple{10, 20}) {
+		t.Fatalf("bad relation: %v", r.Tuples())
+	}
+}
+
+func TestReadCSVStringsInterned(t *testing.T) {
+	dict := NewDict()
+	in := "person,city\nalice,\"new york\"\nbob,berlin\nalice,berlin\n"
+	r, err := ReadCSV(strings.NewReader(in), "Lives", CSVOptions{Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	alice, ok := dict.Lookup("alice")
+	if !ok {
+		t.Fatal("alice not interned")
+	}
+	ny, ok := dict.Lookup("new york")
+	if !ok {
+		t.Fatal("quoted field not interned verbatim")
+	}
+	if !r.Contains(Tuple{alice, ny}) {
+		t.Fatalf("missing (alice, new york): %v", r.Tuples())
+	}
+}
+
+// TestReadCSVCommentModes: '#' comments apply to integer data (the
+// TSV convention) but never to dictionary-interned string data, where
+// a leading '#' is a legitimate value; an explicit Comment rune wins
+// either way.
+func TestReadCSVCommentModes(t *testing.T) {
+	dict := NewDict()
+	r, err := ReadCSV(strings.NewReader("tag,topic\n#go,lang\nplain,misc\n"), "T", CSVOptions{Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("string data lost a '#' row: %d tuples, want 2", r.Len())
+	}
+	if _, ok := dict.Lookup("#go"); !ok {
+		t.Fatal("'#go' not interned")
+	}
+	r2, err := ReadCSV(strings.NewReader("tag,topic\n;skipped,row\nplain,misc\n"), "T",
+		CSVOptions{Dict: dict, Comment: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 {
+		t.Fatalf("explicit comment rune ignored: %d tuples, want 1", r2.Len())
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	r, err := ReadCSV(strings.NewReader("1,2\n3,4\n"), "E", CSVOptions{NoHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Attrs(); got[0] != "c0" || got[1] != "c1" {
+		t.Fatalf("auto attrs = %v", got)
+	}
+	r2, err := ReadCSV(strings.NewReader("1,2\n"), "E", CSVOptions{NoHeader: true, Attrs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Attrs(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("explicit attrs = %v", got)
+	}
+	// Headerless empty input with an explicit schema is an empty
+	// relation, not an error.
+	r3, err := ReadCSV(strings.NewReader(""), "E", CSVOptions{NoHeader: true, Attrs: []string{"a"}})
+	if err != nil || r3.Len() != 0 {
+		t.Fatalf("empty headerless: %v, %v", r3, err)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opt  CSVOptions
+	}{
+		{"empty input", "", CSVOptions{}},
+		{"arity mismatch", "a,b\n1,2,3\n", CSVOptions{}},
+		{"non-integer without dict", "a,b\n1,oops\n", CSVOptions{}},
+		{"bare quote", "a,b\n\"1,2\n", CSVOptions{}},
+		{"headerless arity drift", "1,2\n3\n", CSVOptions{NoHeader: true}},
+		{"explicit attrs arity", "a,b\n1,2\n", CSVOptions{Attrs: []string{"x"}}},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "R", c.opt); err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+		}
+	}
+}
+
+// TestCSVRoundTrip: Write then Read reproduces the relation exactly,
+// in both integer and dictionary-interned modes.
+func TestCSVRoundTrip(t *testing.T) {
+	ints := New("R", []string{"a", "b"}, []Tuple{{3, 4}, {1, 2}, {-5, 7}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ints, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "R", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ints.Equal(back) {
+		t.Fatalf("integer round trip: %v vs %v", ints.Tuples(), back.Tuples())
+	}
+
+	dict := NewDict()
+	strRel := New("S", []string{"w"}, []Tuple{
+		{dict.ID("plain")}, {dict.ID("with,comma")}, {dict.ID("with \"quote\"")},
+	})
+	buf.Reset()
+	if err := WriteCSV(&buf, strRel, 0, dict); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadCSV(&buf, "S", CSVOptions{Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strRel.Equal(back2) {
+		t.Fatalf("string round trip: %v vs %v", strRel.Tuples(), back2.Tuples())
+	}
+}
+
+// TestCSVTSVInterop: integer TSV written by WriteTSV loads through
+// ReadCSV with a tab delimiter and vice versa.
+func TestCSVTSVInterop(t *testing.T) {
+	r := New("E", []string{"src", "dst"}, []Tuple{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	viaCSV, err := ReadCSV(bytes.NewReader(buf.Bytes()), "E", CSVOptions{Comma: '\t'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(viaCSV) {
+		t.Fatal("TSV output did not load through ReadCSV")
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, r, '\t', nil); err != nil {
+		t.Fatal(err)
+	}
+	viaTSV, err := ReadTSV(bytes.NewReader(buf.Bytes()), "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(viaTSV) {
+		t.Fatal("CSV tab output did not load through ReadTSV")
+	}
+}

@@ -14,6 +14,7 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Value is a dictionary-encoded attribute value. Real data (strings,
@@ -71,8 +72,11 @@ func (t Tuple) String() string {
 }
 
 // Dict maps external string identifiers to dense Values and back. The
-// zero value is not usable; create one with NewDict.
+// zero value is not usable; create one with NewDict. All methods are
+// safe for concurrent use — a long-lived engine interns ingestion
+// strings and decodes result values from many goroutines at once.
 type Dict struct {
+	mu    sync.RWMutex
 	toID  map[string]Value
 	toStr []string
 }
@@ -84,10 +88,18 @@ func NewDict() *Dict {
 
 // ID returns the Value for s, interning s on first use.
 func (d *Dict) ID(s string) Value {
+	d.mu.RLock()
+	id, ok := d.toID[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.toID[s]; ok {
 		return id
 	}
-	id := Value(len(d.toStr))
+	id = Value(len(d.toStr))
 	d.toID[s] = id
 	d.toStr = append(d.toStr, s)
 	return id
@@ -95,12 +107,16 @@ func (d *Dict) ID(s string) Value {
 
 // Lookup returns the Value for s without interning.
 func (d *Dict) Lookup(s string) (Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.toID[s]
 	return id, ok
 }
 
 // String returns the external string of v, or "#<v>" if v was never interned.
 func (d *Dict) String(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if v >= 0 && int(v) < len(d.toStr) {
 		return d.toStr[v]
 	}
@@ -108,4 +124,8 @@ func (d *Dict) String(v Value) string {
 }
 
 // Len reports the number of interned strings.
-func (d *Dict) Len() int { return len(d.toStr) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.toStr)
+}

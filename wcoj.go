@@ -26,6 +26,13 @@
 // over degree statistics measured from the data. Explain returns the
 // full planning record without running the join.
 //
+// For a long-lived serving process, DB owns registered relations
+// (builders or CSV/TSV ingestion), their tries, and a plan cache;
+// Prepare compiles a query once into a PreparedQuery that any number
+// of goroutines re-execute with per-call Stats and context
+// cancellation. See the "Serving queries from a long-lived DB"
+// walkthrough in README.md.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the full system inventory.
 package wcoj
