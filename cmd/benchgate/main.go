@@ -9,14 +9,23 @@
 //	go test -json -run '^$' -bench . -benchtime 3x . | tee bench.json
 //	benchgate -baseline BENCH_baseline.json -out BENCH_current.json bench.json
 //
+// Repeated rows (`-count N`) collapse to their median before gating,
+// so a single outlier sample cannot fail a row — or skew the
+// calibration factor every other row's ratio is divided by.
+//
 // Cross-machine noise is tamed two ways: results below -min-ns are
 // ignored (single-digit-microsecond rows are all jitter at -benchtime
-// 3x), and when the baseline names a calibration benchmark present in
-// both runs, every ratio is divided by the calibration ratio — a
-// uniformly slower CI machine shifts the calibration row by the same
-// factor as the gated rows and cancels out. Benchmarks present on one
-// side only are reported but never fail the gate (worker-count
-// suffixes differ across machines).
+// 3x), and every ratio is divided by a machine factor — the median of
+// the per-row current/baseline ratios across the common rows. A
+// uniformly slower CI machine shifts every row by the same factor,
+// which the median recovers exactly, while a genuine regression in a
+// minority of rows cannot drag it (the cost: a change that slows MOST
+// of the suite uniformly is indistinguishable from a slower machine —
+// same blind spot the old single-calibration-row scheme had, minus
+// that row's own noise multiplying into every verdict). With fewer
+// than three common rows the baseline's named Calibration row is used
+// as before. Benchmarks present on one side only are reported but
+// never fail the gate (worker-count suffixes differ across machines).
 //
 //	benchgate -update -baseline BENCH_baseline.json bench.json
 //
@@ -121,15 +130,7 @@ func run(baselinePath string, threshold, minNs float64, outPath string, update b
 
 // gate prints the comparison table and returns the names that failed.
 func gate(w io.Writer, base Baseline, current map[string]float64, threshold, minNs float64) []string {
-	factor := 1.0
-	if base.Calibration != "" {
-		b, okB := base.Benchmarks[base.Calibration]
-		c, okC := current[base.Calibration]
-		if okB && okC && b > 0 && c > 0 {
-			factor = c / b
-			fmt.Fprintf(w, "calibration %s: %.0f -> %.0f ns/op (machine factor %.2fx)\n", base.Calibration, b, c, factor)
-		}
-	}
+	factor := machineFactor(w, base, current, minNs)
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -142,6 +143,15 @@ func gate(w io.Writer, base Baseline, current map[string]float64, threshold, min
 		c, ok := current[name]
 		switch {
 		case name == base.Calibration:
+			// The designated calibration row is a deliberately short,
+			// noisy micro benchmark (it can swing 2-3x at -benchtime 3x) —
+			// it is printed for the record but never gated, whether or
+			// not the median machine factor superseded it.
+			if ok {
+				fmt.Fprintf(w, "%-64s %14.0f %14.0f %8s %s\n", name, b, c, "-", "calibration (not gated)")
+			} else {
+				fmt.Fprintf(w, "%-64s %14.0f %14s %8s %s\n", name, b, "-", "-", "calibration (not gated)")
+			}
 			continue
 		case !ok:
 			fmt.Fprintf(w, "%-64s %14.0f %14s %8s %s\n", name, b, "-", "-", "missing (not gated)")
@@ -169,14 +179,65 @@ func gate(w io.Writer, base Baseline, current map[string]float64, threshold, min
 	return regressions
 }
 
+// machineFactor estimates how much faster/slower this machine is than
+// the baseline's: the MEDIAN of the per-row current/baseline ratios
+// over every gate-eligible common row. A uniformly different machine
+// shifts every row by the same factor, so the median recovers it; a
+// genuine regression in a minority of rows cannot drag the median
+// with it. This replaces trusting one designated calibration row,
+// whose own noise used to multiply into every verdict (a short row at
+// -benchtime 3x can swing 2-3x run to run on shared CI hardware).
+//
+// The blind spot this buys: a change that uniformly slows the
+// MAJORITY of the suite is indistinguishable from a slower machine
+// and will be normalized away (the old scheme would have caught it
+// unless the calibration row itself regressed). There is no in-band
+// fix — the gate cannot tell hardware from code when everything moves
+// together — so a factor past the gate threshold is called out
+// loudly below for a human to eyeball against the uploaded
+// trajectory artifacts. With fewer than three common rows the named
+// calibration row is used as before, if present; otherwise 1.
+func machineFactor(w io.Writer, base Baseline, current map[string]float64, minNs float64) float64 {
+	var ratios []float64
+	for name, b := range base.Benchmarks {
+		c, ok := current[name]
+		if !ok || b < minNs || b <= 0 || c <= 0 {
+			continue
+		}
+		ratios = append(ratios, c/b)
+	}
+	if len(ratios) >= 3 {
+		f := median(ratios)
+		fmt.Fprintf(w, "calibration: median ratio of %d common rows (machine factor %.2fx)\n", len(ratios), f)
+		if f > 1.30 || f < 1/1.30 {
+			fmt.Fprintf(w, "WARNING: machine factor %.2fx exceeds the gate threshold — either this machine differs "+
+				"from the baseline's by that much, or a suite-wide code regression is being normalized away; "+
+				"compare the uploaded BENCH_*.json against the baseline by hand\n", f)
+		}
+		return f
+	}
+	if base.Calibration != "" {
+		b, okB := base.Benchmarks[base.Calibration]
+		c, okC := current[base.Calibration]
+		if okB && okC && b > 0 && c > 0 {
+			f := c / b
+			fmt.Fprintf(w, "calibration %s: %.0f -> %.0f ns/op (machine factor %.2fx)\n", base.Calibration, b, c, f)
+			return f
+		}
+	}
+	return 1.0
+}
+
 // parseFiles extracts normalized benchmark results from the inputs,
-// averaging duplicate rows. `go test -json` splits a benchmark row
-// across several output events (the name flushes before the timing),
-// so each file's output stream is reassembled into plain text before
-// the per-line match runs.
+// taking the MEDIAN of duplicate rows: `-count N` runs exist exactly
+// to shed scheduling noise, and a median discards the outlier a mean
+// would average in — which matters doubly for the calibration row,
+// where one slow sample would shift every gated ratio. `go test
+// -json` splits a benchmark row across several output events (the
+// name flushes before the timing), so each file's output stream is
+// reassembled into plain text before the per-line match runs.
 func parseFiles(files []string) (map[string]float64, error) {
-	sums := make(map[string]float64)
-	counts := make(map[string]int)
+	samples := make(map[string][]float64)
 	for _, path := range files {
 		f, err := os.Open(path)
 		if err != nil {
@@ -211,15 +272,25 @@ func parseFiles(files []string) (map[string]float64, error) {
 			if !ok {
 				continue
 			}
-			sums[name] += ns
-			counts[name]++
+			samples[name] = append(samples[name], ns)
 		}
 	}
-	out := make(map[string]float64, len(sums))
-	for name, sum := range sums {
-		out[name] = sum / float64(counts[name])
+	out := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		out[name] = median(s)
 	}
 	return out, nil
+}
+
+// median returns the middle sample (the mean of the middle two for
+// even counts). s is sorted in place.
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // parseBenchLine extracts (normalized name, ns/op) from one output

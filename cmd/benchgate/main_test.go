@@ -182,3 +182,37 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("missing baseline must fail")
 	}
 }
+
+// TestGateMedianOfRepeatedRows: -count N rows collapse to their
+// median, so one outlier sample — above or below — cannot move a
+// gated ratio (or, worse, the calibration factor every other ratio is
+// divided by).
+func TestGateMedianOfRepeatedRows(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	baseRun := writeFile(t, dir, "base_run.json", jsonBenchOutput(t,
+		"BenchmarkPlanner/plan-8  10  5000000 ns/op",
+	))
+	var out bytes.Buffer
+	if err := run(baseline, 1.30, 200000, "", true, "", []string{baseRun}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	// Three samples: median 5.1ms (2% over baseline) — the 60ms
+	// outlier must not fail the gate, which a mean (23ms, 4.7x) would.
+	cur := writeFile(t, dir, "cur_run.json", jsonBenchOutput(t,
+		"BenchmarkPlanner/plan-8  10  5100000 ns/op",
+		"BenchmarkPlanner/plan-8  10  60000000 ns/op",
+		"BenchmarkPlanner/plan-8  10  4900000 ns/op",
+	))
+	out.Reset()
+	if err := run(baseline, 1.30, 200000, "", false, "", []string{cur}, &out); err != nil {
+		t.Fatalf("median gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("missing verdict: %s", out.String())
+	}
+	// An even sample count takes the middle pair's mean.
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("median of 1..4 = %v, want 2.5", got)
+	}
+}

@@ -14,12 +14,17 @@
 //	POST /query   {"query": "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)",
 //	               "count": true | "exists": true | "limit": 50,
 //	               "project": ["A","C"], "algo": "...", "planner": "..."}
-//	GET  /stats   engine counters (relations, trie store, plan cache)
+//	POST /update  {"insert": {"E": [[1,2],[3,4]]}, "delete": {"E": [[5,6]]}}
+//	GET  /stats   engine counters (relations, deltas, trie store, plan cache)
 //	GET  /healthz liveness
 //
 // Every request round-trips through the DB's plan cache, so repeated
 // query shapes never re-plan; request cancellation (a closed client
 // connection) propagates into the join and unwinds its workers.
+// Updates (POST /update, or startup -updates delta files: lines
+// "+,1,2" insert, "-,3,4" delete) apply atomically and are absorbed
+// incrementally — prepared plans survive, and only the touched
+// relation's tries are re-versioned by merging the delta.
 package main
 
 import (
@@ -49,6 +54,7 @@ func (r *relFlags) Set(s string) error {
 
 type config struct {
 	rels        relFlags
+	updates     relFlags
 	queriesPath string
 	serveAddr   string
 	algo        string
@@ -61,6 +67,7 @@ type config struct {
 func main() {
 	var c config
 	flag.Var(&c.rels, "rel", "NAME=path.tsv|.csv (repeatable)")
+	flag.Var(&c.updates, "updates", "NAME=delta.tsv|.csv batch update file applied after load: '+,v1,v2' inserts, '-,v1,v2' deletes (repeatable)")
 	flag.StringVar(&c.queriesPath, "queries", "", "batch mode: file with one conjunctive query per line ('-' = stdin)")
 	flag.StringVar(&c.serveAddr, "serve", "", "serve mode: HTTP listen address, e.g. :8077")
 	flag.StringVar(&c.algo, "algo", "generic-join", "join algorithm for batch queries")
@@ -81,6 +88,11 @@ func run(c config) error {
 	}
 	db := wcoj.NewDB()
 	loadStart := time.Now()
+	// dictRels records which relations were loaded with string
+	// interning (LoadFile's .csv convention); /update uses it to
+	// decide whether string tuple fields are meaningful for a
+	// relation or a client error.
+	dictRels := make(map[string]bool)
 	for _, spec := range c.rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -90,10 +102,30 @@ func run(c config) error {
 		if err != nil {
 			return err
 		}
+		dictRels[name] = strings.HasSuffix(path, ".csv")
 		fmt.Printf("loaded %s: %d tuples (%v)\n", r, r.Len(), time.Since(loadStart))
 	}
+	for _, spec := range c.updates {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -updates %q, want NAME=path", spec)
+		}
+		// Mirror LoadFile's encoding convention: .csv relations were
+		// interned through the DB dictionary, so .csv deltas intern the
+		// same way; everything else is integer data.
+		opt := wcoj.CSVOptions{}
+		if strings.HasSuffix(path, ".csv") {
+			opt.Dict = db.Dict()
+		}
+		us, err := db.ApplyDeltaFile(path, name, opt)
+		if err != nil {
+			return fmt.Errorf("updates %s: %w", spec, err)
+		}
+		fmt.Printf("applied %s to %s: +%d -%d (noops +%d -%d, epoch %d)\n",
+			path, name, us.Inserted, us.Deleted, us.InsertNoops, us.DeleteNoops, us.Epoch)
+	}
 	if c.serveAddr != "" {
-		return serve(db, c.serveAddr)
+		return serve(db, dictRels, c.serveAddr)
 	}
 	return batch(db, c)
 }
@@ -224,7 +256,7 @@ type queryResponse struct {
 }
 
 // serve exposes the DB over HTTP until the process is killed.
-func serve(db *wcoj.DB, addr string) error {
+func serve(db *wcoj.DB, dictRels map[string]bool, addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -253,7 +285,25 @@ func serve(db *wcoj.DB, addr string) error {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	})
-	fmt.Printf("serving on %s (POST /query, GET /stats)\n", addr)
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req updateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, status, err := handleUpdate(db, dictRels, req)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	fmt.Printf("serving on %s (POST /query, POST /update, GET /stats)\n", addr)
 	srv := &http.Server{
 		Addr:    addr,
 		Handler: mux,
@@ -264,6 +314,95 @@ func serve(db *wcoj.DB, addr string) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
+}
+
+// updateRequest is the POST /update body: tuples to insert and delete
+// per relation name. Tuple values are integers for integer-encoded
+// relations, or strings for relations loaded with dictionary
+// interning — strings round-trip through the same DB dictionary the
+// CSV loader used, so [["alice","bob"]] means what it says (raw dict
+// IDs would be meaningless to a caller). The whole request is applied
+// as one atomic batch — concurrent queries see all of it or none of
+// it — with deletes applied before inserts per relation.
+type updateRequest struct {
+	Insert map[string][][]any `json:"insert,omitempty"`
+	Delete map[string][][]any `json:"delete,omitempty"`
+}
+
+// updateResponse is the POST /update reply. Noops count operations
+// with no effect (duplicate inserts, absent deletes); Epoch is the
+// DB's update epoch after the batch.
+type updateResponse struct {
+	Inserted    int    `json:"inserted"`
+	Deleted     int    `json:"deleted"`
+	InsertNoops int    `json:"insert_noops"`
+	DeleteNoops int    `json:"delete_noops"`
+	Epoch       uint64 `json:"epoch"`
+	ElapsedUS   int64  `json:"elapsed_us"`
+}
+
+// handleUpdate folds one update request into the DB. dictRels says
+// which relations were loaded with string interning: string fields
+// are only accepted for those — interning a string against an
+// integer-encoded relation would allocate a fresh dict ID and insert
+// a bogus tuple while reporting success. Numbers are accepted either
+// way (for a dict relation they are raw dict IDs, as returned by
+// /query).
+func handleUpdate(db *wcoj.DB, dictRels map[string]bool, req updateRequest) (*updateResponse, int, error) {
+	batch := wcoj.NewBatch()
+	toTuples := func(rel string, rows [][]any) ([]wcoj.Tuple, error) {
+		out := make([]wcoj.Tuple, len(rows))
+		for i, row := range rows {
+			t := make(wcoj.Tuple, len(row))
+			for j, v := range row {
+				switch x := v.(type) {
+				case float64: // every JSON number decodes here
+					if x != float64(int64(x)) {
+						return nil, fmt.Errorf("tuple %d field %d: %v is not an integer", i, j+1, x)
+					}
+					t[j] = wcoj.Value(int64(x))
+				case string:
+					if !dictRels[rel] {
+						return nil, fmt.Errorf("tuple %d field %d: relation %q holds integers, not interned strings", i, j+1, rel)
+					}
+					t[j] = db.Dict().ID(x)
+				case int: // in-process callers (tests) pass Go ints
+					t[j] = wcoj.Value(x)
+				default:
+					return nil, fmt.Errorf("tuple %d field %d: want a number or string, got %T", i, j+1, v)
+				}
+			}
+			out[i] = t
+		}
+		return out, nil
+	}
+	for rel, rows := range req.Delete {
+		tuples, err := toTuples(rel, rows)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("delete %s: %w", rel, err)
+		}
+		batch.Delete(rel, tuples...)
+	}
+	for rel, rows := range req.Insert {
+		tuples, err := toTuples(rel, rows)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("insert %s: %w", rel, err)
+		}
+		batch.Insert(rel, tuples...)
+	}
+	start := time.Now()
+	us, err := db.Apply(batch)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return &updateResponse{
+		Inserted:    us.Inserted,
+		Deleted:     us.Deleted,
+		InsertNoops: us.InsertNoops,
+		DeleteNoops: us.DeleteNoops,
+		Epoch:       us.Epoch,
+		ElapsedUS:   time.Since(start).Microseconds(),
+	}, 0, nil
 }
 
 // errRowLimit aborts a row enumeration once Limit rows are streamed.

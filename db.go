@@ -10,11 +10,22 @@ package wcoj
 // any number of goroutines with per-call Stats and context
 // cancellation — the pod-style shape of many tenants hitting shared,
 // pre-built state.
+//
+// Relations are mutable through Insert/Delete/Apply: each named
+// relation's head is an epoch-versioned snapshot (internal/delta) of
+// an immutable base plus a small delta log, published atomically per
+// batch. Readers resolve a consistent snapshot at execution start and
+// keep it for the whole call (MVCC-style: writers advance the head,
+// in-flight executions never observe a half-applied batch), and
+// prepared plans survive updates — only the touched relation's
+// per-binding tries are re-versioned (by linear level merge, not
+// re-sort), never the plan. See dbmutate.go for the write path.
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -23,6 +34,7 @@ import (
 
 	"wcoj/internal/agg"
 	"wcoj/internal/core"
+	"wcoj/internal/delta"
 	"wcoj/internal/lftj"
 	"wcoj/internal/planner"
 	"wcoj/internal/query"
@@ -33,15 +45,39 @@ import (
 // internal/relation.CSVOptions for field semantics.
 type CSVOptions = relation.CSVOptions
 
-// DB is a long-lived query engine: a named collection of immutable
-// relations, a private bounded trie store holding their indexes, and a
-// cache of prepared plans. All methods are safe for concurrent use; a
-// PreparedQuery snapshot remains consistent (it keeps the relations it
-// was bound to) even if Register later replaces them.
+// DB is a long-lived query engine: a named collection of mutable
+// relations (epoch-versioned snapshots over immutable storage), a
+// private bounded trie store holding their indexes, and a cache of
+// prepared plans. All methods are safe for concurrent use; every
+// execution of a PreparedQuery reads one consistent snapshot of the
+// data, even while Insert/Delete/Apply advance it concurrently.
 type DB struct {
-	mu    sync.RWMutex
-	data  *Database
-	store *core.TrieStore
+	mu       sync.RWMutex
+	data     *Database
+	versions map[string]*delta.Version
+	store    *core.TrieStore
+
+	// writeMu serializes the writers (Register, Apply, Compact); the
+	// read path never takes it.
+	writeMu sync.Mutex
+	// updEpoch counts published update batches. Prepared-query states
+	// compare against it with one atomic load to detect staleness; it
+	// is only ever advanced while holding mu, so a snapshot of
+	// (updEpoch, versions) taken under mu.RLock is consistent.
+	updEpoch atomic.Uint64
+
+	// compactRatio (float64 bits) and compactMinBase gate background
+	// compaction; the ratio is atomic so sweeps re-arming themselves
+	// read it without any lock. compacting marks relations with a
+	// sweep in flight (guarded by mu).
+	compactRatio   atomic.Uint64
+	compactMinBase int
+	compacting     map[string]bool
+
+	// Update counters (see DBStats).
+	batches, inserts, deletes atomic.Uint64
+	insertNoops, deleteNoops  atomic.Uint64
+	compactions               atomic.Uint64
 
 	plansMu    sync.Mutex
 	plans      map[string]*planCacheEntry
@@ -70,30 +106,42 @@ const DefaultPlanCacheLimit = 512
 // NewDB returns an empty engine whose trie store starts at the default
 // byte budget (see SetTrieCacheLimit to change it).
 func NewDB() *DB {
-	return &DB{
-		data:      relation.NewDatabase(),
-		store:     core.NewTrieStore(core.DefaultTrieCacheLimit),
-		plans:     make(map[string]*planCacheEntry),
-		planLimit: DefaultPlanCacheLimit,
+	db := &DB{
+		data:           relation.NewDatabase(),
+		versions:       make(map[string]*delta.Version),
+		store:          core.NewTrieStore(core.DefaultTrieCacheLimit),
+		compactMinBase: defaultCompactionMinBase,
+		compacting:     make(map[string]bool),
+		plans:          make(map[string]*planCacheEntry),
+		planLimit:      DefaultPlanCacheLimit,
 	}
+	db.compactRatio.Store(math.Float64bits(DefaultCompactionRatio))
+	return db
 }
 
-// Register stores (or replaces) relations under their own names.
-// Replacing a relation drops every cached plan — prepared queries held
-// by callers stay valid against the data they were bound to, but new
-// Prepare calls see the new relation. Tries of replaced relations age
-// out of the store by LRU.
+// Register stores (or replaces) relations under their own names, each
+// as a fresh epoch-0 snapshot with an empty delta. Replacing a
+// relation drops every cached plan — prepared queries held by callers
+// stay valid against the data they were bound to, but new Prepare
+// calls see the new relation (a held handle converges to the new data
+// at its next snapshot refresh, i.e. after any subsequent update
+// batch). Tries of replaced relations age out of the store by LRU.
+// For incremental changes use Insert/Delete/Apply instead: they keep
+// the base storage, the built tries and all prepared plans.
 func (db *DB) Register(rels ...*Relation) error {
 	for _, r := range rels {
 		if r == nil {
 			return fmt.Errorf("wcoj: Register: nil relation")
 		}
 	}
+	db.writeMu.Lock()
 	db.mu.Lock()
 	for _, r := range rels {
 		db.data.Put(r)
+		db.versions[r.Name()] = delta.New(r)
 	}
 	db.mu.Unlock()
+	db.writeMu.Unlock()
 	db.plansMu.Lock()
 	db.plans = make(map[string]*planCacheEntry)
 	db.gen++
@@ -194,11 +242,17 @@ func (db *DB) Dict() *Dict {
 	return db.data.Dict()
 }
 
-// Relation returns the named registered relation.
+// Relation returns the named relation's current effective tuple set
+// (base with the delta log merged in; materialized lazily, at most
+// once per update epoch).
 func (db *DB) Relation(name string) (*Relation, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.data.Get(name)
+	v, ok := db.versions[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return v.Effective(), true
 }
 
 // Names returns the registered relation names in sorted order.
@@ -215,7 +269,8 @@ func (db *DB) SetTrieCacheLimit(bytes int64) int64 { return db.store.SetLimit(by
 
 // DBStats is a point-in-time snapshot of the engine's shared state.
 type DBStats struct {
-	// Relations and Tuples size the registered data.
+	// Relations and Tuples size the registered data (Tuples counts the
+	// effective cardinality: base − deleted + inserted).
 	Relations, Tuples int
 	// TrieEntries / TrieBytes / TrieLimit describe the owned trie
 	// store; TrieHits / TrieMisses are its lifetime counters.
@@ -226,12 +281,36 @@ type DBStats struct {
 	// PlanMisses count Prepare calls served from / missing the cache.
 	PlansCached          int
 	PlanHits, PlanMisses uint64
+	// Epoch is the current update epoch (published batches that changed
+	// something); DeltaTuples is the current delta depth summed over
+	// relations (logged inserts + tombstones awaiting compaction);
+	// MaxEpoch is the largest per-relation snapshot epoch.
+	Epoch       uint64
+	DeltaTuples int
+	MaxEpoch    uint64
+	// Batches / Inserted / Deleted / InsertNoops / DeleteNoops are
+	// lifetime update counters: no-ops are updates with no effect
+	// (duplicate insert, absent delete), counted exactly, never folded
+	// into the delta. Compactions counts delta-into-base folds.
+	Batches                  uint64
+	Inserted, Deleted        uint64
+	InsertNoops, DeleteNoops uint64
+	Compactions              uint64
 }
 
 // Stats snapshots the engine counters.
 func (db *DB) Stats() DBStats {
 	db.mu.RLock()
-	rels, tuples := len(db.data.Names()), db.data.Size()
+	rels := len(db.versions)
+	tuples, deltaTuples := 0, 0
+	var maxEpoch uint64
+	for _, v := range db.versions {
+		tuples += v.Len()
+		deltaTuples += v.DeltaLen()
+		if v.Epoch > maxEpoch {
+			maxEpoch = v.Epoch
+		}
+	}
 	db.mu.RUnlock()
 	hits, misses, entries := db.store.Stats()
 	bytes, limit, _ := db.store.Usage()
@@ -244,6 +323,13 @@ func (db *DB) Stats() DBStats {
 		TrieHits: hits, TrieMisses: misses,
 		PlansCached: cached,
 		PlanHits:    db.planHits.Load(), PlanMisses: db.planMisses.Load(),
+		Epoch:       db.updEpoch.Load(),
+		DeltaTuples: deltaTuples,
+		MaxEpoch:    maxEpoch,
+		Batches:     db.batches.Load(),
+		Inserted:    db.inserts.Load(), Deleted: db.deletes.Load(),
+		InsertNoops: db.insertNoops.Load(), DeleteNoops: db.deleteNoops.Load(),
+		Compactions: db.compactions.Load(),
 	}
 }
 
@@ -281,7 +367,9 @@ func sliceKey(s []string) string {
 // forces the enumeration plan eagerly. Prepared plans are cached by
 // (query shape, options): preparing the same query again is a map
 // hit, and the cached instance accumulates call stats across all
-// holders. Register invalidates the cache.
+// holders. Register invalidates the cache; Insert/Delete/Apply do
+// not — prepared queries follow updates by re-versioning only the
+// touched relation's tries at their next execution.
 func (db *DB) Prepare(src string, opts Options) (*PreparedQuery, error) {
 	parsed, err := query.Parse(src)
 	if err != nil {
@@ -330,7 +418,8 @@ func (db *DB) Prepare(src string, opts Options) (*PreparedQuery, error) {
 	// on first use: a query served only through CountFast never pays
 	// for the enumeration plan's order resolution or tries. Warm
 	// forces the enumeration build for startup warm-up.
-	pq := &PreparedQuery{db: db, src: canonical, q: q, opts: opts}
+	pq := &PreparedQuery{db: db, src: canonical, opts: opts}
+	pq.state.Store(db.newState(pq, q, nil))
 	db.plansMu.Lock()
 	switch won, ok := db.plans[key]; {
 	case ok:
@@ -349,17 +438,46 @@ func (db *DB) Prepare(src string, opts Options) (*PreparedQuery, error) {
 }
 
 // Bind parses the query and binds its atoms against the registered
-// relations without preparing a plan — what Explain-style tooling
-// needs (a prepared plan would eagerly build execution state the
-// explanation never runs).
+// relations' current snapshots without preparing a plan — what
+// Explain-style tooling needs (a prepared plan would eagerly build
+// execution state the explanation never runs).
 func (db *DB) Bind(src string) (*Query, error) {
 	parsed, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return parsed.Bind(db.data)
+	q, err := parsed.Bind(db.data)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	vers := db.atomVersions(q)
+	db.mu.RUnlock()
+	rebindEffective(q, vers)
+	return q, nil
+}
+
+// atomVersions snapshots the current version of every relation the
+// query touches. Callers hold db.mu (read or write).
+func (db *DB) atomVersions(q *Query) map[string]*delta.Version {
+	vers := make(map[string]*delta.Version, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if v, ok := db.versions[a.Name]; ok {
+			vers[a.Name] = v
+		}
+	}
+	return vers
+}
+
+// rebindEffective points each atom at its snapshot's effective
+// relation (materializing lazily — outside any DB lock).
+func rebindEffective(q *Query, vers map[string]*delta.Version) {
+	for i := range q.Atoms {
+		if v := vers[q.Atoms[i].Name]; v != nil {
+			q.Atoms[i].Rel = v.Effective()
+		}
+	}
 }
 
 // Warm prepares each query and eagerly builds its enumeration plan
@@ -372,7 +490,7 @@ func (db *DB) Warm(srcs ...string) error {
 			return err
 		}
 		if wcojAlgorithm(pq.opts.Algorithm) {
-			if _, _, err := pq.enumPlan(); err != nil {
+			if _, _, err := pq.currentState().enumPlan(); err != nil {
 				return err
 			}
 		}
@@ -403,6 +521,15 @@ func wcojAlgorithm(a Algorithm) bool {
 // Per-call Stats are returned by each call; cumulative counters are
 // read by Stats.
 //
+// A prepared query survives updates to its relations: each execution
+// resolves the DB's current snapshot (one atomic epoch comparison on
+// the fast path), and on the first execution after a batch only the
+// touched relation's per-binding tries are re-versioned — by merging
+// the delta log into the cached base trie — while the plan skeleton
+// (variable order, classification) is reused. Concurrent executions
+// each keep the snapshot they started with, so a reader never sees a
+// half-applied batch.
+//
 // For AlgoBacktracking and the binary-join baselines — which have no
 // trie plan to cache — the prepared query falls back to the one-shot
 // path per call (parse and bind still amortized); those paths have no
@@ -411,35 +538,216 @@ func wcojAlgorithm(a Algorithm) bool {
 type PreparedQuery struct {
 	db   *DB
 	src  string
-	q    *Query
 	opts Options
 
-	// Lazily-built per-mode plans. enum is the Execute/ExecuteFunc plan
-	// (projected when opts.Project is set: enumCls non-nil), count the
-	// CountFast plan, exists the Exists plan.
-	enumOnce   sync.Once
-	enum       *core.Plan
-	enumCls    *agg.Classification
-	enumErr    error
-	countOnce  sync.Once
-	count      *core.Plan
-	countCls   *agg.Classification
-	countErr   error
-	existsOnce sync.Once
-	exists     *core.Plan
-	existsCls  *agg.Classification
-	existsErr  error
+	// state is the current resolved snapshot: the bound query, the
+	// versioned trie source and the lazily-built per-mode plans.
+	// Executions load it once and use it throughout (snapshot
+	// isolation); updates are observed by swapping in a successor.
+	state atomic.Pointer[pqState]
 
 	calls  atomic.Int64
 	tuples atomic.Int64
 	nanos  atomic.Int64
 }
 
+// modePlan is one execution mode's resolved plan.
+type modePlan struct {
+	p   *core.Plan
+	cls *agg.Classification
+	err error
+}
+
+// pqState is one epoch-consistent resolution of a prepared query:
+// atoms bound to the snapshot's effective relations, a trie source
+// over the same snapshot, and the per-mode plans (built lazily, at
+// most once per state; inherited plans from the previous state are
+// re-versioned instead of re-planned).
+type pqState struct {
+	pq    *PreparedQuery
+	epoch uint64
+	q     *Query
+	src   core.TrieSource
+
+	// inh* carry the previous state's built plans (skeleton only; the
+	// tries inside are stale and re-resolved by core.RefreshPlan).
+	inhEnum, inhCount, inhExists *modePlan
+
+	enumOnce, countOnce, existsOnce sync.Once
+	enum, count, exists             modePlan
+	enumDone, countDone, existsDone atomic.Bool
+}
+
+// newState resolves a fresh snapshot state for pq. q supplies the
+// binding shape (names and variables); atom relations are re-pointed
+// at the snapshot's effective views. prev, when non-nil, donates its
+// built plans for re-versioning.
+func (db *DB) newState(pq *PreparedQuery, q *Query, prev *pqState) *pqState {
+	db.mu.RLock()
+	epoch := db.updEpoch.Load()
+	vers := db.atomVersions(q)
+	db.mu.RUnlock()
+	q2 := &Query{Vars: q.Vars, Atoms: append([]Atom(nil), q.Atoms...)}
+	rebindEffective(q2, vers)
+	s := &pqState{
+		pq:    pq,
+		epoch: epoch,
+		q:     q2,
+		src:   dbTrieSource{store: db.store, vers: vers},
+	}
+	// Inherit plans only while the binding shape is unchanged (a
+	// Register that swapped in a different-arity relation invalidates
+	// the skeleton; the fresh build below then reports the real error).
+	sameShape := true
+	for _, a := range q2.Atoms {
+		if a.Rel.Arity() != len(a.Vars) {
+			sameShape = false
+		}
+	}
+	if prev != nil && sameShape {
+		s.inhEnum = prev.donate(&prev.enumDone, &prev.enum)
+		s.inhCount = prev.donate(&prev.countDone, &prev.count)
+		s.inhExists = prev.donate(&prev.existsDone, &prev.exists)
+	}
+	return s
+}
+
+// donate hands a built mode plan to a successor state; nil when the
+// mode was never built (or is still building) — the successor then
+// builds from scratch on demand. The done flag's atomic store/load
+// pair orders the plan fields. The plan is donated BY VALUE: handing
+// out &s.enum would pin the whole donor state (and, through its own
+// inh fields, every ancestor state) for as long as the successor
+// lives — an unbounded chain under a steady update stream. The copy
+// retains only the donor's plan and tries, for exactly one
+// generation, until the successor's once-build re-versions them.
+func (s *pqState) donate(done *atomic.Bool, mp *modePlan) *modePlan {
+	if done.Load() {
+		c := *mp
+		return &c
+	}
+	return nil
+}
+
+// refreshInherited re-versions an inherited plan's tries against this
+// state's snapshot. nil means no (usable) donation: build fresh.
+// Donated errors are dropped — the fresh build recomputes the same
+// deterministic error, and data-dependent failures get a clean retry.
+func (s *pqState) refreshInherited(inh *modePlan) *modePlan {
+	if inh == nil || inh.err != nil {
+		return nil
+	}
+	np, err := core.RefreshPlan(inh.p, s.q, s.src)
+	if err != nil {
+		return nil
+	}
+	return &modePlan{p: np, cls: inh.cls}
+}
+
+// currentState returns the prepared query's state for the DB's
+// current update epoch, refreshing (and publishing the refresh) when
+// a batch has landed since the state was resolved.
+func (pq *PreparedQuery) currentState() *pqState {
+	s := pq.state.Load()
+	if s.epoch == pq.db.updEpoch.Load() {
+		return s
+	}
+	ns := pq.db.newState(pq, s.q, s)
+	for {
+		if pq.state.CompareAndSwap(s, ns) {
+			return ns
+		}
+		cur := pq.state.Load()
+		if cur.epoch >= ns.epoch {
+			return cur // a concurrent refresh won with a same-or-newer snapshot
+		}
+		s = cur
+	}
+}
+
+// enumPlan builds (once per state) the enumeration plan: plain when no
+// projection is requested, a sunk projected plan otherwise.
+func (s *pqState) enumPlan() (*core.Plan, *agg.Classification, error) {
+	s.enumOnce.Do(func() {
+		defer s.enumDone.Store(true)
+		mp := s.refreshInherited(s.inhEnum)
+		s.inhEnum = nil // drop the donor plan; it pinned old tries
+		if mp != nil {
+			s.enum = *mp
+			return
+		}
+		opts := s.pq.opts
+		if opts.Project != nil {
+			spec := agg.Spec{Mode: agg.ModeEnumerate, Project: opts.Project}
+			pol, err := opts.orderPolicyFor(&spec)
+			if err != nil {
+				s.enum.err = err
+				return
+			}
+			s.enum.p, s.enum.cls, s.enum.err = core.AggPlanSrc(s.src, s.q, pol, spec)
+			return
+		}
+		pol, err := opts.orderPolicy()
+		if err != nil {
+			s.enum.err = err
+			return
+		}
+		s.enum.p, s.enum.err = core.BuildPlanSrc(s.src, s.q, pol)
+	})
+	return s.enum.p, s.enum.cls, s.enum.err
+}
+
+// countPlan builds (once per state) the CountFast plan and
+// classification.
+func (s *pqState) countPlan() (*core.Plan, *agg.Classification, error) {
+	s.countOnce.Do(func() {
+		defer s.countDone.Store(true)
+		mp := s.refreshInherited(s.inhCount)
+		s.inhCount = nil // drop the donor plan; it pinned old tries
+		if mp != nil {
+			s.count = *mp
+			return
+		}
+		opts := s.pq.opts
+		spec := agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			s.count.err = err
+			return
+		}
+		s.count.p, s.count.cls, s.count.err = core.AggPlanSrc(s.src, s.q, pol, spec)
+	})
+	return s.count.p, s.count.cls, s.count.err
+}
+
+// existsPlan builds (once per state) the Exists plan and
+// classification.
+func (s *pqState) existsPlan() (*core.Plan, *agg.Classification, error) {
+	s.existsOnce.Do(func() {
+		defer s.existsDone.Store(true)
+		mp := s.refreshInherited(s.inhExists)
+		s.inhExists = nil // drop the donor plan; it pinned old tries
+		if mp != nil {
+			s.exists = *mp
+			return
+		}
+		opts := s.pq.opts
+		spec := agg.Spec{Mode: agg.ModeExists}
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			s.exists.err = err
+			return
+		}
+		s.exists.p, s.exists.cls, s.exists.err = core.AggPlanSrc(s.src, s.q, pol, spec)
+	})
+	return s.exists.p, s.exists.cls, s.exists.err
+}
+
 // Source returns the canonical text of the prepared query.
 func (pq *PreparedQuery) Source() string { return pq.src }
 
-// Query returns the bound query.
-func (pq *PreparedQuery) Query() *Query { return pq.q }
+// Query returns the query bound to the current snapshot.
+func (pq *PreparedQuery) Query() *Query { return pq.currentState().q }
 
 // Options returns the options the query was prepared with.
 func (pq *PreparedQuery) Options() Options { return pq.opts }
@@ -450,67 +758,17 @@ func (pq *PreparedQuery) Order() []string {
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		return nil
 	}
-	p, _, err := pq.enumPlan()
+	p, _, err := pq.currentState().enumPlan()
 	if err != nil {
 		return nil
 	}
 	return append([]string(nil), p.Order...)
 }
 
-// Explain returns the planning record of the prepared plan; see
-// Explain (package level) for its contents.
-func (pq *PreparedQuery) Explain() (*PlanExplanation, error) { return Explain(pq.q, pq.opts) }
-
-// enumPlan builds (once) the enumeration plan: plain when no
-// projection is requested, a sunk projected plan otherwise.
-func (pq *PreparedQuery) enumPlan() (*core.Plan, *agg.Classification, error) {
-	pq.enumOnce.Do(func() {
-		if pq.opts.Project != nil {
-			spec := agg.Spec{Mode: agg.ModeEnumerate, Project: pq.opts.Project}
-			pol, err := pq.opts.orderPolicyFor(&spec)
-			if err != nil {
-				pq.enumErr = err
-				return
-			}
-			pq.enum, pq.enumCls, pq.enumErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
-			return
-		}
-		pol, err := pq.opts.orderPolicy()
-		if err != nil {
-			pq.enumErr = err
-			return
-		}
-		pq.enum, pq.enumErr = core.BuildPlanIn(pq.db.store, pq.q, pol)
-	})
-	return pq.enum, pq.enumCls, pq.enumErr
-}
-
-// countPlan builds (once) the CountFast plan and classification.
-func (pq *PreparedQuery) countPlan() (*core.Plan, *agg.Classification, error) {
-	pq.countOnce.Do(func() {
-		spec := agg.Spec{Mode: agg.ModeCount, Project: pq.opts.Project}
-		pol, err := pq.opts.orderPolicyFor(&spec)
-		if err != nil {
-			pq.countErr = err
-			return
-		}
-		pq.count, pq.countCls, pq.countErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
-	})
-	return pq.count, pq.countCls, pq.countErr
-}
-
-// existsPlan builds (once) the Exists plan and classification.
-func (pq *PreparedQuery) existsPlan() (*core.Plan, *agg.Classification, error) {
-	pq.existsOnce.Do(func() {
-		spec := agg.Spec{Mode: agg.ModeExists}
-		pol, err := pq.opts.orderPolicyFor(&spec)
-		if err != nil {
-			pq.existsErr = err
-			return
-		}
-		pq.exists, pq.existsCls, pq.existsErr = core.AggPlanIn(pq.db.store, pq.q, pol, spec)
-	})
-	return pq.exists, pq.existsCls, pq.existsErr
+// Explain returns the planning record of the prepared plan against
+// the current snapshot; see Explain (package level) for its contents.
+func (pq *PreparedQuery) Explain() (*PlanExplanation, error) {
+	return Explain(pq.currentState().q, pq.opts)
 }
 
 // record folds one call into the cumulative call/time counters;
@@ -541,29 +799,30 @@ func (pq *PreparedQuery) Stats() PreparedStats {
 	}
 }
 
-// Execute runs the prepared plan and materializes the result (the
-// distinct projected tuples when prepared with Options.Project).
-// Cancelling ctx stops the search workers promptly and returns
-// ctx.Err().
+// Execute runs the prepared plan against the current snapshot and
+// materializes the result (the distinct projected tuples when prepared
+// with Options.Project). Cancelling ctx stops the search workers
+// promptly and returns ctx.Err().
 func (pq *PreparedQuery) Execute(ctx context.Context) (*Relation, *Stats, error) {
 	defer pq.record(time.Now())
+	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		out, stats, err := Execute(pq.q, pq.opts)
+		out, stats, err := Execute(s.q, pq.opts)
 		if err == nil {
 			pq.tuples.Add(int64(out.Len()))
 		}
 		return out, stats, err
 	}
-	attrs := pq.q.Vars
+	attrs := s.q.Vars
 	if pq.opts.Project != nil {
 		attrs = pq.opts.Project
 	}
 	stats := &Stats{}
-	out := relation.NewBuilder(pq.q.OutputName(), attrs...)
-	err := pq.visit(ctx, stats, func(t Tuple) error { return out.Add(t...) })
+	out := relation.NewBuilder(s.q.OutputName(), attrs...)
+	err := pq.visit(ctx, s, stats, func(t Tuple) error { return out.Add(t...) })
 	if err != nil {
 		return nil, nil, err
 	}
@@ -577,11 +836,12 @@ func (pq *PreparedQuery) Execute(ctx context.Context) (*Relation, *Stats, error)
 // one-shot ExecuteFunc contract (canonical order, reused Tuple).
 func (pq *PreparedQuery) ExecuteFunc(ctx context.Context, emit func(Tuple) error) (*Stats, error) {
 	defer pq.record(time.Now())
+	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		stats, err := ExecuteFunc(pq.q, pq.opts, emit)
+		stats, err := ExecuteFunc(s.q, pq.opts, emit)
 		if err == nil {
 			pq.tuples.Add(int64(stats.Output))
 		}
@@ -589,7 +849,7 @@ func (pq *PreparedQuery) ExecuteFunc(ctx context.Context, emit func(Tuple) error
 	}
 	stats := &Stats{}
 	n := 0
-	err := pq.visit(ctx, stats, func(t Tuple) error { n++; return emit(t) })
+	err := pq.visit(ctx, s, stats, func(t Tuple) error { n++; return emit(t) })
 	if err != nil {
 		return nil, err
 	}
@@ -599,9 +859,9 @@ func (pq *PreparedQuery) ExecuteFunc(ctx context.Context, emit func(Tuple) error
 }
 
 // visit drives the prepared enumeration (plain or projected) on the
-// engine the query was prepared for.
-func (pq *PreparedQuery) visit(ctx context.Context, stats *Stats, emit func(Tuple) error) error {
-	p, cls, err := pq.enumPlan()
+// engine the query was prepared for, against one snapshot state.
+func (pq *PreparedQuery) visit(ctx context.Context, s *pqState, stats *Stats, emit func(Tuple) error) error {
+	p, cls, err := s.enumPlan()
 	if err != nil {
 		return err
 	}
@@ -627,17 +887,18 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
 		return pq.CountFast(ctx)
 	}
 	defer pq.record(time.Now())
+	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		n, stats, err := Count(pq.q, pq.opts)
+		n, stats, err := Count(s.q, pq.opts)
 		if err == nil {
 			pq.tuples.Add(int64(n))
 		}
 		return n, stats, err
 	}
-	p, _, err := pq.enumPlan()
+	p, _, err := s.enumPlan()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -659,17 +920,18 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
 // CountFast for the level-classification machinery it reuses).
 func (pq *PreparedQuery) CountFast(ctx context.Context) (int, *Stats, error) {
 	defer pq.record(time.Now())
+	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		n, stats, err := CountFast(pq.q, pq.opts)
+		n, stats, err := CountFast(s.q, pq.opts)
 		if err == nil {
 			pq.tuples.Add(int64(n))
 		}
 		return n, stats, err
 	}
-	p, cls, err := pq.countPlan()
+	p, cls, err := s.countPlan()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -691,13 +953,14 @@ func (pq *PreparedQuery) CountFast(ctx context.Context) (int, *Stats, error) {
 // short-circuiting on the first witness across all workers.
 func (pq *PreparedQuery) Exists(ctx context.Context) (bool, *Stats, error) {
 	defer pq.record(time.Now())
+	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return false, nil, err
 		}
-		return Exists(pq.q, pq.opts)
+		return Exists(s.q, pq.opts)
 	}
-	p, cls, err := pq.existsPlan()
+	p, cls, err := s.existsPlan()
 	if err != nil {
 		return false, nil, err
 	}

@@ -1,0 +1,402 @@
+package wcoj
+
+// The write path of the mutable-relation layer: batched inserts and
+// deletes land in per-relation delta logs (internal/delta), publish as
+// one atomic snapshot swap, and are absorbed by readers through
+// level-merged (base ⊎ delta) tries resolved per execution. Dataflow:
+//
+//	Insert/Delete/Apply ──► delta.Version.Apply (O(batch·log) off-lock)
+//	        │                        │
+//	        │ publish (db.mu, all relations of the batch at once)
+//	        ▼                        ▼
+//	versions[name] head ──► updEpoch++ ──► prepared queries refresh
+//	                                        lazily: base trie (cached)
+//	                                        + sorted delta ──trie.Merge──►
+//	                                        merged snapshot trie
+//	        │
+//	        └─ delta depth ≥ ratio·|base| ──► background compaction:
+//	           Effective() promoted to the new base, delta emptied,
+//	           merged tries become the base tries (same backing array).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"wcoj/internal/core"
+	"wcoj/internal/delta"
+	"wcoj/internal/relation"
+	"wcoj/internal/trie"
+)
+
+// DefaultCompactionRatio is the delta-to-base size ratio past which a
+// background compaction folds a relation's delta log into a fresh
+// base. At 1/4, read-side merge work stays within a constant factor
+// of the base scan while compactions stay rare under steady streams.
+const DefaultCompactionRatio = 0.25
+
+// defaultCompactionMinBase keeps tiny relations from churning through
+// compactions on every few updates: the ratio is taken against at
+// least this base size. Small deltas are cheap to merge anyway.
+const defaultCompactionMinBase = 1024
+
+// UpdateStats reports what one update call changed. No-ops — inserts
+// of tuples already present, deletes of tuples absent — are counted
+// exactly and change nothing (not the data, not the delta depth).
+type UpdateStats struct {
+	// Inserted and Deleted count effective changes.
+	Inserted, Deleted int
+	// InsertNoops and DeleteNoops count operations with no effect.
+	InsertNoops, DeleteNoops int
+	// Epoch is the DB's update epoch after the call.
+	Epoch uint64
+}
+
+// Batch accumulates insert and delete operations across any number of
+// relations for one atomic Apply. The zero value is ready to use.
+type Batch struct {
+	ops   map[string][]delta.Op
+	order []string // relation names in first-touch order
+	n     int
+}
+
+// NewBatch returns an empty batch (equivalent to new(Batch)).
+func NewBatch() *Batch { return &Batch{} }
+
+// Insert queues tuples for insertion into the named relation.
+func (b *Batch) Insert(rel string, tuples ...Tuple) *Batch {
+	return b.add(rel, false, tuples)
+}
+
+// Delete queues tuples for deletion from the named relation.
+func (b *Batch) Delete(rel string, tuples ...Tuple) *Batch {
+	return b.add(rel, true, tuples)
+}
+
+func (b *Batch) add(rel string, del bool, tuples []Tuple) *Batch {
+	if b.ops == nil {
+		b.ops = make(map[string][]delta.Op)
+	}
+	if _, ok := b.ops[rel]; !ok {
+		b.order = append(b.order, rel)
+		// Materialize the entry even for an empty tuple list: the order
+		// dedup above keys on map membership, and a name registered
+		// twice would apply its operations twice (double-counted stats).
+		b.ops[rel] = []delta.Op{}
+	}
+	for _, t := range tuples {
+		b.ops[rel] = append(b.ops[rel], delta.Op{Del: del, T: t.Clone()})
+		b.n++
+	}
+	return b
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return b.n }
+
+// Insert adds tuples to the named relation. Tuples already present
+// are no-ops (counted in UpdateStats, never logged). Equivalent to
+// Apply of a single-relation insert batch; see Apply for atomicity
+// and visibility semantics.
+func (db *DB) Insert(rel string, tuples ...Tuple) (UpdateStats, error) {
+	return db.Apply(new(Batch).Insert(rel, tuples...))
+}
+
+// Delete removes tuples from the named relation. Tuples not present
+// are no-ops (counted in UpdateStats, never logged). Equivalent to
+// Apply of a single-relation delete batch; see Apply for atomicity
+// and visibility semantics.
+func (db *DB) Delete(rel string, tuples ...Tuple) (UpdateStats, error) {
+	return db.Apply(new(Batch).Delete(rel, tuples...))
+}
+
+// Apply folds one batch of updates into the engine, atomically:
+// either every operation is published (as one snapshot swap across
+// all touched relations) or, on error, none is. Operations apply in
+// queue order within each relation. Concurrent executions that
+// started before the swap keep their snapshot; executions that start
+// after it see the whole batch — never part of it. Prepared queries
+// are not invalidated: at their next execution they re-version only
+// the touched relations' tries, merging the delta log into the cached
+// base trie in linear time instead of re-sorting or re-planning.
+//
+// A batch that changes nothing (all no-ops) does not advance the
+// update epoch, so readers skip the refresh entirely.
+func (db *DB) Apply(b *Batch) (UpdateStats, error) {
+	var us UpdateStats
+	if b == nil || b.Len() == 0 {
+		us.Epoch = db.updEpoch.Load()
+		return us, nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+
+	// Snapshot the touched heads (writers are serialized by writeMu,
+	// so these stay the heads until we publish).
+	db.mu.RLock()
+	heads := make(map[string]*delta.Version, len(b.order))
+	for _, name := range b.order {
+		v, ok := db.versions[name]
+		if !ok {
+			db.mu.RUnlock()
+			return us, fmt.Errorf("wcoj: Apply: no relation %q", name)
+		}
+		heads[name] = v
+	}
+	db.mu.RUnlock()
+
+	// Fold each relation's operations off-lock; reject the whole batch
+	// on the first error (nothing has been published yet).
+	next := make(map[string]*delta.Version, len(b.order))
+	for _, name := range b.order {
+		nv, st, err := heads[name].Apply(b.ops[name])
+		if err != nil {
+			return us, err
+		}
+		us.Inserted += st.Inserted
+		us.Deleted += st.Deleted
+		us.InsertNoops += st.InsertNoops
+		us.DeleteNoops += st.DeleteNoops
+		if nv != heads[name] {
+			next[name] = nv
+		}
+	}
+
+	// Publish every touched relation in one critical section: a reader
+	// snapshotting under mu.RLock sees all of the batch or none of it.
+	db.mu.Lock()
+	for name, nv := range next {
+		db.versions[name] = nv
+	}
+	if len(next) > 0 {
+		db.updEpoch.Add(1)
+	}
+	us.Epoch = db.updEpoch.Load()
+	db.mu.Unlock()
+
+	db.batches.Add(1)
+	db.inserts.Add(uint64(us.Inserted))
+	db.deletes.Add(uint64(us.Deleted))
+	db.insertNoops.Add(uint64(us.InsertNoops))
+	db.deleteNoops.Add(uint64(us.DeleteNoops))
+
+	for name, nv := range next {
+		db.maybeCompact(name, nv)
+	}
+	return us, nil
+}
+
+// SetCompactionThreshold replaces the delta-to-base size ratio that
+// triggers background compaction and returns the previous one. Ratios
+// <= 0 compact after every effective batch; very large ratios
+// effectively disable automatic compaction (Compact still works).
+func (db *DB) SetCompactionThreshold(ratio float64) float64 {
+	return math.Float64frombits(db.compactRatio.Swap(math.Float64bits(ratio)))
+}
+
+// maybeCompact schedules a background compaction of the relation when
+// its delta depth crossed the threshold and no sweep is in flight.
+func (db *DB) maybeCompact(name string, v *delta.Version) {
+	ratio := math.Float64frombits(db.compactRatio.Load())
+	if !v.NeedsCompaction(ratio, db.compactMinBase) {
+		return
+	}
+	db.mu.Lock()
+	if db.compacting[name] {
+		db.mu.Unlock()
+		return
+	}
+	db.compacting[name] = true
+	db.mu.Unlock()
+	go db.backgroundCompact(name, v)
+}
+
+// backgroundCompact runs one sweep for the head v, then hands the
+// relation's sweep slot back and re-arms: batches that landed while
+// the sweep was in flight were skipped by maybeCompact (the slot was
+// taken), so the current head must be re-checked or a deep delta
+// could sit above the threshold forever.
+func (db *DB) backgroundCompact(name string, v *delta.Version) {
+	db.installCompacted(name, v)
+	db.mu.Lock()
+	db.compacting[name] = false
+	head := db.versions[name]
+	db.mu.Unlock()
+	if head != nil && head.DeltaLen() > 0 {
+		db.maybeCompact(name, head)
+	}
+}
+
+// installCompacted folds v's delta into a fresh base and installs it
+// if v is still the head (a concurrent batch moving the head wins).
+// The merge runs outside every lock; the install is one pointer swap.
+// The update epoch does not advance: the tuple set is unchanged, so
+// readers at this epoch stay valid, and the promoted base is
+// pointer-identical to the effective view their merged tries were
+// keyed by.
+func (db *DB) installCompacted(name string, v *delta.Version) bool {
+	c := v.Compacted()
+	db.mu.Lock()
+	ok := db.versions[name] == v
+	if ok {
+		db.versions[name] = c
+	}
+	db.mu.Unlock()
+	if ok {
+		db.compactions.Add(1)
+	}
+	return ok
+}
+
+// Compact synchronously folds the delta logs of the named relations
+// (all registered relations when none are named) into fresh bases,
+// regardless of the size-ratio threshold. Useful before a read-heavy
+// phase and in tests and benchmarks that need deterministic state.
+// It does not touch the background sweep slots: a sweep already in
+// flight for the same head simply loses the install race.
+func (db *DB) Compact(names ...string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if len(names) == 0 {
+		names = db.Names()
+	}
+	for _, name := range names {
+		db.mu.RLock()
+		v, ok := db.versions[name]
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("wcoj: Compact: no relation %q", name)
+		}
+		if v.DeltaLen() == 0 {
+			continue
+		}
+		db.installCompacted(name, v)
+	}
+	return nil
+}
+
+// ApplyDeltaCSV reads a delta file (relation.ReadDeltaCSV: "+,..."
+// inserts, "-,..." deletes) and applies it to the named relation as
+// one atomic batch — deletes first, then inserts, matching the
+// target-state semantics of a delta file (a tuple on both sides ends
+// up present). Field parsing follows opt exactly as in LoadCSV.
+func (db *DB) ApplyDeltaCSV(r io.Reader, rel string, opt CSVOptions) (UpdateStats, error) {
+	d, err := relation.ReadDeltaCSV(r, rel, opt)
+	if err != nil {
+		return UpdateStats{Epoch: db.updEpoch.Load()}, err
+	}
+	return db.Apply(new(Batch).Delete(rel, d.Delete...).Insert(rel, d.Insert...))
+}
+
+// ApplyDeltaFile is ApplyDeltaCSV over a file path; .tsv/.tab paths
+// default the delimiter to a tab. Unlike LoadFile — where the file
+// defines the relation's encoding — a delta must match the encoding
+// the relation already uses, which the file extension cannot reveal:
+// fields parse as integers unless the caller passes the dictionary
+// the relation was loaded with (opt.Dict, typically db.Dict()).
+// Defaulting dict interning from a .csv suffix would silently turn
+// "+,7,8" into dense dict IDs against an integer-encoded relation.
+func (db *DB) ApplyDeltaFile(path, rel string, opt CSVOptions) (UpdateStats, error) {
+	if opt.Comma == 0 && (strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".tab")) {
+		opt.Comma = '\t'
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return UpdateStats{Epoch: db.updEpoch.Load()}, err
+	}
+	defer f.Close()
+	return db.ApplyDeltaCSV(f, rel, opt)
+}
+
+// dbTrieSource resolves per-atom tries against one version snapshot:
+// the cached base trie when the atom's relation has an empty delta,
+// otherwise a merged snapshot trie — the cached base trie plus the
+// delta log sorted into the atom's order, folded by trie.Merge's
+// linear level merge and cached in the store under the effective
+// relation's identity. In-flight plans keep whatever tries they
+// resolved (copy-on-write: a merge never mutates the base trie), and
+// after compaction the cached merged tries keep serving as the new
+// base tries, because the promoted base is the same *Relation the
+// merged tries were keyed by.
+type dbTrieSource struct {
+	store *core.TrieStore
+	vers  map[string]*delta.Version
+}
+
+// Get implements core.TrieSource.
+func (s dbTrieSource) Get(a core.Atom, atomOrder []string) (*trie.Trie, error) {
+	ver := s.vers[a.Name]
+	if ver == nil || ver.DeltaLen() == 0 {
+		return s.store.Get(a, atomOrder)
+	}
+	// a.Rel is the snapshot's effective relation (atoms are rebound
+	// before planning), so the store key is stable per (version,
+	// binding, order): later executions and sibling plans hit here.
+	if tr, ok := s.store.Lookup(a, atomOrder); ok {
+		return tr, nil
+	}
+	// Native-order binding: the snapshot refresh already materialized
+	// Effective() (one linear merge) to rebind the atom, and that
+	// relation is sorted in exactly this order — build the trie over
+	// its storage directly instead of re-running the identical merge
+	// through trie.Merge.
+	if sameOrder(atomOrder, a.Vars) {
+		rn, err := ver.Effective().Rename(a.Name, a.Vars...)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trie.Build(rn, atomOrder)
+		if err != nil {
+			return nil, err
+		}
+		return s.store.Add(a, atomOrder, tr), nil
+	}
+	baseAtom := a
+	baseAtom.Rel = ver.Base
+	bt, err := s.store.Get(baseAtom, atomOrder)
+	if err != nil {
+		return nil, err
+	}
+	add, err := renameSort(ver.Add, a, atomOrder)
+	if err != nil {
+		return nil, err
+	}
+	del, err := renameSort(ver.Del, a, atomOrder)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := trie.Merge(bt, add, del)
+	if err != nil {
+		return nil, err
+	}
+	return s.store.Add(a, atomOrder, merged), nil
+}
+
+// renameSort renames a delta relation to the atom's variables and
+// sorts it under the atom's trie order — O(D log D) on the delta,
+// never on the base.
+func renameSort(r *relation.Relation, a core.Atom, atomOrder []string) (*relation.Relation, error) {
+	rn, err := r.Rename(a.Name, a.Vars...)
+	if err != nil {
+		return nil, err
+	}
+	if sameOrder(atomOrder, rn.Attrs()) {
+		return rn, nil
+	}
+	return rn.SortedBy(atomOrder)
+}
+
+// sameOrder reports whether two attribute lists are elementwise equal.
+func sameOrder(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -272,3 +272,41 @@ func ExampleDB() {
 	// alice -> bob -> carol
 	// calls: 1
 }
+
+// ExampleDB_Insert updates a live relation in place: the prepared
+// query keeps its plan across the batch — only the touched relation's
+// tries are re-versioned by merging the delta — and duplicate inserts
+// or absent deletes are exact no-ops.
+func ExampleDB_Insert() {
+	db := wcoj.NewDB()
+	if err := db.Register(wcoj.NewRelation("E", []string{"src", "dst"}, []wcoj.Tuple{
+		{1, 2}, {2, 3}, {1, 3},
+	})); err != nil {
+		log.Fatal(err)
+	}
+	pq, err := db.Prepare("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)", wcoj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	n, _, _ := pq.CountFast(ctx)
+	fmt.Println("triangles before:", n)
+
+	// One atomic batch: close a second triangle, retract an edge of the
+	// first, and try a duplicate insert (a counted no-op).
+	stats, err := db.Apply(wcoj.NewBatch().
+		Insert("E", wcoj.Tuple{3, 4}, wcoj.Tuple{2, 4}, wcoj.Tuple{2, 3}).
+		Delete("E", wcoj.Tuple{1, 3}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d (noops %d), deleted %d\n", stats.Inserted, stats.InsertNoops, stats.Deleted)
+
+	// The held prepared query sees the new snapshot without replanning.
+	n, _, _ = pq.CountFast(ctx)
+	fmt.Println("triangles after:", n)
+	// Output:
+	// triangles before: 1
+	// inserted 2 (noops 1), deleted 1
+	// triangles after: 1
+}

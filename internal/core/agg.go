@@ -48,9 +48,20 @@ func AggPlan(q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classific
 	return AggPlanIn(nil, q, policy, spec)
 }
 
-// AggPlanIn is AggPlan with tries served from the given store (nil
-// selects the process-global one); long-lived DBs plan through here.
+// AggPlanIn is AggPlanSrc over a concrete store (nil selects the
+// process-global one).
 func AggPlanIn(store *TrieStore, q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classification, error) {
+	if store == nil {
+		store = DefaultTrieStore()
+	}
+	return AggPlanSrc(store, q, policy, spec)
+}
+
+// AggPlanSrc is AggPlan with tries served from the given source;
+// long-lived DBs plan through here (with their versioned source, so
+// aggregate plans read the same base ⊎ delta snapshot views as the
+// enumeration plans).
+func AggPlanSrc(store TrieSource, q *Query, policy OrderPolicy, spec agg.Spec) (*Plan, *agg.Classification, error) {
 	if policy == nil {
 		policy = HeuristicOrder()
 	}
@@ -61,7 +72,7 @@ func AggPlanIn(store *TrieStore, q *Query, policy OrderPolicy, spec agg.Spec) (*
 		}
 		return agg.Sink(order, atomVarLists(q), spec), nil
 	})
-	p, err := BuildPlanIn(store, q, sunk)
+	p, err := BuildPlanSrc(store, q, sunk)
 	if err != nil {
 		return nil, nil, err
 	}

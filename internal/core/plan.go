@@ -77,14 +77,34 @@ func BuildPlanWith(q *Query, policy OrderPolicy) (*Plan, error) {
 	return BuildPlanIn(nil, q, policy)
 }
 
-// BuildPlanIn validates the query, asks the policy for the variable
-// order and builds the per-atom tries. Tries are served from the given
-// store (nil selects the process-global one) keyed by (relation,
-// variable binding, trie order), so repeated queries — and planner
-// probes over the same relations — reuse built tries instead of
-// rebuilding them. A long-lived DB passes its own store, giving it
-// ownership of its indexes independent of global cache churn.
+// TrieSource serves the per-atom tries of plan construction. The
+// canonical source is *TrieStore (build-on-miss, cached); the
+// mutable-relation layer of wcoj.DB interposes a versioned source that
+// resolves an atom against its relation's current snapshot — serving
+// the cached base trie when the delta is empty and a level-merged
+// (base ⊎ delta) trie otherwise — so the same plan builder works for
+// static and mutable relations.
+type TrieSource interface {
+	Get(a Atom, atomOrder []string) (*trie.Trie, error)
+}
+
+// BuildPlanIn is BuildPlanSrc over a concrete store; nil selects the
+// process-global store.
 func BuildPlanIn(store *TrieStore, q *Query, policy OrderPolicy) (*Plan, error) {
+	if store == nil {
+		store = defaultTrieStore
+	}
+	return BuildPlanSrc(store, q, policy)
+}
+
+// BuildPlanSrc validates the query, asks the policy for the variable
+// order and builds the per-atom tries. Tries are served from the given
+// source keyed by (relation, variable binding, trie order), so
+// repeated queries — and planner probes over the same relations —
+// reuse built tries instead of rebuilding them. A long-lived DB
+// passes a source backed by its own store, giving it ownership of its
+// indexes independent of global cache churn.
+func BuildPlanSrc(store TrieSource, q *Query, policy OrderPolicy) (*Plan, error) {
 	if store == nil {
 		store = defaultTrieStore
 	}
@@ -164,6 +184,35 @@ func BuildPlanIn(store *TrieStore, q *Query, policy OrderPolicy) (*Plan, error) 
 		}
 	}
 	return p, nil
+}
+
+// RefreshPlan re-resolves only the tries of a plan against a new
+// query binding (same shape: variables, atoms and resolved order are
+// unchanged — the mutable-relation layer guarantees this because
+// schema changes go through Register, which drops prepared plans
+// entirely). Everything planning paid for — order resolution,
+// including any cost-based LP solves, plus the level/participant
+// tables — is carried over; only the per-atom tries are fetched from
+// the source, which serves cached tries for unchanged relations and
+// level-merged (base ⊎ delta) tries for updated ones. This is what
+// lets a PreparedQuery survive updates: the plan skeleton is
+// re-versioned, never re-planned.
+func RefreshPlan(p *Plan, q *Query, src TrieSource) (*Plan, error) {
+	if len(q.Atoms) != len(p.Tries) {
+		return nil, fmt.Errorf("core: refresh: %d atoms, plan has %d", len(q.Atoms), len(p.Tries))
+	}
+	np := *p
+	np.Q = q
+	np.Tries = make([]*trie.Trie, len(p.Tries))
+	for i, a := range q.Atoms {
+		// The atom's trie order is recorded in the old trie itself.
+		tr, err := src.Get(a, p.Tries[i].Attrs())
+		if err != nil {
+			return nil, fmt.Errorf("core: refresh atom %s: %w", a.Name, err)
+		}
+		np.Tries[i] = tr
+	}
+	return &np, nil
 }
 
 // TopValues computes the depth-0 intersection — the sorted distinct

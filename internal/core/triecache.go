@@ -133,22 +133,20 @@ func (s *TrieStore) shardOf(key trieKey) *trieShard {
 	return &s.shards[h.Sum64()%trieStoreShards]
 }
 
-// Get returns the trie for atom a under atomOrder, building and
-// caching it on first use.
-func (s *TrieStore) Get(a Atom, atomOrder []string) (*trie.Trie, error) {
-	key := trieKey{
+// keyOf builds the cache key of (atom, trie order).
+func keyOf(a Atom, atomOrder []string) trieKey {
+	return trieKey{
 		rel:   a.Rel,
 		vars:  strings.Join(a.Vars, "\x1f"),
 		order: strings.Join(atomOrder, "\x1f"),
 	}
-	sh := s.shardOf(key)
-	sh.mu.RLock()
-	e := sh.m[key]
-	sh.mu.RUnlock()
-	if e != nil {
-		e.stamp.Store(s.clock.Add(1))
-		s.hits.Add(1)
-		return e.tr, nil
+}
+
+// Get returns the trie for atom a under atomOrder, building and
+// caching it on first use.
+func (s *TrieStore) Get(a Atom, atomOrder []string) (*trie.Trie, error) {
+	if tr, ok := s.lookup(keyOf(a, atomOrder)); ok {
+		return tr, nil
 	}
 	s.misses.Add(1)
 
@@ -162,21 +160,63 @@ func (s *TrieStore) Get(a Atom, atomOrder []string) (*trie.Trie, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.insert(keyOf(a, atomOrder), tr), nil
+}
 
+// Lookup returns the cached trie for (atom, order) without building on
+// a miss. The mutable-relation layer probes with it before paying a
+// delta merge; a found entry counts as a hit, a miss counts as a miss
+// (the caller's Add completes the same build-on-miss cycle Get runs).
+func (s *TrieStore) Lookup(a Atom, atomOrder []string) (*trie.Trie, bool) {
+	tr, ok := s.lookup(keyOf(a, atomOrder))
+	if !ok {
+		s.misses.Add(1)
+	}
+	return tr, ok
+}
+
+// Add caches an externally built trie for (atom, order) — the
+// level-merged snapshot tries of the mutable-relation layer enter the
+// store here, under the byte budget and LRU policy of every other
+// entry. When a concurrent insert for the same key won, the resident
+// trie is returned and should be used instead (all candidates for one
+// key are equivalent).
+func (s *TrieStore) Add(a Atom, atomOrder []string, tr *trie.Trie) *trie.Trie {
+	return s.insert(keyOf(a, atomOrder), tr)
+}
+
+// lookup is the shared hit path: shard read lock, atomic LRU stamp.
+func (s *TrieStore) lookup(key trieKey) (*trie.Trie, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	e.stamp.Store(s.clock.Add(1))
+	s.hits.Add(1)
+	return e.tr, true
+}
+
+// insert caches a built trie under the byte budget, resolving insert
+// races by adopting the resident winner.
+func (s *TrieStore) insert(key trieKey, tr *trie.Trie) *trie.Trie {
 	size := tr.SizeBytes() + trieEntryOverhead
 	if size > s.limit.Load() {
 		// Larger than the whole budget: hand it to the caller uncached.
-		return tr, nil
+		return tr
 	}
+	sh := s.shardOf(key)
 	sh.mu.Lock()
 	if won, ok := sh.m[key]; ok {
 		// A concurrent builder won the race; share its trie.
 		won.stamp.Store(s.clock.Add(1))
 		tr = won.tr
 		sh.mu.Unlock()
-		return tr, nil
+		return tr
 	}
-	e = &trieEntry{key: key, tr: tr, bytes: size}
+	e := &trieEntry{key: key, tr: tr, bytes: size}
 	e.stamp.Store(s.clock.Add(1))
 	sh.m[key] = e
 	sh.mu.Unlock()
@@ -187,7 +227,7 @@ func (s *TrieStore) Get(a Atom, atomOrder []string) (*trie.Trie, error) {
 		// of a workload sitting at its budget.
 		s.evictTo(limit - limit/8)
 	}
-	return tr, nil
+	return tr
 }
 
 // evictTo removes stalest-stamp entries until the resident total is at

@@ -1,0 +1,269 @@
+// Package delta implements the mutable-relation substrate of the
+// long-lived engine: per-relation delta logs over an immutable base,
+// epoch-versioned snapshots, and size-ratio-driven compaction.
+//
+// A Version is one immutable snapshot of a named relation's head:
+// the large sorted base, a small sorted set of inserted tuples (Add)
+// and a small sorted set of tombstones (Del), with the invariants
+//
+//	Del ⊆ Base   and   Add ∩ Base = ∅   (as tuple sets),
+//
+// so the effective tuple set is (Base ∖ Del) ⊎ Add and its cardinality
+// is |Base| − |Del| + |Add| without materializing anything. Apply
+// produces a *new* Version (copy-on-write: the base columns are
+// shared, only the delta relations are rebuilt), which is what lets a
+// writer advance the head while in-flight readers keep a consistent
+// earlier snapshot — the MVCC shape wcoj.DB builds its snapshot
+// isolation on. Effective materializes the merged view lazily, once
+// per version, by the linear level merge of relation.MergeDelta;
+// Compacted promotes that merged view to the new base, emptying the
+// delta, which the trie layer observes as "the cached merged tries
+// became the base tries" (their backing relation is pointer-identical).
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"wcoj/internal/relation"
+)
+
+// Version is one immutable snapshot of a mutable relation. Fields are
+// read-only after construction; Effective is lazily materialized and
+// safe for concurrent use.
+type Version struct {
+	// Epoch counts applied batches on this relation (0 for a freshly
+	// registered base).
+	Epoch uint64
+	// Base is the compacted storage; Add and Del are the delta log
+	// (sorted, deduplicated, schema-identical to Base).
+	Base, Add, Del *relation.Relation
+
+	effOnce sync.Once
+	eff     *relation.Relation
+}
+
+// New returns the epoch-0 version of a freshly registered relation:
+// the relation is the base and the delta is empty.
+func New(base *relation.Relation) *Version {
+	return &Version{
+		Epoch: 0,
+		Base:  base,
+		Add:   relation.Empty(base.Name(), base.Attrs()...),
+		Del:   relation.Empty(base.Name(), base.Attrs()...),
+	}
+}
+
+// Len returns the effective cardinality |Base| − |Del| + |Add|,
+// exact under the package invariants, without materializing.
+func (v *Version) Len() int { return v.Base.Len() - v.Del.Len() + v.Add.Len() }
+
+// DeltaLen returns the delta depth |Add| + |Del| — the number of
+// logged changes a reader must merge over the base.
+func (v *Version) DeltaLen() int { return v.Add.Len() + v.Del.Len() }
+
+// Effective materializes the merged view (Base ∖ Del) ⊎ Add, once per
+// version (concurrent callers share the result). With an empty delta
+// it is Base itself.
+func (v *Version) Effective() *relation.Relation {
+	if v.DeltaLen() == 0 {
+		return v.Base
+	}
+	v.effOnce.Do(func() {
+		eff, err := relation.MergeDelta(v.Base, v.Add, v.Del)
+		if err != nil {
+			// Unreachable: Apply only ever builds schema-identical deltas.
+			panic(fmt.Sprintf("delta: effective merge: %v", err))
+		}
+		v.eff = eff
+	})
+	return v.eff
+}
+
+// NeedsCompaction reports whether the delta depth has crossed ratio ×
+// max(|Base|, minBase) — the size-ratio threshold at which merging the
+// delta on every fresh read costs more than folding it into the base
+// once.
+func (v *Version) NeedsCompaction(ratio float64, minBase int) bool {
+	if v.DeltaLen() == 0 {
+		return false
+	}
+	base := v.Base.Len()
+	if base < minBase {
+		base = minBase
+	}
+	return float64(v.DeltaLen()) >= ratio*float64(base)
+}
+
+// Compacted returns the version with the delta folded into the base:
+// same epoch (the tuple set is unchanged — readers at this epoch need
+// not refresh), Base = Effective(), empty delta. The promoted base is
+// pointer-identical to Effective(), so tries cached against the merged
+// view keep serving as the new base tries.
+func (v *Version) Compacted() *Version {
+	eff := v.Effective()
+	return &Version{
+		Epoch: v.Epoch,
+		Base:  eff,
+		Add:   relation.Empty(eff.Name(), eff.Attrs()...),
+		Del:   relation.Empty(eff.Name(), eff.Attrs()...),
+	}
+}
+
+// Op is one update operation of a batch.
+type Op struct {
+	// Del selects delete (true) or insert (false).
+	Del bool
+	// T is the tuple; its arity must match the relation's. Apply takes
+	// ownership: T must not be mutated afterwards (wcoj.Batch clones
+	// caller tuples at the public boundary, so the churn machinery can
+	// retain T without another copy).
+	T relation.Tuple
+}
+
+// Stats counts what one Apply did. No-ops are updates with no effect —
+// inserting a tuple already present, deleting one that is absent —
+// which must be counted, not silently folded into the delta (a delta
+// that logs them would corrupt Len and the compaction trigger).
+type Stats struct {
+	Inserted, Deleted        int
+	InsertNoops, DeleteNoops int
+}
+
+// Changed reports whether the batch had any effect.
+func (s Stats) Changed() bool { return s.Inserted > 0 || s.Deleted > 0 }
+
+// churn is the net effect of one batch on one side of the delta log:
+// plus holds tuples to merge in, minus holds tuples to cancel out.
+// Both are batch-sized — the existing log is never copied, so a
+// stream of small batches costs O(batch + delta) per batch (one
+// linear churn merge), not O(delta log delta) re-sorts.
+type churn struct {
+	plus, minus map[string]relation.Tuple
+}
+
+func newChurn() *churn {
+	return &churn{plus: map[string]relation.Tuple{}, minus: map[string]relation.Tuple{}}
+}
+
+// member reports whether k/t is in (log ∖ minus) ∪ plus.
+func (c *churn) member(k string, t relation.Tuple, log *relation.Relation) bool {
+	if c.plus[k] != nil {
+		return true
+	}
+	if c.minus[k] != nil {
+		return false
+	}
+	return log.Contains(t)
+}
+
+// include adds k/t to the side; a pending removal cancels instead (the
+// tuple is already in the log).
+func (c *churn) include(k string, t relation.Tuple) {
+	if c.minus[k] != nil {
+		delete(c.minus, k)
+		return
+	}
+	c.plus[k] = t
+}
+
+// exclude removes k/t from the side; a pending addition cancels
+// instead (the tuple never reached the log).
+func (c *churn) exclude(k string, t relation.Tuple) {
+	if c.plus[k] != nil {
+		delete(c.plus, k)
+		return
+	}
+	c.minus[k] = t
+}
+
+// apply folds the churn into the log by one linear merge (plus is
+// disjoint from the log and minus ⊆ log by construction, the exact
+// preconditions of relation.MergeDelta). Untouched sides are returned
+// as-is, sharing storage with the receiver version.
+func (c *churn) apply(log *relation.Relation) *relation.Relation {
+	if len(c.plus) == 0 && len(c.minus) == 0 {
+		return log
+	}
+	build := func(m map[string]relation.Tuple) *relation.Relation {
+		b := relation.NewBuilder(log.Name(), log.Attrs()...)
+		for _, t := range m {
+			if err := b.Add(t...); err != nil {
+				panic(err) // unreachable: arity checked by Apply
+			}
+		}
+		return b.Build()
+	}
+	out, err := relation.MergeDelta(log, build(c.plus), build(c.minus))
+	if err != nil {
+		panic(fmt.Sprintf("delta: churn merge: %v", err)) // unreachable: schemas identical
+	}
+	return out
+}
+
+// Apply folds one batch of operations into the version, returning the
+// successor snapshot (epoch advanced by one). Operations are applied
+// in order, with set semantics against the effective tuple set as it
+// evolves through the batch: inserting a present tuple and deleting an
+// absent one are counted no-ops. The receiver is not modified
+// (copy-on-write: base and any untouched delta side are shared; a
+// touched side is rebuilt by one linear merge with the batch-sized
+// churn). When the batch changes nothing, the receiver itself is
+// returned (same epoch), so callers can skip publishing an identical
+// snapshot.
+func (v *Version) Apply(ops []Op) (*Version, Stats, error) {
+	var st Stats
+	arity := v.Base.Arity()
+	for _, op := range ops {
+		if len(op.T) != arity {
+			return nil, st, fmt.Errorf("delta: %s: tuple arity %d, want %d", v.Base.Name(), len(op.T), arity)
+		}
+	}
+	add, del := newChurn(), newChurn()
+	for _, op := range ops {
+		k := tupleKey(op.T)
+		if op.Del {
+			switch {
+			case add.member(k, op.T, v.Add): // inserted earlier: retract
+				add.exclude(k, op.T)
+				st.Deleted++
+			case v.Base.Contains(op.T) && !del.member(k, op.T, v.Del):
+				del.include(k, op.T) // present in base, not yet tombstoned
+				st.Deleted++
+			default: // absent (never present, or already deleted)
+				st.DeleteNoops++
+			}
+		} else {
+			switch {
+			case del.member(k, op.T, v.Del): // deleted earlier: resurrect
+				del.exclude(k, op.T)
+				st.Inserted++
+			case v.Base.Contains(op.T) || add.member(k, op.T, v.Add):
+				st.InsertNoops++ // already present
+			default:
+				add.include(k, op.T)
+				st.Inserted++
+			}
+		}
+	}
+	if !st.Changed() {
+		return v, st, nil
+	}
+	return &Version{
+		Epoch: v.Epoch + 1,
+		Base:  v.Base,
+		Add:   add.apply(v.Add),
+		Del:   del.apply(v.Del),
+	}, st, nil
+}
+
+// tupleKey is an injective byte encoding of a tuple, for the working
+// sets of Apply.
+func tupleKey(t relation.Tuple) string {
+	buf := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return string(buf)
+}

@@ -1,0 +1,188 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcoj/internal/relation"
+)
+
+func rel(t *testing.T, rows ...[]relation.Value) *relation.Relation {
+	t.Helper()
+	b := relation.NewBuilder("E", "x", "y")
+	for _, r := range rows {
+		if err := b.Add(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestApplySetSemantics(t *testing.T) {
+	v := New(rel(t, []relation.Value{1, 2}, []relation.Value{3, 4}))
+	if v.Epoch != 0 || v.Len() != 2 || v.DeltaLen() != 0 {
+		t.Fatalf("fresh version: epoch %d len %d delta %d", v.Epoch, v.Len(), v.DeltaLen())
+	}
+
+	// Insert one new, one duplicate; delete one present, one absent.
+	v2, st, err := v.Apply([]Op{
+		{T: relation.Tuple{5, 6}},            // new
+		{T: relation.Tuple{1, 2}},            // duplicate -> no-op
+		{Del: true, T: relation.Tuple{3, 4}}, // present
+		{Del: true, T: relation.Tuple{9, 9}}, // absent -> no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserted != 1 || st.InsertNoops != 1 || st.Deleted != 1 || st.DeleteNoops != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if v2.Epoch != 1 || v2.Len() != 2 || v2.DeltaLen() != 2 {
+		t.Fatalf("after batch: epoch %d len %d delta %d", v2.Epoch, v2.Len(), v2.DeltaLen())
+	}
+	// The receiver is untouched (copy-on-write).
+	if v.Len() != 2 || v.DeltaLen() != 0 || v.Epoch != 0 {
+		t.Fatal("Apply mutated its receiver")
+	}
+	want := rel(t, []relation.Value{1, 2}, []relation.Value{5, 6})
+	if !v2.Effective().Equal(want) {
+		t.Fatalf("effective %v, want %v", v2.Effective().Tuples(), want.Tuples())
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	// insert -> delete -> insert of the same tuple lands back at
+	// "present", with the delta recording only the net effect.
+	v := New(rel(t, []relation.Value{1, 1}))
+	tu := relation.Tuple{7, 7}
+	v2, _, _ := v.Apply([]Op{{T: tu}})
+	v3, _, _ := v2.Apply([]Op{{Del: true, T: tu}})
+	if v3.DeltaLen() != 0 {
+		t.Fatalf("insert+delete of a new tuple should cancel, delta %d", v3.DeltaLen())
+	}
+	v4, _, _ := v3.Apply([]Op{{T: tu}})
+	if !v4.Effective().Contains(tu) || v4.Len() != 2 {
+		t.Fatal("round-trip lost the tuple")
+	}
+	// delete -> insert of a base tuple resurrects it via the tombstone.
+	base := relation.Tuple{1, 1}
+	v5, _, _ := v4.Apply([]Op{{Del: true, T: base}})
+	if v5.Effective().Contains(base) {
+		t.Fatal("delete did not take")
+	}
+	v6, st, _ := v5.Apply([]Op{{T: base}})
+	if st.Inserted != 1 || !v6.Effective().Contains(base) {
+		t.Fatal("re-insert did not resurrect the base tuple")
+	}
+	if v6.DeltaLen() != v4.DeltaLen() {
+		t.Fatalf("delete+insert must cancel in the delta: %d vs %d", v6.DeltaLen(), v4.DeltaLen())
+	}
+}
+
+func TestApplyWithinBatchOrdering(t *testing.T) {
+	v := New(rel(t, []relation.Value{1, 1}))
+	tu := relation.Tuple{2, 2}
+	// Ops apply in order within one batch: insert then delete = absent.
+	v2, st, err := v.Apply([]Op{{T: tu}, {Del: true, T: tu}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserted != 1 || st.Deleted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if v2.Effective().Contains(tu) {
+		t.Fatal("insert-then-delete should leave the tuple absent")
+	}
+	// delete then insert of a base tuple = present.
+	base := relation.Tuple{1, 1}
+	v3, _, err := v.Apply([]Op{{Del: true, T: base}, {T: base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v3.Effective().Contains(base) {
+		t.Fatal("delete-then-insert should leave the base tuple present")
+	}
+}
+
+func TestApplyNoChangeReturnsReceiver(t *testing.T) {
+	v := New(rel(t, []relation.Value{1, 2}))
+	v2, st, err := v.Apply([]Op{
+		{T: relation.Tuple{1, 2}},
+		{Del: true, T: relation.Tuple{8, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed() || v2 != v {
+		t.Fatalf("pure-noop batch must return the receiver (stats %+v)", st)
+	}
+}
+
+func TestApplyArityError(t *testing.T) {
+	v := New(rel(t))
+	if _, _, err := v.Apply([]Op{{T: relation.Tuple{1}}}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	v := New(rel(t, []relation.Value{1, 1}, []relation.Value{2, 2}, []relation.Value{3, 3}))
+	v2, _, _ := v.Apply([]Op{{T: relation.Tuple{4, 4}}, {Del: true, T: relation.Tuple{1, 1}}})
+	if !v2.NeedsCompaction(0.5, 1) {
+		t.Fatal("delta 2 over base 3 should cross a 0.5 ratio")
+	}
+	if v2.NeedsCompaction(0.5, 100) {
+		t.Fatal("minBase should suppress compaction of small relations")
+	}
+	if v.NeedsCompaction(0.0, 0) {
+		t.Fatal("empty delta never needs compaction")
+	}
+	c := v2.Compacted()
+	if c.Epoch != v2.Epoch || c.DeltaLen() != 0 {
+		t.Fatalf("compacted: epoch %d delta %d", c.Epoch, c.DeltaLen())
+	}
+	if c.Base != v2.Effective() {
+		t.Fatal("compacted base must be pointer-identical to the effective view")
+	}
+	if !c.Effective().Equal(v2.Effective()) {
+		t.Fatal("compaction changed the tuple set")
+	}
+}
+
+func TestEffectiveEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := New(rel(t))
+	present := map[[2]relation.Value]bool{}
+	for step := 0; step < 40; step++ {
+		var ops []Op
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			tu := relation.Tuple{relation.Value(rng.Intn(12)), relation.Value(rng.Intn(12))}
+			del := rng.Intn(2) == 0
+			ops = append(ops, Op{Del: del, T: tu})
+			if del {
+				delete(present, [2]relation.Value{tu[0], tu[1]})
+			} else {
+				present[[2]relation.Value{tu[0], tu[1]}] = true
+			}
+		}
+		next, _, err := v.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = next
+		var rows [][]relation.Value
+		for k := range present {
+			rows = append(rows, []relation.Value{k[0], k[1]})
+		}
+		want := rel(t, rows...)
+		if !v.Effective().Equal(want) {
+			t.Fatalf("step %d: effective diverged from model (%d vs %d tuples)", step, v.Effective().Len(), want.Len())
+		}
+		if v.Len() != want.Len() {
+			t.Fatalf("step %d: Len %d != %d", step, v.Len(), want.Len())
+		}
+		if rng.Intn(6) == 0 {
+			v = v.Compacted()
+		}
+	}
+}

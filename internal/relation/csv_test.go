@@ -1,5 +1,8 @@
 package relation
 
+// Delta-file loading tests live beside the CSV round-trip tests; see
+// TestReadDeltaCSV below.
+
 import (
 	"bytes"
 	"strings"
@@ -184,5 +187,52 @@ func TestCSVTSVInterop(t *testing.T) {
 	}
 	if !r.Equal(viaTSV) {
 		t.Fatal("CSV tab output did not load through ReadTSV")
+	}
+}
+
+func TestReadDeltaCSV(t *testing.T) {
+	in := "# a comment\n+,1,2\n-,3,4\ninsert, 5 , 6\nDELETE,7,8\ni,9,10\nd,11,12\n"
+	d, err := ReadDeltaCSV(strings.NewReader(in), "E", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 || len(d.Insert) != 3 || len(d.Delete) != 3 {
+		t.Fatalf("parsed %d inserts, %d deletes", len(d.Insert), len(d.Delete))
+	}
+	if !d.Insert[1].Equal(Tuple{5, 6}) || !d.Delete[2].Equal(Tuple{11, 12}) {
+		t.Fatalf("tuples: %v / %v", d.Insert, d.Delete)
+	}
+}
+
+func TestReadDeltaCSVDict(t *testing.T) {
+	dict := NewDict()
+	d, err := ReadDeltaCSV(strings.NewReader("+,alice,bob\n-,carol,dan\n"), "F", CSVOptions{Dict: dict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Insert) != 1 || len(d.Delete) != 1 {
+		t.Fatalf("parsed %v / %v", d.Insert, d.Delete)
+	}
+	if dict.String(d.Insert[0][1]) != "bob" || dict.String(d.Delete[0][0]) != "carol" {
+		t.Fatal("dict interning lost the strings")
+	}
+}
+
+func TestReadDeltaCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad op":       "*,1,2\n",
+		"no values":    "+\n",
+		"ragged width": "+,1,2\n-,3\n",
+		"non-integer":  "+,1,x\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDeltaCSV(strings.NewReader(in), "E", CSVOptions{}); err == nil {
+			t.Errorf("%s: want error for %q", name, in)
+		}
+	}
+	// Empty input is a valid empty delta.
+	d, err := ReadDeltaCSV(strings.NewReader(""), "E", CSVOptions{})
+	if err != nil || d.Len() != 0 {
+		t.Fatalf("empty input: %v, %d ops", err, d.Len())
 	}
 }

@@ -1,0 +1,108 @@
+package relation
+
+import "fmt"
+
+// MergeDelta computes the effective relation (base ∖ del) ⊎ add by one
+// linear pass over three sorted relations sharing a schema — the merged
+// (base ⊎ delta) read the incremental-update machinery is built on.
+// Where rebuilding via a Builder costs O((N+D) log(N+D)) comparison
+// sorts, MergeDelta walks the already-sorted columnar levels of all
+// three inputs in lockstep and costs O((N+D)·k) copies, so absorbing a
+// small delta into a large base never pays the base's sort again.
+//
+// Semantics: a base tuple also present in del is dropped; add tuples
+// are interleaved at their sorted position. Tuples in del that do not
+// occur in base are ignored, and an add tuple equal to a surviving
+// base tuple is emitted once (set semantics) — though the delta layer
+// maintains the stricter invariants del ⊆ base and add ∩ base = ∅, so
+// neither case arises there. All three relations must share the same
+// attribute list in the same order.
+func MergeDelta(base, add, del *Relation) (*Relation, error) {
+	for _, r := range []*Relation{add, del} {
+		if len(r.attrs) != len(base.attrs) {
+			return nil, fmt.Errorf("relation: merge %s: arity %d, want %d", r.name, len(r.attrs), len(base.attrs))
+		}
+		for j, a := range base.attrs {
+			if r.attrs[j] != a {
+				return nil, fmt.Errorf("relation: merge %s: attrs %v, want %v", r.name, r.attrs, base.attrs)
+			}
+		}
+	}
+	if add.n == 0 && del.n == 0 {
+		return base, nil
+	}
+	k := len(base.attrs)
+	est := base.n - del.n + add.n
+	if est < 0 {
+		est = 0
+	}
+	cols := make([][]Value, k)
+	for j := range cols {
+		cols[j] = make([]Value, 0, est)
+	}
+	emit := func(src *Relation, i int) {
+		for j := 0; j < k; j++ {
+			cols[j] = append(cols[j], src.cols[j][i])
+		}
+	}
+	b, a, d := 0, 0, 0
+	for b < base.n || a < add.n {
+		// Advance the tombstone cursor past rows sorting before the
+		// current base row; a tombstone equal to it deletes the row.
+		if b < base.n {
+			skip := false
+			for d < del.n {
+				c := rowCmp(del, d, base, b, k)
+				if c < 0 {
+					d++ // tombstone for a tuple not (or no longer) in base
+					continue
+				}
+				if c == 0 {
+					d++
+					skip = true
+				}
+				break
+			}
+			if skip {
+				b++
+				continue
+			}
+		}
+		switch {
+		case b >= base.n:
+			emit(add, a)
+			a++
+		case a >= add.n:
+			emit(base, b)
+			b++
+		default:
+			switch c := rowCmp(base, b, add, a, k); {
+			case c < 0:
+				emit(base, b)
+				b++
+			case c > 0:
+				emit(add, a)
+				a++
+			default: // duplicate across base and add: emit once
+				emit(base, b)
+				b++
+				a++
+			}
+		}
+	}
+	return FromColumns(base.name, base.attrs, cols), nil
+}
+
+// rowCmp lexicographically compares row i of r with row j of s over k
+// columns (schemas already verified equal).
+func rowCmp(r *Relation, i int, s *Relation, j, k int) int {
+	for c := 0; c < k; c++ {
+		switch {
+		case r.cols[c][i] < s.cols[c][j]:
+			return -1
+		case r.cols[c][i] > s.cols[c][j]:
+			return 1
+		}
+	}
+	return 0
+}

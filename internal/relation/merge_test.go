@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRel builds a relation from raw rows (sorted/deduped by the
+// builder).
+func buildRel(t *testing.T, name string, attrs []string, rows [][]Value) *Relation {
+	t.Helper()
+	b := NewBuilder(name, attrs...)
+	for _, r := range rows {
+		if err := b.Add(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestMergeDeltaRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	attrs := []string{"x", "y"}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		var baseRows [][]Value
+		for i := 0; i < n; i++ {
+			baseRows = append(baseRows, []Value{Value(rng.Intn(40)), Value(rng.Intn(40))})
+		}
+		base := buildRel(t, "R", attrs, baseRows)
+
+		// del: a random subset of base; add: random rows not in base.
+		var delRows, addRows [][]Value
+		want := map[[2]Value]bool{}
+		for i := 0; i < base.Len(); i++ {
+			tu := base.Tuple(i, nil)
+			if rng.Intn(3) == 0 {
+				delRows = append(delRows, []Value{tu[0], tu[1]})
+			} else {
+				want[[2]Value{tu[0], tu[1]}] = true
+			}
+		}
+		for len(addRows) < 30 {
+			tu := Tuple{Value(rng.Intn(60)), Value(rng.Intn(60))}
+			if base.Contains(tu) {
+				continue
+			}
+			addRows = append(addRows, []Value{tu[0], tu[1]})
+			want[[2]Value{tu[0], tu[1]}] = true
+		}
+		add := buildRel(t, "R", attrs, addRows)
+		del := buildRel(t, "R", attrs, delRows)
+
+		got, err := MergeDelta(base, add, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantRows [][]Value
+		for k := range want {
+			wantRows = append(wantRows, []Value{k[0], k[1]})
+		}
+		wantRel := buildRel(t, "R", attrs, wantRows)
+		if !got.Equal(wantRel) {
+			t.Fatalf("trial %d: merged relation differs: got %d tuples, want %d", trial, got.Len(), wantRel.Len())
+		}
+	}
+}
+
+func TestMergeDeltaEmptyDelta(t *testing.T) {
+	base := buildRel(t, "R", []string{"x"}, [][]Value{{1}, {2}})
+	got, err := MergeDelta(base, Empty("R", "x"), Empty("R", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatal("empty delta must return the base relation unchanged")
+	}
+}
+
+func TestMergeDeltaLooseInputs(t *testing.T) {
+	base := buildRel(t, "R", []string{"x"}, [][]Value{{1}, {3}, {5}})
+	// del names a tuple not in base (ignored); add collides with a
+	// surviving base tuple (emitted once).
+	add := buildRel(t, "R", []string{"x"}, [][]Value{{3}, {4}})
+	del := buildRel(t, "R", []string{"x"}, [][]Value{{2}, {5}})
+	got, err := MergeDelta(base, add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildRel(t, "R", []string{"x"}, [][]Value{{1}, {3}, {4}})
+	if !got.Equal(want) {
+		t.Fatalf("got %v, want %v", got.Tuples(), want.Tuples())
+	}
+}
+
+func TestMergeDeltaSchemaMismatch(t *testing.T) {
+	base := buildRel(t, "R", []string{"x", "y"}, nil)
+	if _, err := MergeDelta(base, Empty("R", "x"), buildRel(t, "R", []string{"x"}, [][]Value{{1}})); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := MergeDelta(base, buildRel(t, "R", []string{"y", "x"}, [][]Value{{1, 2}}), Empty("R", "x", "y")); err == nil {
+		t.Fatal("want attr-order error")
+	}
+}

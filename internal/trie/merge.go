@@ -1,0 +1,41 @@
+package trie
+
+import (
+	"fmt"
+
+	"wcoj/internal/relation"
+)
+
+// Merge builds the trie of the snapshot view (base ∖ del) ⊎ add
+// without re-sorting the base: the base trie's columns are already
+// sorted in the trie's attribute order, so the merged levels are
+// produced by one linear lockstep pass (relation.MergeDelta) and the
+// resulting storage is adopted directly — the same fast path Build
+// takes for natively-ordered relations. add and del must be sorted
+// under the base trie's attribute order (they are small: callers sort
+// them in O(D log D), against O(N log N) for rebuilding the base).
+//
+// This is the trie-versioning primitive of the mutable-relation layer:
+// a writer advancing a relation's head epoch never touches existing
+// tries (they are immutable snapshots pinned by in-flight readers);
+// the next reader at the new epoch merges the delta into a fresh trie
+// here, and compaction later promotes that merged trie to the new
+// base. With an empty delta the base trie is returned unchanged.
+func Merge(base *Trie, add, del *relation.Relation) (*Trie, error) {
+	if (add == nil || add.Len() == 0) && (del == nil || del.Len() == 0) {
+		return base, nil
+	}
+	if add == nil {
+		add = relation.Empty(base.rel.Name(), base.attrs...)
+	}
+	if del == nil {
+		del = relation.Empty(base.rel.Name(), base.attrs...)
+	}
+	merged, err := relation.MergeDelta(base.rel, add, del)
+	if err != nil {
+		return nil, fmt.Errorf("trie: merge: %w", err)
+	}
+	// merged is sorted in the base trie's attribute order by
+	// construction, so Build shares its storage instead of re-sorting.
+	return Build(merged, base.attrs)
+}
