@@ -1,0 +1,85 @@
+// Command wcojlint runs the project's static analysis suite (see
+// internal/lint) over the given packages, in the style of a
+// go/analysis multichecker:
+//
+//	go run ./cmd/wcojlint ./...
+//	go run ./cmd/wcojlint -only snapshotonce,ctxpoll ./internal/core
+//
+// Exit status: 0 clean, 1 findings reported, 2 analysis failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wcoj/internal/lint"
+	"wcoj/internal/lint/analysis"
+	"wcoj/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wcojlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	dir := fs.String("C", "", "change to this directory before loading packages")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: wcojlint [-only a,b] [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "wcojlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	units, err := loader.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "wcojlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(analyzers, units)
+	if err != nil {
+		fmt.Fprintf(stderr, "wcojlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

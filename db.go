@@ -53,8 +53,8 @@ type CSVOptions = relation.CSVOptions
 // data, even while Insert/Delete/Apply advance it concurrently.
 type DB struct {
 	mu       sync.RWMutex
-	data     *Database
-	versions map[string]*delta.Version
+	data     *Database                 //wcojlint:guardedby mu
+	versions map[string]*delta.Version //wcojlint:guardedby mu
 	store    *core.TrieStore
 
 	// writeMu serializes the writers (Register, Apply, Compact); the
@@ -72,7 +72,7 @@ type DB struct {
 	// sweep in flight (guarded by mu).
 	compactRatio   atomic.Uint64
 	compactMinBase int
-	compacting     map[string]bool
+	compacting     map[string]bool //wcojlint:guardedby mu
 
 	// Update counters (see DBStats).
 	batches, inserts, deletes atomic.Uint64
@@ -80,10 +80,10 @@ type DB struct {
 	compactions               atomic.Uint64
 
 	plansMu    sync.Mutex
-	plans      map[string]*planCacheEntry
-	planLimit  int
-	planClock  uint64
-	gen        uint64 // bumped by Register; guards stale plan inserts
+	plans      map[string]*planCacheEntry //wcojlint:guardedby plansMu
+	planLimit  int                        //wcojlint:guardedby plansMu
+	planClock  uint64                     //wcojlint:guardedby plansMu
+	gen        uint64                     //wcojlint:guardedby plansMu — bumped by Register; guards stale plan inserts
 	planHits   atomic.Uint64
 	planMisses atomic.Uint64
 }
@@ -268,6 +268,8 @@ func (db *DB) Names() []string {
 func (db *DB) SetTrieCacheLimit(bytes int64) int64 { return db.store.SetLimit(bytes) }
 
 // DBStats is a point-in-time snapshot of the engine's shared state.
+//
+//wcojlint:exhaustive
 type DBStats struct {
 	// Relations and Tuples size the registered data (Tuples counts the
 	// effective cardinality: base − deleted + inserted).
@@ -459,7 +461,9 @@ func (db *DB) Bind(src string) (*Query, error) {
 }
 
 // atomVersions snapshots the current version of every relation the
-// query touches. Callers hold db.mu (read or write).
+// query touches.
+//
+//wcojlint:locked callers hold db.mu (read or write)
 func (db *DB) atomVersions(q *Query) map[string]*delta.Version {
 	vers := make(map[string]*delta.Version, len(q.Atoms))
 	for _, a := range q.Atoms {
@@ -781,6 +785,8 @@ func (pq *PreparedQuery) record(start time.Time) {
 
 // PreparedStats are cumulative counters across every call of a
 // prepared query (all goroutines).
+//
+//wcojlint:exhaustive
 type PreparedStats struct {
 	// Calls counts completed executions (including failed ones).
 	Calls int64

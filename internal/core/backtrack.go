@@ -275,6 +275,7 @@ func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *
 		scratch[d] = vals
 		stats.IntersectValues += len(vals)
 	valueLoop:
+		//wcojlint:nopoll one-shot backtracking entry: ctx is checked once before rec(0) and BacktrackOptions plumbs no stop flag; bounded by the (small) constraint-driven search space
 		for _, v := range vals {
 			binding[outPos[d]] = v
 			// Refine every constraint whose Y contains this variable;

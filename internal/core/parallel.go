@@ -86,7 +86,7 @@ type shardRun func(chunk []relation.Value, st *Stats, stop *atomic.Bool, emit fu
 // for the same chunk); finishChunk is called from the coordinating
 // goroutine in ascending chunk order.
 type shardSink interface {
-	bind(numChunks int)
+	bind(numChunks int, stop *atomic.Bool)
 	chunkEmit(chunk int) func(relation.Tuple) error
 	finishChunk(chunk int) error
 }
@@ -106,13 +106,14 @@ func runSharded(ctx context.Context, vals []relation.Value, workers int, parentS
 	if err := CtxErr(ctx); err != nil {
 		return err
 	}
+	var abort atomic.Bool
 	n := len(vals)
 	if n == 0 {
-		sink.bind(0)
+		sink.bind(0, &abort)
 		return nil
 	}
 	starts, numChunks, workers := shardStarts(n, workers)
-	sink.bind(numChunks)
+	sink.bind(numChunks, &abort)
 
 	chunkStats := make([]Stats, numChunks)
 	chunkErrs := make([]error, numChunks)
@@ -122,7 +123,6 @@ func runSharded(ctx context.Context, vals []relation.Value, workers int, parentS
 		done[i] = make(chan struct{})
 		consumed[i] = make(chan struct{})
 	}
-	var abort atomic.Bool
 	defer WatchCancel(ctx, &abort)()
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -176,7 +176,10 @@ func runSharded(ctx context.Context, vals []relation.Value, workers int, parentS
 		default:
 			parentStats.Merge(&chunkStats[c])
 			if ferr := sink.finishChunk(c); ferr != nil {
-				err = ferr
+				// A sink replay unwound by the abort flag means the
+				// ctx was cancelled mid-replay; surface the cause,
+				// never the sentinel.
+				err = CtxAbortErr(ctx, ferr)
 				abort.Store(true)
 			}
 		}
@@ -199,6 +202,7 @@ func runSharded(ctx context.Context, vals []relation.Value, workers int, parentS
 type bufferSink struct {
 	arity int
 	emit  func(relation.Tuple) error
+	stop  *atomic.Bool
 	bufs  [][]relation.Value
 }
 
@@ -206,7 +210,10 @@ func newBufferSink(arity int, emit func(relation.Tuple) error) *bufferSink {
 	return &bufferSink{arity: arity, emit: emit}
 }
 
-func (s *bufferSink) bind(numChunks int) { s.bufs = make([][]relation.Value, numChunks) }
+func (s *bufferSink) bind(numChunks int, stop *atomic.Bool) {
+	s.bufs = make([][]relation.Value, numChunks)
+	s.stop = stop
+}
 
 func (s *bufferSink) chunkEmit(chunk int) func(relation.Tuple) error {
 	return func(t relation.Tuple) error {
@@ -217,7 +224,13 @@ func (s *bufferSink) chunkEmit(chunk int) func(relation.Tuple) error {
 
 func (s *bufferSink) finishChunk(chunk int) error {
 	buf := s.bufs[chunk]
-	for i := 0; i < len(buf); i += s.arity {
+	for i, n := 0, 0; i < len(buf); i += s.arity {
+		// A chunk can hold an arbitrary number of buffered tuples and
+		// the user's emit can be slow; poll so a cancelled run does
+		// not replay a huge buffer to completion.
+		if n++; n&255 == 0 && s.stop.Load() {
+			return ErrAborted
+		}
 		if err := s.emit(relation.Tuple(buf[i : i+s.arity])); err != nil {
 			return err
 		}
@@ -236,7 +249,7 @@ type countSink struct {
 
 func newCountSink() *countSink { return &countSink{} }
 
-func (s *countSink) bind(numChunks int) { s.counts = make([]int, numChunks) }
+func (s *countSink) bind(numChunks int, _ *atomic.Bool) { s.counts = make([]int, numChunks) }
 
 func (s *countSink) chunkEmit(chunk int) func(relation.Tuple) error {
 	return func(relation.Tuple) error {

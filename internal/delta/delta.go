@@ -160,6 +160,8 @@ func (c *churn) member(k string, t relation.Tuple, log *relation.Relation) bool 
 
 // include adds k/t to the side; a pending removal cancels instead (the
 // tuple is already in the log).
+//
+//wcojlint:retains batch ops are cloned at Batch.Add; the churn takes ownership of t
 func (c *churn) include(k string, t relation.Tuple) {
 	if c.minus[k] != nil {
 		delete(c.minus, k)
@@ -170,6 +172,8 @@ func (c *churn) include(k string, t relation.Tuple) {
 
 // exclude removes k/t from the side; a pending addition cancels
 // instead (the tuple never reached the log).
+//
+//wcojlint:retains batch ops are cloned at Batch.Add; the churn takes ownership of t
 func (c *churn) exclude(k string, t relation.Tuple) {
 	if c.plus[k] != nil {
 		delete(c.plus, k)

@@ -437,7 +437,16 @@ func (a *aggWorker) leapfrog(d int, match func() bool) {
 	k := len(iters)
 	sort.Slice(iters, func(i, j int) bool { return iters[i].it.Key() < iters[j].it.Key() })
 	p := 0
+	steps := 0
 	for {
+		// In a counting tail (match is just total++) this loop is the
+		// innermost work of the whole search and can walk an enormous
+		// intersection with no recursion underneath to poll; poll here
+		// so cancellation unwinds mid-level.
+		if steps++; steps&255 == 0 && a.stop != nil && a.stop.Load() {
+			a.aborted = true
+			return
+		}
 		xmax := iters[(p+k-1)%k].it.Key()
 		x := iters[p].it.Key()
 		if x == xmax {
@@ -510,7 +519,15 @@ func (a *aggWorker) visitChunk(vals []relation.Value) error {
 func (a *aggWorker) chunkEach(vals []relation.Value, body func() bool) {
 	w := a.w
 	iters := w.participants[0]
-	for _, v := range vals {
+	for i, v := range vals {
+		// The per-value bodies poll on their own recursion cadence,
+		// but a chunk of values whose subtrees are all tiny would
+		// otherwise only poll every 256 recursions; poll per 256
+		// top-level values too so abort latency is bounded both ways.
+		if i&255 == 255 && a.stop != nil && a.stop.Load() {
+			a.aborted = true
+			return
+		}
 		ok := true
 		for _, st := range iters {
 			st.it.Open()

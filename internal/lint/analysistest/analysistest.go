@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over a fixture package and
+// compares its diagnostics against `// want` expectations embedded in
+// the fixture source, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x = load()     // want `loaded twice`
+//	y = load()     // want `loaded twice` `second expectation`
+//
+// Each expectation is a back-quoted or double-quoted regular
+// expression that must match the message of a diagnostic reported on
+// that line; every diagnostic must be matched by exactly one
+// expectation and vice versa. Lines without a want comment must
+// produce no diagnostics, so fixtures double as negative tests.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wcoj/internal/lint/analysis"
+	"wcoj/internal/lint/loader"
+)
+
+// wantRx extracts the quoted expectations from a want comment tail.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dir (a fixture package directory, conventionally
+// testdata/src/<name>) as package pkgPath and checks a's diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	unit, err := loader.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Unit{unit})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	expects, err := collectWants(unit.Fset, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		file := filepath.Base(d.Position.Filename)
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != file || e.line != d.Position.Line {
+				continue
+			}
+			if e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				a.Name, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants scans every comment in the unit for want expectations.
+func collectWants(fset *token.FileSet, unit *analysis.Unit) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					if !strings.HasPrefix(text, "//") || !strings.HasPrefix(strings.TrimSpace(text[2:]), "want ") {
+						continue
+					}
+					idx = 0
+					text = "// want " + strings.TrimSpace(text[2:])[len("want "):]
+				}
+				tail := text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				matches := wantRx.FindAllStringSubmatch(tail, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(pos.Filename), line: pos.Line, rx: rx, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

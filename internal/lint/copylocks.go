@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// CopyLocks extends vet's copylocks to the cases vet leaves on the
+// table: functions that *return* a lock-containing value, and struct
+// fields that receive a lock-containing value by assignment from an
+// existing value. Copying a sync.Mutex (or anything embedding one,
+// including the sync/atomic types, which carry a noCopy sentinel)
+// forks its state: the copy and the original no longer exclude each
+// other, which in this engine would split a DB's lock from its data.
+var CopyLocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "no lock-containing values returned or assigned by value",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockResults(pass, n.Type, n.Name.Name)
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if copiesLock(pass, res) {
+						pass.Reportf(res.Pos(), "return copies lock value: %s", lockPath(exprType(pass, res)))
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !copiesLock(pass, rhs) {
+						continue
+					}
+					// Only flag stores into fields/elements — vet
+					// already covers plain variable assignment.
+					switch n.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						pass.Reportf(rhs.Pos(), "assignment copies lock value: %s", lockPath(exprType(pass, rhs)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockResults flags by-value lock-containing result types.
+func checkLockResults(pass *analysis.Pass, ft *ast.FuncType, name string) {
+	if ft.Results == nil {
+		return
+	}
+	for _, res := range ft.Results.List {
+		t := exprType(pass, res.Type)
+		if t == nil {
+			continue
+		}
+		if path := lockPath(t); path != "" {
+			pass.Reportf(res.Type.Pos(), "%s returns a lock by value: %s; return a pointer", name, path)
+		}
+	}
+}
+
+// copiesLock reports whether evaluating e yields a by-value copy of an
+// existing lock-containing value. Fresh values (composite literals,
+// conversions of literals) are construction, not copying.
+func copiesLock(pass *analysis.Pass, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return false
+	case *ast.UnaryExpr:
+		return false // &x is a pointer, no copy
+	}
+	t := exprType(pass, e)
+	return t != nil && lockPath(t) != ""
+}
+
+// lockPath returns a human-readable path to the first lock found
+// inside t ("" when t is lock-free). Pointers, slices, maps, and
+// channels reference their payload, so they do not copy it.
+func lockPath(t types.Type) string {
+	return lockPathRec(t, make(map[types.Type]bool))
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+					return "sync/atomic." + obj.Name()
+				}
+			}
+		}
+		if inner := lockPathRec(named.Underlying(), seen); inner != "" {
+			return obj.Name() + " (contains " + inner + ")"
+		}
+		return ""
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if inner := lockPathRec(t.Field(i).Type(), seen); inner != "" {
+				return t.Field(i).Name() + "." + inner
+			}
+		}
+	case *types.Array:
+		return lockPathRec(t.Elem(), seen)
+	}
+	return ""
+}

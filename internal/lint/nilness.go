@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// Nilness flags uses of a value inside the very branch that just
+// proved it nil: within `if x == nil { ... }` (or the else branch of
+// `if x != nil`), dereferencing, indexing, calling, or selecting
+// through x is a guaranteed nil-pointer panic unless x was reassigned
+// first. This is the deterministic core of x/tools' nilness pass — no
+// SSA, so only branch-local facts are used, which keeps it free of
+// false positives.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "no dereference of a value inside the branch that proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			bin, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var nilVar *ast.Ident
+			var branch *ast.BlockStmt
+			switch {
+			case bin.Op == token.EQL:
+				nilVar, branch = nilComparand(pass, bin), ifs.Body
+			case bin.Op == token.NEQ:
+				if b, ok := ifs.Else.(*ast.BlockStmt); ok {
+					nilVar, branch = nilComparand(pass, bin), b
+				}
+			}
+			if nilVar == nil || branch == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[nilVar]
+			if obj == nil {
+				return true
+			}
+			checkNilBranch(pass, obj, nilVar.Name, branch)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparand returns the identifier compared against nil, if the
+// comparison has the shape `x OP nil` or `nil OP x`.
+func nilComparand(pass *analysis.Pass, bin *ast.BinaryExpr) *ast.Ident {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+	}
+	if isNil(bin.Y) {
+		if id, ok := bin.X.(*ast.Ident); ok {
+			return id
+		}
+	}
+	if isNil(bin.X) {
+		if id, ok := bin.Y.(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+// checkNilBranch scans branch statements in order, flagging uses of
+// obj that dereference it; it stops at the first reassignment (obj may
+// be non-nil afterwards).
+func checkNilBranch(pass *analysis.Pass, obj types.Object, name string, branch *ast.BlockStmt) {
+	reassigned := false
+	for _, stmt := range branch.List {
+		if reassigned {
+			return
+		}
+		// A statement that assigns obj ends the known-nil region; the
+		// assignment's RHS is still checked first.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] != nil && pass.TypesInfo.Defs[id] == obj {
+						reassigned = true
+					}
+				}
+			}
+			for _, rhs := range as.Rhs {
+				flagNilDerefs(pass, obj, name, rhs)
+			}
+			continue
+		}
+		walkSameFunc(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				flagNilDerefs(pass, obj, name, e)
+				return false // flagNilDerefs walks the subtree itself
+			}
+			return true
+		})
+	}
+}
+
+// flagNilDerefs reports derefs of obj within expression e.
+func flagNilDerefs(pass *analysis.Pass, obj types.Object, name string, e ast.Expr) {
+	used := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred execution: obj may be set by then
+		case *ast.StarExpr:
+			if used(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: *%s inside the branch where %s == nil", name, name)
+			}
+		case *ast.SelectorExpr:
+			// Selecting through a nil pointer panics; through a nil
+			// interface too. (Method values on nil pointers with
+			// pointer receivers are legal but vanishingly rare here.)
+			if used(n.X) && isPointerLike(obj.Type()) {
+				pass.Reportf(n.Pos(), "nil dereference: %s.%s inside the branch where %s == nil", name, n.Sel.Name, name)
+			}
+		case *ast.IndexExpr:
+			if used(n.X) {
+				if _, isMap := obj.Type().Underlying().(*types.Map); !isMap { // reading a nil map is legal
+					pass.Reportf(n.Pos(), "nil dereference: %s[...] inside the branch where %s == nil", name, name)
+				}
+			}
+		case *ast.CallExpr:
+			if used(n.Fun) {
+				pass.Reportf(n.Pos(), "nil dereference: calling %s inside the branch where %s == nil", name, name)
+			}
+		}
+		return true
+	})
+}
+
+// isPointerLike reports whether selecting a field/method through a nil
+// value of t panics.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// SnapshotOnce enforces the prepared-query snapshot discipline and the
+// DB lock discipline:
+//
+//  1. A struct field of type atomic.Pointer[T] (the prepared-query
+//     `state` field) must be Load()ed at most once per function and
+//     never inside a loop. Two loads in one call can straddle an epoch
+//     bump and mix state from two snapshots; the correct pattern loads
+//     once and threads the *T value. Functions that also Store or
+//     CompareAndSwap the same field are the publish path and are
+//     exempt, as are functions annotated //wcojlint:locked.
+//
+//  2. A struct field annotated `//wcojlint:guardedby mu` may only be
+//     read or written in functions that visibly acquire that mutex
+//     (mu.Lock / mu.RLock on the same receiver), are annotated
+//     //wcojlint:locked (callers hold the lock), follow the
+//     *Locked-name convention, or operate on a value they themselves
+//     allocated (constructors).
+var SnapshotOnce = &analysis.Analyzer{
+	Name: "snapshotonce",
+	Doc:  "atomic.Pointer snapshots loaded once per call; guardedby fields touched only under their mutex",
+	Run:  runSnapshotOnce,
+}
+
+func runSnapshotOnce(pass *analysis.Pass) error {
+	dirs := parseDirectives(pass)
+
+	// Collect guardedby annotations: field object -> mutex field name.
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				d, ok := dirs.at(pass.Fset, field.Pos(), "guardedby")
+				if !ok || d.arg == "" {
+					continue
+				}
+				mu := strings.Fields(d.arg)[0] // prose may follow the mutex name
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncSnapshots(pass, dirs, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// atomicPointerField resolves call to a `recv.field.Method(...)` chain
+// where field is a struct field of type atomic.Pointer[T]; it returns
+// the field object and method name.
+func atomicPointerField(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fv := fieldObject(pass, inner)
+	if fv == nil || !namedIn(fv.Type(), "sync/atomic", "Pointer") {
+		return nil, ""
+	}
+	return fv, sel.Sel.Name
+}
+
+// lockedExempt reports whether fd is allowed to touch guarded state
+// without a visible lock acquisition.
+func lockedExempt(pass *analysis.Pass, dirs directiveIndex, fd *ast.FuncDecl) bool {
+	if _, ok := dirs.at(pass.Fset, fd.Pos(), "locked"); ok {
+		return true
+	}
+	if cg := fd.Doc; cg != nil {
+		if _, ok := dirs.at(pass.Fset, fd.Pos(), "locked"); ok {
+			return true
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "wcojlint:locked") || strings.Contains(c.Text, "lint:locked") {
+				return true
+			}
+		}
+	}
+	return strings.HasSuffix(fd.Name.Name, "Locked")
+}
+
+func checkFuncSnapshots(pass *analysis.Pass, dirs directiveIndex, fd *ast.FuncDecl, guarded map[*types.Var]string) {
+	type loadSite struct {
+		pos    token.Pos
+		inLoop bool
+	}
+	loads := make(map[*types.Var][]loadSite) // atomic.Pointer field -> Load sites
+	publishes := make(map[*types.Var]bool)   // fields this func Stores/CASes
+	lockCalls := make(map[string]bool)       // mutex field names Lock()ed here
+	guardedUses := make(map[*types.Var][]ast.Node)
+	allocated := make(map[types.Object]bool) // receivers/vars constructed locally
+
+	// Locally allocated values: v := &T{...} or v := new(T) — a
+	// constructor owns the value exclusively; no lock needed yet.
+	walkSameFunc(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.UnaryExpr:
+				if rhs.Op == token.AND {
+					if _, isLit := rhs.X.(*ast.CompositeLit); isLit {
+						allocated[pass.TypesInfo.Defs[id]] = true
+					}
+				}
+			case *ast.CompositeLit:
+				allocated[pass.TypesInfo.Defs[id]] = true
+			case *ast.CallExpr:
+				if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "new" {
+					allocated[pass.TypesInfo.Defs[id]] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var loopDepth int
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// Closures run on their own schedule; analyze their
+			// bodies as part of this function (they share the
+			// snapshot discipline) but not the loop context.
+			saved := loopDepth
+			loopDepth = 0
+			visitChildren(n.Body, visit)
+			loopDepth = saved
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			visitChildren(n, visit)
+			loopDepth--
+			return
+		case *ast.CallExpr:
+			if fv, method := atomicPointerField(pass, n); fv != nil {
+				switch method {
+				case "Load":
+					loads[fv] = append(loads[fv], loadSite{pos: n.Pos(), inLoop: loopDepth > 0})
+				case "Store", "Swap", "CompareAndSwap":
+					publishes[fv] = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+						lockCalls[inner.Sel.Name] = true
+					} else if id, ok := sel.X.(*ast.Ident); ok {
+						lockCalls[id.Name] = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if fv := fieldObject(pass, n); fv != nil {
+				if _, ok := guarded[fv]; ok {
+					// Skip when the selector base is a locally
+					// allocated value (constructor).
+					if base, ok := n.X.(*ast.Ident); ok && allocated[pass.TypesInfo.Uses[base]] {
+						break
+					}
+					guardedUses[fv] = append(guardedUses[fv], n)
+				}
+			}
+		}
+		visitChildren(n, visit)
+	}
+	visitChildren(fd.Body, visit)
+
+	exempt := lockedExempt(pass, dirs, fd)
+
+	for fv, sites := range loads {
+		if publishes[fv] || exempt {
+			continue // publish path: Load+CAS retry loops are the one sanctioned re-load
+		}
+		for i, s := range sites {
+			if s.inLoop {
+				pass.Reportf(s.pos, "atomic snapshot field %s.Load() inside a loop: a reloaded snapshot can straddle an epoch; load once before the loop and reuse the value", fv.Name())
+			} else if i > 0 {
+				pass.Reportf(s.pos, "atomic snapshot field %s loaded %d times in %s: two loads can observe different epochs and mix snapshots; load once and thread the value", fv.Name(), len(sites), fd.Name.Name)
+			}
+		}
+	}
+
+	for fv, uses := range guardedUses {
+		mu := guarded[fv]
+		if exempt || lockCalls[mu] {
+			continue
+		}
+		pass.Reportf(uses[0].Pos(), "field %s is guarded by %s but %s neither locks %s nor is marked //wcojlint:locked", fv.Name(), mu, fd.Name.Name, mu)
+	}
+}
+
+// visitChildren applies visit to the direct children of n.
+func visitChildren(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		visit(m)
+		return false
+	})
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// StatsMerge enforces counter exhaustiveness so a newly added metric
+// can never silently read zero:
+//
+//  1. Any merge-shaped method — `func (s *T) Merge(o *T)` where T is a
+//     struct with numeric fields — must mention every numeric field of
+//     T at least twice (once on the receiver side, once on the
+//     argument side). A field the method never folds is exactly the
+//     "new Stats counter forgotten in Merge" bug.
+//
+//  2. A struct annotated `//wcojlint:exhaustive` (the stats snapshot
+//     types) may only be constructed by composite literals that set
+//     every field, so the snapshot path cannot drop a counter.
+//     Partial literals for error paths belong to types without the
+//     annotation.
+var StatsMerge = &analysis.Analyzer{
+	Name: "statsmerge",
+	Doc:  "stats counters must be folded in Merge and populated in snapshot literals",
+	Run:  runStatsMerge,
+}
+
+func runStatsMerge(pass *analysis.Pass) error {
+	dirs := parseDirectives(pass)
+	checkMergeMethods(pass)
+	checkExhaustiveLiterals(pass, dirs)
+	return nil
+}
+
+// numericFields returns the numeric (integer/float) fields of st.
+func numericFields(st *types.Struct) []*types.Var {
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		b, ok := f.Type().Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		if b.Info()&(types.IsInteger|types.IsFloat) != 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func checkMergeMethods(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Merge" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverNamed(pass, fd)
+			if recv == nil {
+				continue
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			// Merge-shaped: exactly one parameter of the same struct
+			// type (usually *T).
+			params := fd.Type.Params
+			if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+				continue
+			}
+			pt := exprType(pass, params.List[0].Type)
+			if pt == nil || deref(pt) == nil {
+				continue
+			}
+			if n, ok := deref(pt).(*types.Named); !ok || n.Obj() != recv.Obj() {
+				continue
+			}
+
+			mentions := make(map[*types.Var]int)
+			walkSameFunc(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if fv := fieldObject(pass, sel); fv != nil {
+						mentions[fv]++
+					}
+				}
+				return true
+			})
+			for _, fv := range numericFields(st) {
+				if mentions[fv] < 2 {
+					pass.Reportf(fd.Pos(), "%s.Merge does not fold field %s: a merged snapshot would silently drop its count", recv.Obj().Name(), fv.Name())
+				}
+			}
+		}
+	}
+}
+
+func checkExhaustiveLiterals(pass *analysis.Pass, dirs directiveIndex) {
+	// Exhaustive-marked struct type objects in this package.
+	marked := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the type spec or, for a
+				// single-spec declaration, on the `type` keyword line.
+				_, onSpec := dirs.at(pass.Fset, ts.Pos(), "exhaustive")
+				_, onDecl := dirs.at(pass.Fset, gd.Pos(), "exhaustive")
+				if !onSpec && !onDecl {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := exprType(pass, lit)
+			if t == nil {
+				return true
+			}
+			named, ok := deref(t).(*types.Named)
+			if !ok || !marked[named.Obj()] {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			set := make(map[string]bool)
+			positional := 0
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						set[id.Name] = true
+					}
+				} else {
+					positional++
+				}
+			}
+			if positional == st.NumFields() {
+				return true // unkeyed literal: compiler enforces all fields
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				name := st.Field(i).Name()
+				if !set[name] {
+					pass.Reportf(lit.Pos(), "exhaustive struct %s constructed without field %s: stats snapshot would report zero for it", named.Obj().Name(), name)
+				}
+			}
+			return true
+		})
+	}
+}

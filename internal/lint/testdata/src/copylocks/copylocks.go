@@ -1,0 +1,53 @@
+// Fixture for the copylocks analyzer: values containing sync or
+// sync/atomic types must not be copied by assignment or return.
+package copylocks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	slots map[string]guarded
+	cur   guarded
+}
+
+// snapshot returns the lock-bearing struct by value.
+func (r *registry) snapshot() guarded { // want `returns a lock by value`
+	return r.cur // want `return copies lock value`
+}
+
+// handle returns a pointer: clean.
+func (r *registry) handle() *guarded {
+	return &r.cur
+}
+
+// stash copies a lock-bearing value into a map slot.
+func (r *registry) stash(g *guarded) {
+	r.slots["x"] = *g // want `assignment copies lock value`
+}
+
+// reset assigns a fresh composite literal: clean (no existing lock
+// state is duplicated).
+func (r *registry) reset() {
+	r.cur = guarded{}
+}
+
+type plain struct{ n int }
+
+// copyPlain copies a lock-free struct: clean.
+func copyPlain(m map[string]plain, p plain) {
+	m["x"] = p
+}
+
+type stat struct{ hits atomic.Uint64 }
+
+// grab copies an atomic-bearing struct out by value.
+func grab(s *stat) stat { // want `returns a lock by value`
+	return *s // want `return copies lock value`
+}

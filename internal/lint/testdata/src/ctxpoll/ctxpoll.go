@@ -1,0 +1,162 @@
+// Fixture for the ctxpoll analyzer: loops that can run unbounded work
+// (recursion cycles, callback invocations) must poll a stop flag/ctx.
+package ctxpoll
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type node struct {
+	kids []*node
+	vals []int
+}
+
+type walker struct {
+	stop *atomic.Bool
+	emit func(int) bool
+}
+
+// rec polls at entry, so its recursion loop is satisfied through the
+// callee.
+func (w *walker) rec(n *node) bool {
+	if w.stop.Load() {
+		return false
+	}
+	for _, k := range n.kids {
+		if !w.rec(k) {
+			return false
+		}
+	}
+	return true
+}
+
+type blind struct{ emit func(int) bool }
+
+// rec recurses with no poll anywhere on the cycle.
+func (b *blind) rec(n *node) bool {
+	for _, k := range n.kids { // want `never polls`
+		if !b.rec(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// each invokes a callback per element with no poll.
+func (b *blind) each(vals []int) {
+	for _, v := range vals { // want `never polls`
+		if !b.emit(v) {
+			return
+		}
+	}
+}
+
+// each polls the stop flag directly in the loop body.
+func (w *walker) each(vals []int) {
+	for i, v := range vals {
+		if i&255 == 0 && w.stop.Load() {
+			return
+		}
+		if !w.emit(v) {
+			return
+		}
+	}
+}
+
+// pump polls via ctx.Err.
+func pump(ctx context.Context, emit func(int) bool) {
+	for i := 0; ; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if !emit(i) {
+			return
+		}
+	}
+}
+
+// wait polls via <-ctx.Done() in a select.
+func wait(ctx context.Context, ch chan int, emit func(int) bool) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			if !emit(v) {
+				return
+			}
+		}
+	}
+}
+
+// sum only does plain bounded work; no poll needed.
+func sum(vals []int) int {
+	t := 0
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+// deep uses the rec := func recursion idiom with a poll inside the
+// literal; the loop resolves through the local variable.
+func deep(ctx context.Context, root *node, emit func(int) bool) {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		for _, k := range n.kids {
+			if !rec(k) {
+				return false
+			}
+		}
+		for _, v := range n.vals {
+			if ctx.Err() != nil || !emit(v) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(root)
+}
+
+// deepBlind is the same idiom without any poll.
+func deepBlind(root *node, emit func(int) bool) {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		for _, k := range n.kids { // want `never polls`
+			if !rec(k) {
+				return false
+			}
+		}
+		for _, v := range n.vals { // want `never polls`
+			if !emit(v) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(root)
+}
+
+// bounded is exempted with a justified nopoll.
+func bounded(b *blind, vals []int) {
+	//wcojlint:nopoll vals is at most 8 entries by construction
+	for _, v := range vals {
+		if !b.emit(v) {
+			return
+		}
+	}
+}
+
+// lazy tries to suppress without giving a reason.
+func lazy(b *blind, vals []int) {
+	//wcojlint:nopoll
+	for _, v := range vals { // want `requires a reason`
+		if !b.emit(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Fixture for the nilness analyzer: dereferences inside the branch
+// where a value was just compared equal to nil.
+package nilness
+
+type T struct{ n int }
+
+// bad dereferences p in the branch where it is known nil.
+func bad(p *T) int {
+	if p == nil {
+		return p.n // want `nil dereference`
+	}
+	return p.n
+}
+
+// badElse dereferences in the else of a != nil check.
+func badElse(p *T) int {
+	if p != nil {
+		return p.n
+	} else {
+		return p.n // want `nil dereference`
+	}
+}
+
+// fixed reassigns before the dereference: clean.
+func fixed(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.n
+	}
+	return p.n
+}
+
+// mapRead reads a nil map, which is defined behavior: clean.
+func mapRead(m map[string]int) int {
+	if m == nil {
+		return m["x"]
+	}
+	return m["x"]
+}
+
+// call invokes a nil func value.
+func call(f func() int) int {
+	if f == nil {
+		return f() // want `calling f`
+	}
+	return f()
+}
+
+// index indexes a nil slice.
+func index(s []int) int {
+	if s == nil {
+		return s[0] // want `nil dereference`
+	}
+	return s[0]
+}

@@ -1,0 +1,85 @@
+// Fixture for the snapshotonce analyzer: atomic.Pointer snapshot
+// discipline and guardedby lock discipline.
+package snapshotonce
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct{ epoch uint64 }
+
+type query struct {
+	state atomic.Pointer[state]
+}
+
+// doubleLoad loads the snapshot twice: the two loads can straddle an
+// epoch bump.
+func (q *query) doubleLoad() uint64 {
+	a := q.state.Load().epoch
+	b := q.state.Load().epoch // want `loaded 2 times`
+	return a + b
+}
+
+// loadInLoop reloads the snapshot on every iteration.
+func (q *query) loadInLoop() uint64 {
+	var sum uint64
+	for i := 0; i < 3; i++ {
+		sum += q.state.Load().epoch // want `inside a loop`
+	}
+	return sum
+}
+
+// once loads a single snapshot and threads it: the sanctioned pattern.
+func (q *query) once() uint64 {
+	s := q.state.Load()
+	return s.epoch + s.epoch
+}
+
+// publish is the CAS publish path: the Load+CompareAndSwap retry loop
+// is the one sanctioned re-load.
+func (q *query) publish(next *state) {
+	for {
+		cur := q.state.Load()
+		if cur != nil && cur.epoch >= next.epoch {
+			return
+		}
+		if q.state.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+type db struct {
+	mu   sync.Mutex
+	data map[string]int //wcojlint:guardedby mu
+}
+
+// unguarded touches guarded state without the mutex.
+func (d *db) unguarded() int {
+	return len(d.data) // want `guarded by mu`
+}
+
+// guarded acquires the mutex first.
+func (d *db) guarded() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.data)
+}
+
+// lockedHelper documents that its callers hold the lock.
+//
+//wcojlint:locked callers hold d.mu
+func (d *db) lockedHelper() int { return len(d.data) }
+
+// sizeLocked follows the *Locked naming convention.
+func (d *db) sizeLocked() int { return len(d.data) }
+
+// newDB owns the value it constructs; no lock exists yet.
+func newDB() *db {
+	d := &db{data: map[string]int{}}
+	d.data["x"] = 1
+	return d
+}
+
+var _ = newDB

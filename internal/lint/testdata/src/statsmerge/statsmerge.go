@@ -1,0 +1,54 @@
+// Fixture for the statsmerge analyzer: Merge exhaustiveness and
+// exhaustive-marked snapshot literals.
+package statsmerge
+
+type Stats struct {
+	Output       int
+	Recursions   int
+	Intermediate int
+	note         string
+}
+
+// Merge folds every numeric field (Intermediate via max): clean.
+func (s *Stats) Merge(o *Stats) {
+	s.Output += o.Output
+	s.Recursions += o.Recursions
+	if o.Intermediate > s.Intermediate {
+		s.Intermediate = o.Intermediate
+	}
+}
+
+type Partial struct {
+	A, B int
+}
+
+// Merge forgets B.
+func (p *Partial) Merge(o *Partial) { // want `does not fold field B`
+	p.A += o.A
+}
+
+// NotMerge has a merge-unlike shape and is ignored.
+func (p *Partial) Add(n int) { p.A += n }
+
+//wcojlint:exhaustive
+type Snapshot struct {
+	Hits   int
+	Misses int
+}
+
+func full(h, m int) Snapshot {
+	return Snapshot{Hits: h, Misses: m}
+}
+
+func missing(h int) Snapshot {
+	return Snapshot{Hits: h} // want `without field Misses`
+}
+
+func unkeyed(h, m int) Snapshot {
+	return Snapshot{h, m}
+}
+
+// Loose is unmarked: partial literals are fine.
+type Loose struct{ A, B int }
+
+func loose() Loose { return Loose{A: 1} }

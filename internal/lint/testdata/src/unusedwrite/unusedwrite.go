@@ -1,0 +1,43 @@
+// Fixture for the unusedwrite analyzer: writes through struct copies
+// (range values, value receivers) that are never read back.
+package unusedwrite
+
+type counter struct {
+	n int
+	m int
+}
+
+// bump increments range-value copies; the originals never change.
+func bump(cs []counter) {
+	for _, c := range cs {
+		c.n++ // want `unused write`
+	}
+}
+
+// sum writes the copy and then reads it back: clean.
+func sum(cs []counter) int {
+	t := 0
+	for _, c := range cs {
+		c.n++
+		t += c.n
+	}
+	return t
+}
+
+// reset writes through a value receiver and discards the copy.
+func (c counter) reset() {
+	c.n = 0 // want `unused write`
+	c.m = 0 // want `unused write`
+}
+
+// zero has a pointer receiver: the writes stick.
+func (c *counter) zero() {
+	c.n = 0
+	c.m = 0
+}
+
+// with mutates the copy and returns it: clean.
+func (c counter) with(n int) counter {
+	c.n = n
+	return c
+}

@@ -1,0 +1,101 @@
+// Fixture for the valueident analyzer: tuples handed to emit-shaped
+// callbacks must not be mutated or retained.
+package valueident
+
+type Value int64
+
+type Tuple []Value
+
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+type sink struct {
+	last Tuple
+	all  []Tuple
+	ch   chan Tuple
+}
+
+// keep retains the alias in a field.
+func (s *sink) keep(t Tuple) error {
+	s.last = t // want `retained past the emit callback`
+	return nil
+}
+
+// keepClone copies before retaining: clean.
+func (s *sink) keepClone(t Tuple) error {
+	s.last = t.Clone()
+	return nil
+}
+
+// scrub writes through the engine's buffer.
+func scrub(t Tuple) error {
+	t[0] = 0 // want `read-only`
+	return nil
+}
+
+// collect appends the slice header itself.
+func (s *sink) collect(t Tuple) error {
+	s.all = append(s.all, t) // want `appended as a single element`
+	return nil
+}
+
+type flat struct{ buf []Value }
+
+// add copies the elements with a spread append: clean.
+func (f *flat) add(t Tuple) error {
+	f.buf = append(f.buf, t...)
+	return nil
+}
+
+// publish sends the alias on a channel.
+func (s *sink) publish(t Tuple) bool {
+	select {
+	case s.ch <- t: // want `sent on a channel`
+		return true
+	default:
+		return false
+	}
+}
+
+// sneaky launders the alias through a local before retaining it.
+func (s *sink) sneaky(t Tuple) error {
+	u := t
+	s.last = u // want `retained past the emit callback`
+	return nil
+}
+
+// capture stores the tuple in a variable that outlives the call.
+func capture() (func(t Tuple) error, *Tuple) {
+	var held Tuple
+	f := func(t Tuple) error {
+		held = t // want `stored in held`
+		return nil
+	}
+	return f, &held
+}
+
+// wrap places the alias in a composite literal.
+func wrap(t Tuple) error {
+	_ = []Tuple{t} // want `composite literal`
+	return nil
+}
+
+// relay reads elements and passes the tuple along: clean.
+func relay(emit func(Tuple) error) func(Tuple) error {
+	n := Value(0)
+	return func(t Tuple) error {
+		n += t[0]
+		return emit(t)
+	}
+}
+
+// own declares the ownership transfer: its caller guarantees a
+// private copy.
+//
+//wcojlint:retains the batch cloned t before handing it over
+func own(m map[string]Tuple, k string, t Tuple) {
+	m[k] = t
+}

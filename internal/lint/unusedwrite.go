@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// UnusedWrite flags field writes through a struct copy that nothing
+// can observe — the two shapes that actually bite:
+//
+//  1. writing a field of a range value variable
+//     (`for _, v := range xs { v.n++ }`): v is a copy of the element;
+//     the write is lost when the iteration advances;
+//
+//  2. writing a field of a by-value method receiver
+//     (`func (s T) bump() { s.n++ }`): s is a copy of the caller's
+//     value; the write is lost at return.
+//
+// In both cases the write is only reported when the copy is never
+// read afterwards — if the function goes on to use the modified copy
+// (pass it somewhere, return it), the write is meaningful.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "no field writes through struct copies (range variables, value receivers) that are never read",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				id, ok := n.Value.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return true
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil || !isStructValue(obj.Type()) {
+					return true
+				}
+				checkCopyWrites(pass, obj, id.Name, n.Body, "range variable")
+			case *ast.FuncDecl:
+				if n.Recv == nil || len(n.Recv.List) == 0 || len(n.Recv.List[0].Names) == 0 || n.Body == nil {
+					return true
+				}
+				id := n.Recv.List[0].Names[0]
+				if id.Name == "_" {
+					return true
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil || !isStructValue(obj.Type()) {
+					return true
+				}
+				checkCopyWrites(pass, obj, id.Name, n.Body, "value receiver")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStructValue reports whether t is a struct held by value (writes to
+// its fields through a copy are lost).
+func isStructValue(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Struct)
+	return ok
+}
+
+// checkCopyWrites reports field writes through obj when every use of
+// obj in body is such a write — i.e. the modified copy is never read.
+func checkCopyWrites(pass *analysis.Pass, obj types.Object, name string, body ast.Node, kind string) {
+	var writes []*ast.SelectorExpr
+	reads := 0
+	record := func(lhs ast.Expr) {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			writes = append(writes, sel)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return
+	}
+	isWriteBase := func(id *ast.Ident) bool {
+		for _, w := range writes {
+			if w.X == id {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if !isWriteBase(id) {
+			reads++
+		}
+		return true
+	})
+	if reads > 0 {
+		return
+	}
+	for _, w := range writes {
+		pass.Reportf(w.Pos(), "unused write: %s.%s assigns through a %s copy that is never read; the write is lost", name, w.Sel.Name, kind)
+	}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+)
+
+// ValueIdent enforces the emit-callback aliasing contract: a
+// relation.Tuple (or []relation.Value slice) passed into an
+// emit-shaped function aliases storage owned by the engine — the
+// serial visit contract explicitly reuses the tuple between calls, and
+// shard buffers are recycled. The callback must treat it as read-only
+// and must not let it escape the call:
+//
+//   - no element writes (t[i] = v) — that corrupts the engine's
+//     binding in place;
+//   - no retention: storing the slice header in a field, map, slice,
+//     global or captured variable, sending it on a channel, appending
+//     it as a single element, or placing it in a composite literal
+//     all let the alias outlive the callback, after which its
+//     contents are overwritten by the next tuple (today this only
+//     surfaces as corrupt results under compaction).
+//
+// Copying is always fine: t.Clone(), append(dst, t...), copy(dst, t),
+// and passing the tuple along to another function (which is checked on
+// its own). Local aliases (u := t) are tracked and subject to the same
+// rules.
+//
+// A function whose contract transfers ownership of the tuple to the
+// callee (the caller guarantees a private copy, e.g. batch ops cloned
+// at Batch.Add) is declared with `//wcojlint:retains <reason>` and
+// exempted.
+var ValueIdent = &analysis.Analyzer{
+	Name: "valueident",
+	Doc:  "tuples received from the engine must not be mutated or retained past the emit callback",
+	Run:  runValueIdent,
+}
+
+func runValueIdent(pass *analysis.Pass) error {
+	dirs := parseDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if d, ok := dirs.at(pass.Fset, n.Pos(), "retains"); ok && d.arg != "" {
+				return true // declared ownership transfer
+			}
+			checkEmitFunc(pass, ft, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// isTupleish matches relation.Tuple and []relation.Value shapes by
+// name, so fixture packages with local stand-in types are covered too.
+func isTupleish(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Name() == "Tuple" {
+			if _, isSlice := named.Underlying().(*types.Slice); isSlice {
+				return true
+			}
+		}
+		t = named.Underlying()
+	}
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	if en, ok := sl.Elem().(*types.Named); ok {
+		return en.Obj().Name() == "Value"
+	}
+	return false
+}
+
+// emitShaped reports whether the signature can receive engine-owned
+// tuples: at least one tuple-ish parameter, and a result list that
+// looks like a callback or visitor (none, error, or bool).
+func emitShaped(pass *analysis.Pass, ft *ast.FuncType) []*types.Var {
+	var tupleParams []*types.Var
+	if ft.Params == nil {
+		return nil
+	}
+	if ft.Results != nil && len(ft.Results.List) > 1 {
+		return nil
+	}
+	if ft.Results != nil && len(ft.Results.List) == 1 {
+		rt := exprType(pass, ft.Results.List[0].Type)
+		if rt == nil {
+			return nil
+		}
+		if !types.Identical(rt, types.Universe.Lookup("error").Type()) {
+			if b, ok := rt.Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+				return nil
+			}
+		}
+	}
+	for _, field := range ft.Params.List {
+		t := exprType(pass, field.Type)
+		if t == nil || !isTupleish(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				tupleParams = append(tupleParams, v)
+			}
+		}
+	}
+	return tupleParams
+}
+
+func checkEmitFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	params := emitShaped(pass, ft)
+	if len(params) == 0 {
+		return
+	}
+	tainted := make(map[types.Object]bool, len(params))
+	for _, p := range params {
+		tainted[p] = true
+	}
+	isTainted := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		return obj != nil && tainted[obj]
+	}
+
+	// Walk the whole body including nested literals: a closure
+	// capturing the tuple aliases it just the same. Nested emit
+	// functions' own params are handled by their own checkEmitFunc
+	// visit.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				// Mutation through the alias: t[i] = v, t[i] += v.
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isTainted(ix.X) {
+					pass.Reportf(lhs.Pos(), "write through engine-owned tuple %s: emit callbacks must treat the tuple as read-only (Clone it to modify)", ix.X.(*ast.Ident).Name)
+					continue
+				}
+				if rhs == nil || !isTainted(rhs) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.Defs[l]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[l]
+					}
+					if obj == nil || l.Name == "_" {
+						continue
+					}
+					if n.Tok == token.DEFINE || withinBody(pass, body, obj) {
+						tainted[obj] = true // local alias: track it
+					} else {
+						pass.Reportf(lhs.Pos(), "engine-owned tuple stored in %s, which outlives the emit callback: the buffer is reused; Clone() before retaining", l.Name)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					pass.Reportf(lhs.Pos(), "engine-owned tuple retained past the emit callback: the buffer is reused; Clone() before retaining")
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				pass.Reportf(n.Value.Pos(), "engine-owned tuple sent on a channel: the receiver sees a reused buffer; Clone() before sending")
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) >= 2 {
+				for _, arg := range n.Args[1:] {
+					// append(dst, t...) copies elements — fine;
+					// append(dst, t) stores the alias — not fine.
+					if isTainted(arg) && n.Ellipsis == token.NoPos {
+						pass.Reportf(arg.Pos(), "engine-owned tuple appended as a single element: the slice retains the alias; append a Clone()")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTainted(v) {
+					pass.Reportf(v.Pos(), "engine-owned tuple placed in a composite literal: the value retains the alias; use Clone()")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// withinBody reports whether obj is declared inside body — a local
+// whose lifetime ends with the call, as opposed to a captured or
+// package-level variable.
+func withinBody(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
