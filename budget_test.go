@@ -1,0 +1,94 @@
+package wcoj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wcoj/internal/dataset"
+)
+
+// TestNodeBudget checks admission-control budgets across both engines
+// and serial/parallel execution: a tiny budget must cut every
+// execution mode off with ErrNodeBudget, and a generous one must not
+// disturb the result.
+func TestNodeBudget(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(dataset.RandomGraph(60, 800, 3)); err != nil {
+		t.Fatal(err)
+	}
+	src := "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"
+	for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/par=%d", algo, par), func(t *testing.T) {
+				pq, err := db.Prepare(src, Options{Algorithm: algo, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rel, _, err := pq.Execute(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				tiny := WithNodeBudget(context.Background(), 10)
+				if _, _, err := pq.Execute(tiny); !errors.Is(err, ErrNodeBudget) {
+					t.Fatalf("Execute under tiny budget: err=%v, want ErrNodeBudget", err)
+				}
+				if _, _, err := pq.Count(WithNodeBudget(context.Background(), 10)); !errors.Is(err, ErrNodeBudget) {
+					t.Fatalf("Count under tiny budget: err=%v, want ErrNodeBudget", err)
+				}
+				if _, _, err := pq.CountFast(WithNodeBudget(context.Background(), 10)); !errors.Is(err, ErrNodeBudget) {
+					t.Fatalf("CountFast under tiny budget: err=%v, want ErrNodeBudget", err)
+				}
+
+				big := WithNodeBudget(context.Background(), 1<<40)
+				got, _, err := pq.Execute(big)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(rel) {
+					t.Fatal("budgeted run diverged from unbudgeted result")
+				}
+				if n, _, err := pq.CountFast(WithNodeBudget(context.Background(), 1<<40)); err != nil || n != rel.Len() {
+					t.Fatalf("CountFast under big budget: n=%d err=%v, want %d", n, err, rel.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestNodeBudgetProjection exercises the enumerate/exists aggregate
+// paths, whose budget exhaustion unwinds through error-less existence
+// probes.
+func TestNodeBudgetProjection(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(dataset.RandomGraph(60, 800, 5)); err != nil {
+		t.Fatal(err)
+	}
+	src := "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"
+	for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/par=%d", algo, par), func(t *testing.T) {
+				pq, err := db.Prepare(src, Options{Algorithm: algo, Parallelism: par, Project: []string{"A"}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := pq.Execute(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := pq.Execute(WithNodeBudget(context.Background(), 10)); !errors.Is(err, ErrNodeBudget) {
+					t.Fatalf("projected Execute under tiny budget: err=%v, want ErrNodeBudget", err)
+				}
+				got, _, err := pq.Execute(WithNodeBudget(context.Background(), 1<<40))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatal("budgeted projection diverged from unbudgeted result")
+				}
+			})
+		}
+	}
+}

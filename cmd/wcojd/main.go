@@ -16,7 +16,21 @@
 //	               "project": ["A","C"], "algo": "...", "planner": "..."}
 //	POST /update  {"insert": {"E": [[1,2],[3,4]]}, "delete": {"E": [[5,6]]}}
 //	GET  /stats   engine counters (relations, deltas, trie store, plan cache)
-//	GET  /healthz liveness
+//	GET  /metrics Prometheus text exposition
+//	GET  /healthz liveness (always 200 while the process runs)
+//	GET  /readyz  readiness (503 while loading/replaying or draining)
+//
+// With -dir the DB is durable: every applied batch is written (and
+// fsynced) to a write-ahead log under the directory before it becomes
+// visible, and a restart replays the newest snapshot plus the log tail
+// back to the exact pre-crash epoch. -rel files then only seed
+// relations the directory does not already hold.
+//
+// Serve mode is production-hardened: requests are bounded by a
+// concurrency semaphore (-max-inflight, overflow answered 429), a body
+// cap (-max-body, 413), a deadline (-query-timeout, 504) and a search
+// node budget (-node-budget, 422); SIGTERM drains gracefully. See
+// server.go for the full admission and lifecycle story.
 //
 // Every request round-trips through the DB's plan cache, so repeated
 // query shapes never re-plan; request cancellation (a closed client
@@ -34,6 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -57,11 +72,18 @@ type config struct {
 	updates     relFlags
 	queriesPath string
 	serveAddr   string
+	dir         string
 	algo        string
 	planner     string
 	parallel    int
 	repeat      int
 	concurrency int
+
+	queryTimeout time.Duration
+	drainTimeout time.Duration
+	nodeBudget   int64
+	maxInflight  int
+	maxBody      int64
 }
 
 func main() {
@@ -70,11 +92,17 @@ func main() {
 	flag.Var(&c.updates, "updates", "NAME=delta.tsv|.csv batch update file applied after load: '+,v1,v2' inserts, '-,v1,v2' deletes (repeatable)")
 	flag.StringVar(&c.queriesPath, "queries", "", "batch mode: file with one conjunctive query per line ('-' = stdin)")
 	flag.StringVar(&c.serveAddr, "serve", "", "serve mode: HTTP listen address, e.g. :8077")
+	flag.StringVar(&c.dir, "dir", "", "durable mode: directory for the write-ahead log and snapshots (recovered on start)")
 	flag.StringVar(&c.algo, "algo", "generic-join", "join algorithm for batch queries")
 	flag.StringVar(&c.planner, "planner", "auto", "variable-order planner for batch queries")
 	flag.IntVar(&c.parallel, "parallel", 1, "per-query worker goroutines (batch mode defaults serial: concurrency supplies the parallelism)")
 	flag.IntVar(&c.repeat, "repeat", 1, "batch mode: times each query is executed")
 	flag.IntVar(&c.concurrency, "concurrency", 4, "batch mode: concurrent executor goroutines")
+	flag.DurationVar(&c.queryTimeout, "query-timeout", 30*time.Second, "serve mode: per-request deadline (expiry answers 504)")
+	flag.DurationVar(&c.drainTimeout, "drain-timeout", 10*time.Second, "serve mode: grace for in-flight requests on SIGTERM")
+	flag.Int64Var(&c.nodeBudget, "node-budget", 0, "serve mode: per-query search-node budget, 0 = unlimited (exhaustion answers 422)")
+	flag.IntVar(&c.maxInflight, "max-inflight", 64, "serve mode: concurrent data requests admitted (overflow answers 429)")
+	flag.Int64Var(&c.maxBody, "max-body", 1<<20, "serve mode: request body byte cap (overflow answers 413)")
 	flag.Parse()
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "wcojd:", err)
@@ -86,8 +114,38 @@ func run(c config) error {
 	if (c.queriesPath == "") == (c.serveAddr == "") {
 		return fmt.Errorf("exactly one of -queries (batch) or -serve (HTTP) is required")
 	}
-	db := wcoj.NewDB()
+	if c.serveAddr != "" {
+		// Serve mode loads in the background so liveness comes up
+		// immediately; see server.go.
+		return serve(c)
+	}
+	db, _, err := loadDB(c)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	return batch(db, c)
+}
+
+// loadDB builds the DB a run serves: a durable one recovered from -dir
+// (when set) or a fresh in-memory one, seeded from the -rel files and
+// -updates deltas. With -dir, a -rel whose relation already exists in
+// the recovered state is skipped — restarts keep the recovered (newer)
+// data, and re-registering would fail anyway.
+func loadDB(c config) (*wcoj.DB, map[string]bool, error) {
+	var db *wcoj.DB
 	loadStart := time.Now()
+	if c.dir != "" {
+		var err error
+		if db, err = wcoj.OpenDir(c.dir); err != nil {
+			return nil, nil, err
+		}
+		st := db.Stats()
+		fmt.Printf("recovered %s: %d relations, %d tuples at epoch %d (%v)\n",
+			c.dir, st.Relations, st.Tuples, st.Epoch, time.Since(loadStart))
+	} else {
+		db = wcoj.NewDB()
+	}
 	// dictRels records which relations were loaded with string
 	// interning (LoadFile's .csv convention); /update uses it to
 	// decide whether string tuple fields are meaningful for a
@@ -96,19 +154,26 @@ func run(c config) error {
 	for _, spec := range c.rels {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("bad -rel %q, want NAME=path", spec)
+			db.Close()
+			return nil, nil, fmt.Errorf("bad -rel %q, want NAME=path", spec)
+		}
+		dictRels[name] = strings.HasSuffix(path, ".csv")
+		if _, exists := db.Relation(name); exists {
+			fmt.Printf("kept recovered %s (ignoring %s)\n", name, path)
+			continue
 		}
 		r, err := db.LoadFile(path, name)
 		if err != nil {
-			return err
+			db.Close()
+			return nil, nil, err
 		}
-		dictRels[name] = strings.HasSuffix(path, ".csv")
 		fmt.Printf("loaded %s: %d tuples (%v)\n", r, r.Len(), time.Since(loadStart))
 	}
 	for _, spec := range c.updates {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("bad -updates %q, want NAME=path", spec)
+			db.Close()
+			return nil, nil, fmt.Errorf("bad -updates %q, want NAME=path", spec)
 		}
 		// Mirror LoadFile's encoding convention: .csv relations were
 		// interned through the DB dictionary, so .csv deltas intern the
@@ -119,15 +184,26 @@ func run(c config) error {
 		}
 		us, err := db.ApplyDeltaFile(path, name, opt)
 		if err != nil {
-			return fmt.Errorf("updates %s: %w", spec, err)
+			db.Close()
+			return nil, nil, fmt.Errorf("updates %s: %w", spec, err)
 		}
 		fmt.Printf("applied %s to %s: +%d -%d (noops +%d -%d, epoch %d)\n",
 			path, name, us.Inserted, us.Deleted, us.InsertNoops, us.DeleteNoops, us.Epoch)
 	}
-	if c.serveAddr != "" {
-		return serve(db, dictRels, c.serveAddr)
-	}
-	return batch(db, c)
+	return db, dictRels, nil
+}
+
+// decodeJSON and writeJSON are the request/response codecs shared by
+// the HTTP handlers.
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // batch prepares every query, then re-executes the prepared set from
@@ -253,67 +329,6 @@ type queryResponse struct {
 	Rows      [][]int64 `json:"rows,omitempty"`
 	Truncated bool      `json:"truncated,omitempty"`
 	ElapsedUS int64     `json:"elapsed_us"`
-}
-
-// serve exposes the DB over HTTP until the process is killed.
-func serve(db *wcoj.DB, dictRels map[string]bool, addr string) error {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(db.Stats())
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req queryRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, status, err := handleQuery(r.Context(), db, req)
-		if err != nil {
-			http.Error(w, err.Error(), status)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req updateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, status, err := handleUpdate(db, dictRels, req)
-		if err != nil {
-			http.Error(w, err.Error(), status)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
-	fmt.Printf("serving on %s (POST /query, POST /update, GET /stats)\n", addr)
-	srv := &http.Server{
-		Addr:    addr,
-		Handler: mux,
-		// A serving daemon must not let stalled clients pin goroutines
-		// forever; joins themselves stay bounded by request contexts.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
-	return srv.ListenAndServe()
 }
 
 // updateRequest is the POST /update body: tuples to insert and delete

@@ -1,0 +1,239 @@
+package main
+
+// In-process tests of the serving layer: admission gates, probe
+// semantics and the /metrics exposition, driven through real HTTP
+// round trips against the production handler.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wcoj"
+	"wcoj/internal/dataset"
+)
+
+// testConfig returns serving limits generous enough to stay invisible
+// unless a test tightens one on purpose.
+func testConfig() config {
+	return config{
+		queryTimeout: 5 * time.Second,
+		drainTimeout: time.Second,
+		maxInflight:  8,
+		maxBody:      1 << 20,
+	}
+}
+
+// newTestServer stands up the production handler around db (nil = the
+// background load has not finished yet).
+func newTestServer(t *testing.T, db *wcoj.DB, c config) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(c)
+	if db != nil {
+		s.dictRels = map[string]bool{}
+		s.db.Store(db)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServerMetrics(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), testConfig())
+
+	if code, body := post(t, ts.URL+"/query", `{"query":"Q(A,B) :- E(A,B)","count":true}`); code != 200 {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/update", `{"insert":{"E":[[7,8]]}}`); code != 200 {
+		t.Fatalf("update: %d %s", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/query", `{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type: %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	for _, want := range []string{
+		`wcojd_requests_total{handler="query",code="200"} 1`,
+		`wcojd_requests_total{handler="query",code="400"} 1`,
+		`wcojd_requests_total{handler="update",code="200"} 1`,
+		"wcojd_queries_total 1",
+		"wcojd_updates_total 1",
+		"wcojd_inflight_requests 0",
+		"wcojd_ready 1",
+		"wcojd_db_epoch 1",
+		"wcojd_db_relations 1",
+		"# TYPE wcojd_requests_total counter",
+		"# TYPE wcojd_db_epoch gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+}
+
+// TestServerReadiness walks the lifecycle the probes are for: loading
+// (live but not ready), serving, draining (live but not ready again).
+func TestServerReadiness(t *testing.T) {
+	s, ts := newTestServer(t, nil, testConfig())
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz while loading: %d", code)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
+		t.Fatalf("readyz while loading: %d %q", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/query", `{"query":"Q(A,B) :- E(A,B)"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("query while loading: %d, want 503", code)
+	}
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, "wcojd_ready 0") {
+		t.Fatal("metrics must report not-ready while loading")
+	}
+
+	// The background load finishes.
+	s.dictRels = map[string]bool{}
+	s.db.Store(testDB(t))
+	if code, _ := get(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("readyz after load: %d", code)
+	}
+	if code, body := post(t, ts.URL+"/query", `{"query":"Q(A,B) :- E(A,B)","count":true}`); code != 200 {
+		t.Fatalf("query after load: %d %s", code, body)
+	}
+
+	// SIGTERM: drain. Ready flips off, liveness stays on.
+	s.draining.Store(true)
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz while draining: %d %q", code, body)
+	}
+	if code, _ := post(t, ts.URL+"/update", `{"insert":{"E":[[9,9]]}}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("update while draining: %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, "wcojd_ready 0") {
+		t.Fatal("metrics must report not-ready while draining")
+	}
+}
+
+// TestServerOverload fills the admission semaphore and expects
+// immediate load shedding, not queueing.
+func TestServerOverload(t *testing.T) {
+	c := testConfig()
+	c.maxInflight = 1
+	s, ts := newTestServer(t, testDB(t), c)
+
+	s.sem <- struct{}{} // a request is in flight
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"query":"Q(A,B) :- E(A,B)","count":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After: %q", ra)
+	}
+	<-s.sem // the in-flight request finishes
+	if code, body := post(t, ts.URL+"/query", `{"query":"Q(A,B) :- E(A,B)","count":true}`); code != 200 {
+		t.Fatalf("after release: %d %s", code, body)
+	}
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, `wcojd_rejected_total{reason="overload"} 1`) {
+		t.Fatal("overload rejection not counted")
+	}
+}
+
+// TestServerDeadline runs a query under an expired budget of time and
+// expects 504, not a hung connection.
+func TestServerDeadline(t *testing.T) {
+	c := testConfig()
+	c.queryTimeout = time.Nanosecond
+	_, ts := newTestServer(t, testDB(t), c)
+	if code, body := post(t, ts.URL+"/query", `{"query":"Q(A,B) :- E(A,B)","count":true}`); code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: %d %s, want 504", code, body)
+	}
+}
+
+// TestServerNodeBudget gives queries a one-node budget: any real join
+// must exhaust it and be answered 422 (the request's own fault, not
+// the server's).
+func TestServerNodeBudget(t *testing.T) {
+	db := wcoj.NewDB()
+	if err := db.Register(dataset.RandomGraph(100, 2000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c := testConfig()
+	c.nodeBudget = 1
+	_, ts := newTestServer(t, db, c)
+	code, body := post(t, ts.URL+"/query", `{"query":"Q(A,B,C) :- E(A,B), E(B,C), E(A,C)","count":true}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("budget exhaustion: %d %s, want 422", code, body)
+	}
+}
+
+// TestServerBodyCap sends a body past -max-body and expects 413.
+func TestServerBodyCap(t *testing.T) {
+	c := testConfig()
+	c.maxBody = 256
+	_, ts := newTestServer(t, testDB(t), c)
+	big := fmt.Sprintf(`{"query":"Q(A,B) :- E(A,B)","project":["%s"]}`, strings.Repeat("A", 1024))
+	if code, body := post(t, ts.URL+"/query", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s, want 413", code, body)
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), testConfig())
+	if code, _ := get(t, ts.URL+"/query"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: %d, want 405", code)
+	}
+}

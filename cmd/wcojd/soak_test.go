@@ -1,0 +1,317 @@
+package main
+
+// Soak test: a real wcojd process (this test binary re-exec'd through
+// TestMain) serves mixed query+update traffic over a durable directory
+// and is kill -9'd mid-flight, repeatedly. After every restart the
+// recovered server must show no epoch regression, still hold every
+// tuple whose insert it acknowledged, and hold no tuple it was never
+// asked for — i.e. no acknowledged batch is lost and no batch is
+// applied twice. The final round drains on SIGTERM and must exit 0.
+//
+// Skipped under -short: it spawns processes and runs for seconds.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wcoj"
+)
+
+const (
+	soakChildEnv = "WCOJD_SOAK_CHILD"
+	soakDirEnv   = "WCOJD_SOAK_DIR"
+	// soakBase offsets soak-inserted tuple keys away from the seed data.
+	soakBase = 1 << 20
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(soakChildEnv) != "" {
+		soakChild()
+		return // unreachable: soakChild always exits
+	}
+	os.Exit(m.Run())
+}
+
+// soakChild runs the production serve() loop over the soak directory,
+// exactly as `wcojd -dir DIR -serve 127.0.0.1:0` would.
+func soakChild() {
+	err := serve(config{
+		serveAddr:    "127.0.0.1:0",
+		dir:          os.Getenv(soakDirEnv),
+		queryTimeout: 5 * time.Second,
+		drainTimeout: 5 * time.Second,
+		maxInflight:  16,
+		maxBody:      1 << 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak child:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// soakServer is one spawned wcojd process.
+type soakServer struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startSoakServer re-execs the test binary as a wcojd child and parses
+// the bound address off its "serving on ..." line.
+func startSoakServer(t *testing.T, dir string) *soakServer {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), soakChildEnv+"=1", soakDirEnv+"="+dir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if stderr.Len() > 0 {
+			t.Logf("child stderr: %s", stderr.String())
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "serving on "); ok {
+			addr, _, _ := strings.Cut(rest, " ")
+			// Drain the rest of stdout so the child never blocks on a
+			// full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return &soakServer{cmd: cmd, url: "http://" + addr}
+		}
+	}
+	t.Fatalf("child exited before announcing its address\nstderr: %s", stderr.String())
+	return nil
+}
+
+// waitReady polls /readyz until recovery finishes, checking that
+// liveness is already up while readiness is still coming.
+func (s *soakServer) waitReady(t *testing.T, client *http.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := client.Get(s.url + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("healthz during startup: %d", resp.StatusCode)
+			}
+		}
+		resp, err := client.Get(s.url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+// soakEpoch reads the update epoch from /stats.
+func (s *soakServer) soakEpoch(t *testing.T, client *http.Client) uint64 {
+	t.Helper()
+	resp, err := client.Get(s.url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct{ Epoch uint64 }
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Epoch
+}
+
+// soakUpdate inserts the k-th soak tuple. ok reports whether the
+// server acknowledged it (anything else leaves the batch in doubt —
+// possibly applied, never to be retried).
+func soakUpdate(client *http.Client, url string, k int) (epoch uint64, ok bool) {
+	body := fmt.Sprintf(`{"insert":{"E":[[%d,%d]]}}`, soakBase+k, k)
+	resp, err := client.Post(url+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return 0, false
+	}
+	var ur struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		return 0, false
+	}
+	return ur.Epoch, true
+}
+
+// checkTuples fetches the full relation and cross-checks it against
+// the acknowledgment ledger: acked ⊆ present ⊆ attempted.
+func (s *soakServer) checkTuples(t *testing.T, client *http.Client, acked map[int]bool, attempted int) {
+	t.Helper()
+	resp, err := client.Post(s.url+"/query", "application/json",
+		strings.NewReader(`{"query":"Q(A,B) :- E(A,B)","limit":100000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Rows      [][]int64 `json:"rows"`
+		Truncated bool      `json:"truncated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Truncated {
+		t.Fatal("soak relation outgrew the row limit")
+	}
+	present := make(map[int]bool)
+	for _, row := range qr.Rows {
+		if row[0] >= soakBase {
+			present[int(row[0]-soakBase)] = true
+		}
+	}
+	for k := range acked {
+		if !present[k] {
+			t.Fatalf("lost acknowledged batch %d after restart", k)
+		}
+	}
+	for k := range present {
+		if k >= attempted {
+			t.Fatalf("phantom batch %d: tuple present but never requested", k)
+		}
+	}
+}
+
+func TestSoakCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: spawns processes and runs for seconds")
+	}
+	dir := t.TempDir()
+	seed, err := wcoj.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = seed.Register(wcoj.NewRelation("E", []string{"src", "dst"}, []wcoj.Tuple{
+		{1, 2}, {2, 3}, {1, 3},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	client := &http.Client{Timeout: 3 * time.Second}
+	acked := make(map[int]bool)
+	attempted := 0
+	var lastEpoch uint64
+
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		srv := startSoakServer(t, dir)
+		srv.waitReady(t, client)
+
+		// Recovery invariants before new traffic.
+		epoch := srv.soakEpoch(t, client)
+		if epoch < lastEpoch {
+			t.Fatalf("round %d: epoch regressed across kill -9: %d < %d", round, epoch, lastEpoch)
+		}
+		lastEpoch = epoch
+		srv.checkTuples(t, client, acked, attempted)
+
+		// Mixed traffic until the kill timer fires mid-flight.
+		killDelay := time.Duration(150+rng.Intn(500)) * time.Millisecond
+		timer := time.AfterFunc(killDelay, func() { srv.cmd.Process.Kill() })
+		for {
+			k := attempted
+			attempted++
+			epoch, ok := soakUpdate(client, srv.url, k)
+			if !ok {
+				break // killed mid-request: batch k stays in doubt
+			}
+			acked[k] = true
+			if epoch > lastEpoch {
+				lastEpoch = epoch
+			}
+			if k%5 == 0 {
+				resp, err := client.Post(srv.url+"/query", "application/json",
+					strings.NewReader(`{"query":"Q(A,B) :- E(A,B)","count":true}`))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+		timer.Stop()
+		srv.cmd.Process.Kill()
+		srv.cmd.Wait()
+	}
+	if len(acked) == 0 {
+		t.Fatal("vacuous soak: no update was ever acknowledged")
+	}
+
+	// Final round: recover once more, verify, then drain cleanly.
+	srv := startSoakServer(t, dir)
+	srv.waitReady(t, client)
+	epoch := srv.soakEpoch(t, client)
+	if epoch < lastEpoch {
+		t.Fatalf("final epoch regressed: %d < %d", epoch, lastEpoch)
+	}
+	// Every effective batch moved the epoch by one, so the epoch counts
+	// applied batches: fewer than the acks means one was lost, more
+	// than the attempts means one was applied twice.
+	if epoch < uint64(len(acked)) || epoch > uint64(attempted) {
+		t.Fatalf("final epoch %d outside [acked=%d, attempted=%d]", epoch, len(acked), attempted)
+	}
+	srv.checkTuples(t, client, acked, attempted)
+
+	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	werr := srv.cmd.Wait()
+	var ee *exec.ExitError
+	if werr != nil && (!errors.As(werr, &ee) || ee.ExitCode() != 0) {
+		t.Fatalf("drain exit: %v", werr)
+	}
+
+	// The drain released the WAL: the directory opens directly and
+	// still carries every acknowledged tuple.
+	db, err := wcoj.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, ok := db.Relation("E")
+	if !ok {
+		t.Fatal("relation E lost")
+	}
+	for k := range acked {
+		if !rel.Contains(wcoj.Tuple{soakBase + wcoj.Value(k), wcoj.Value(k)}) {
+			t.Fatalf("acknowledged tuple %d missing after clean drain", k)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"wcoj/internal/planner"
 	"wcoj/internal/query"
 	"wcoj/internal/relation"
+	"wcoj/internal/wal"
 )
 
 // CSVOptions configure DB.LoadCSV / ReadCSV; see
@@ -60,6 +61,14 @@ type DB struct {
 	// writeMu serializes the writers (Register, Apply, Compact); the
 	// read path never takes it.
 	writeMu sync.Mutex
+	// wal, when non-nil, is the write-ahead log of a durable DB (see
+	// OpenDir): writers append (and fsync) their change before
+	// publishing it. walDictN is the dictionary high-water mark already
+	// logged; walClosed marks a Close()d durable DB, whose writers must
+	// fail rather than silently continue non-durably.
+	wal       *wal.Log //wcojlint:guardedby writeMu
+	walDictN  int      //wcojlint:guardedby writeMu
+	walClosed bool     //wcojlint:guardedby writeMu
 	// updEpoch counts published update batches. Prepared-query states
 	// compare against it with one atomic load to detect staleness; it
 	// is only ever advanced while holding mu, so a snapshot of
@@ -135,6 +144,14 @@ func (db *DB) Register(rels ...*Relation) error {
 		}
 	}
 	db.writeMu.Lock()
+	if db.walClosed {
+		db.writeMu.Unlock()
+		return fmt.Errorf("wcoj: Register: DB is closed")
+	}
+	if err := db.walAppendRegisterLocked(rels); err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
 	db.mu.Lock()
 	for _, r := range rels {
 		db.data.Put(r)

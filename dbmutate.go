@@ -132,6 +132,9 @@ func (db *DB) Apply(b *Batch) (UpdateStats, error) {
 	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.walClosed {
+		return us, fmt.Errorf("wcoj: Apply: DB is closed")
+	}
 
 	// Snapshot the touched heads (writers are serialized by writeMu,
 	// so these stay the heads until we publish).
@@ -161,6 +164,16 @@ func (db *DB) Apply(b *Batch) (UpdateStats, error) {
 		us.DeleteNoops += st.DeleteNoops
 		if nv != heads[name] {
 			next[name] = nv
+		}
+	}
+
+	// Durability before visibility: the effective batch is logged and
+	// fsynced before any reader can observe it. A crash after this
+	// point replays the batch; a crash during the append leaves a torn
+	// tail that recovery truncates — the batch was never acknowledged.
+	if len(next) > 0 {
+		if err := db.walAppendBatchLocked(b); err != nil {
+			return us, err
 		}
 	}
 
@@ -219,7 +232,13 @@ func (db *DB) maybeCompact(name string, v *delta.Version) {
 // taken), so the current head must be re-checked or a deep delta
 // could sit above the threshold forever.
 func (db *DB) backgroundCompact(name string, v *delta.Version) {
-	db.installCompacted(name, v)
+	if db.installCompacted(name, v) {
+		// Compaction's durable twin: the folded history no longer needs
+		// its log records, so snapshot and restart the log. Errors are
+		// swallowed — the old generation remains the recovery source,
+		// strictly more history than needed, never less.
+		db.walSnapshot() //nolint:errcheck
+	}
 	db.mu.Lock()
 	db.compacting[name] = false
 	head := db.versions[name]
@@ -262,6 +281,7 @@ func (db *DB) Compact(names ...string) error {
 	if len(names) == 0 {
 		names = db.Names()
 	}
+	compacted := false
 	for _, name := range names {
 		db.mu.RLock()
 		v, ok := db.versions[name]
@@ -272,7 +292,12 @@ func (db *DB) Compact(names ...string) error {
 		if v.DeltaLen() == 0 {
 			continue
 		}
-		db.installCompacted(name, v)
+		if db.installCompacted(name, v) {
+			compacted = true
+		}
+	}
+	if compacted {
+		return db.walSnapshotLocked()
 	}
 	return nil
 }

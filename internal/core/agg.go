@@ -182,8 +182,12 @@ func gjCountFast(ctx context.Context, p *Plan, cls *agg.Classification, parallel
 		defer WatchCancel(ctx, &stop)()
 		a := newGJAggWorker(p, cls, stats, nil)
 		a.stop = &stop
+		a.budget = BudgetFrom(ctx)
 		n := a.count(0)
 		if a.aborted {
+			if a.budgetHit {
+				return 0, ErrNodeBudget
+			}
 			return 0, CtxAbortErr(ctx, ErrAborted)
 		}
 		if a.overflow {
@@ -194,11 +198,19 @@ func gjCountFast(ctx context.Context, p *Plan, cls *agg.Classification, parallel
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
+	budget := BudgetFrom(ctx)
 	total, err := RunShardedSum(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (int64, error) {
+		if !budget.Spend(int64(len(chunk))) {
+			return 0, ErrNodeBudget
+		}
 		a := newGJAggWorker(p, cls, st, nil)
 		a.stop = stop
+		a.budget = budget
 		n := a.countChunk(chunk)
 		if a.aborted {
+			if a.budgetHit {
+				return 0, ErrNodeBudget
+			}
 			return 0, ErrAborted
 		}
 		if a.overflow {
@@ -223,8 +235,12 @@ func gjExists(ctx context.Context, p *Plan, cls *agg.Classification, parallelism
 		defer WatchCancel(ctx, &stop)()
 		a := newGJAggWorker(p, cls, stats, nil)
 		a.stop = &stop
+		a.budget = BudgetFrom(ctx)
 		found := a.exists(0)
 		if !found {
+			if a.budgetHit {
+				return false, ErrNodeBudget
+			}
 			// The stop flag is only set by cancellation here, so a false
 			// under a cancelled context is inconclusive, not a "no".
 			if err := CtxErr(ctx); err != nil {
@@ -236,10 +252,19 @@ func gjExists(ctx context.Context, p *Plan, cls *agg.Classification, parallelism
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
+	budget := BudgetFrom(ctx)
 	return RunShardedAny(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *Stats, stop *atomic.Bool) (bool, error) {
+		if !budget.Spend(int64(len(chunk))) {
+			return false, ErrNodeBudget
+		}
 		a := newGJAggWorker(p, cls, st, nil)
 		a.stop = stop
-		return a.existsChunk(chunk), nil
+		a.budget = budget
+		found := a.existsChunk(chunk)
+		if !found && a.budgetHit {
+			return false, ErrNodeBudget
+		}
+		return found, nil
 	})
 }
 
@@ -251,8 +276,15 @@ func gjProjectVisit(ctx context.Context, p *Plan, cls *agg.Classification, paral
 		defer WatchCancel(ctx, &stop)()
 		a := newGJAggWorker(p, cls, stats, emit)
 		a.stop = &stop
+		a.budget = BudgetFrom(ctx)
 		err := a.visit(0)
 		if err == nil {
+			// Budget exhaustion inside the inner existence checks has no
+			// error path: prefixes were silently skipped, so a nil
+			// completion with the flag set is incomplete, not success.
+			if a.budgetHit {
+				return ErrNodeBudget
+			}
 			// A cancellation landing between polls makes the inner
 			// existence checks return false, silently skipping prefixes;
 			// a nil completion under a cancelled ctx is therefore
@@ -264,11 +296,20 @@ func gjProjectVisit(ctx context.Context, p *Plan, cls *agg.Classification, paral
 	vals := p.TopValues(nil)
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
+	budget := BudgetFrom(ctx)
 	return RunShardedTop(ctx, vals, parallelism, len(cls.Spec.Project), stats, emit,
 		func(chunk []relation.Value, st *Stats, stop *atomic.Bool, chunkEmit func(relation.Tuple) error) error {
+			if !budget.Spend(int64(len(chunk))) {
+				return ErrNodeBudget
+			}
 			a := newGJAggWorker(p, cls, st, chunkEmit)
 			a.stop = stop
-			return a.visitChunk(chunk)
+			a.budget = budget
+			err := a.visitChunk(chunk)
+			if err == nil && a.budgetHit {
+				return ErrNodeBudget
+			}
+			return err
 		})
 }
 
@@ -284,9 +325,15 @@ type gjAggWorker struct {
 	// EXISTS short-circuits across workers through it, and a cancelled
 	// or aborted run unwinds at the next poll.
 	stop *atomic.Bool
+	// budget, when non-nil, is drawn down at the stop-poll stride; all
+	// workers of a run share one budget.
+	budget *NodeBudget
 	// aborted records that a stop-flag poll fired inside a counting
 	// search (which has no error path); the entry points translate it.
-	aborted bool
+	// budgetHit qualifies the abort: the run died of budget exhaustion,
+	// not cancellation, and must surface ErrNodeBudget.
+	aborted   bool
+	budgetHit bool
 	// overflow records that a count exceeded int64 somewhere below;
 	// set by product, checked by the counting entry points.
 	overflow bool
@@ -414,9 +461,18 @@ func (a *gjAggWorker) memoKey(d int) []byte {
 func (a *gjAggWorker) count(d int) int64 {
 	w := a.w
 	w.stats.Recursions++
-	if a.aborted || (a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load()) {
-		a.aborted = true
+	if a.aborted {
 		return 0
+	}
+	if w.stats.Recursions&255 == 0 {
+		if a.stop != nil && a.stop.Load() {
+			a.aborted = true
+			return 0
+		}
+		if !a.budget.Spend(256) {
+			a.aborted, a.budgetHit = true, true
+			return 0
+		}
 	}
 	n := len(w.plan.Order)
 	if d == n {
@@ -465,10 +521,16 @@ func (a *gjAggWorker) count(d int) int64 {
 // short-circuiting on the first witness.
 func (a *gjAggWorker) exists(d int) bool {
 	w := a.w
-	if a.stop != nil && a.stop.Load() {
+	if a.aborted || (a.stop != nil && a.stop.Load()) {
 		return false
 	}
 	w.stats.Recursions++
+	if w.stats.Recursions&255 == 0 && !a.budget.Spend(256) {
+		// No error path here either: flag the exhaustion and unwind
+		// with inconclusive falses; the entry points translate.
+		a.aborted, a.budgetHit = true, true
+		return false
+	}
 	n := len(w.plan.Order)
 	if d == n {
 		return true
@@ -505,7 +567,7 @@ func (a *gjAggWorker) exists(d int) bool {
 			}
 		}
 	}
-	if useMemo && (a.stop == nil || !a.stop.Load()) {
+	if useMemo && !a.aborted && (a.stop == nil || !a.stop.Load()) {
 		a.memo.Put(a.memoKey(d), boolToInt64(found))
 	}
 	return found
@@ -522,8 +584,13 @@ func boolToInt64(b bool) int64 {
 // that has at least one extension.
 func (a *gjAggWorker) visit(d int) error {
 	w := a.w
-	if a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load() {
-		return ErrAborted
+	if w.stats.Recursions&255 == 0 {
+		if a.stop != nil && a.stop.Load() {
+			return ErrAborted
+		}
+		if !a.budget.Spend(256) {
+			return ErrNodeBudget
+		}
 	}
 	if d == a.cls.EnumEnd {
 		if a.exists(d) {

@@ -91,12 +91,13 @@ func GenericJoinPlanCount(ctx context.Context, p *Plan, parallelism int) (int, *
 			return nil
 		})
 		w.stop = &stop
+		w.budget = BudgetFrom(ctx)
 		err = CtxAbortErr(ctx, w.rec(0))
 	} else {
 		vals := p.TopValues(nil)
 		stats.Recursions++
 		stats.IntersectValues += len(vals)
-		n, err = RunShardedCount(ctx, vals, parallelism, stats, gjShardRun(p))
+		n, err = RunShardedCount(ctx, vals, parallelism, stats, gjShardRun(p, BudgetFrom(ctx)))
 	}
 	if err != nil {
 		return 0, nil, err
@@ -130,22 +131,31 @@ func GenericJoinPlanVisit(ctx context.Context, p *Plan, parallelism int, stats *
 		defer WatchCancel(ctx, &stop)()
 		w := newGJWorker(p, stats, emit)
 		w.stop = &stop
+		w.budget = BudgetFrom(ctx)
 		return CtxAbortErr(ctx, w.rec(0))
 	}
 	vals := p.TopValues(nil)
 	// Account for the root node exactly as the serial search does.
 	stats.Recursions++
 	stats.IntersectValues += len(vals)
-	return RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, gjShardRun(p))
+	return RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, gjShardRun(p, BudgetFrom(ctx)))
 }
 
 // gjShardRun adapts the Generic-Join search to the sharded runner:
 // each chunk gets a fresh worker iterating its slice of the
-// precomputed depth-0 intersection.
-func gjShardRun(p *Plan) shardRun {
+// precomputed depth-0 intersection. All workers draw from the one
+// budget, so it bounds the run's total node count.
+func gjShardRun(p *Plan, budget *NodeBudget) shardRun {
 	return func(chunk []relation.Value, st *Stats, stop *atomic.Bool, emit func(relation.Tuple) error) error {
+		// Charge the chunk's depth-0 values upfront: per-chunk Stats
+		// restart the &255 poll stride, so without this a fleet of
+		// small chunks could dodge the budget entirely.
+		if !budget.Spend(int64(len(chunk))) {
+			return ErrNodeBudget
+		}
 		w := newGJWorker(p, st, emit)
 		w.stop = stop
+		w.budget = budget
 		return w.iterate(0, chunk)
 	}
 }
@@ -178,6 +188,9 @@ type gjWorker struct {
 	// cancelled (or aborted) run unwinds promptly even when it emits
 	// rarely; the recursion returns ErrAborted.
 	stop *atomic.Bool
+	// budget, when non-nil, is drawn down at the same stride; an
+	// exhausted budget unwinds with ErrNodeBudget.
+	budget *NodeBudget
 }
 
 func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWorker {
@@ -207,8 +220,13 @@ func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWork
 // level ranges at depth d and recurse per value.
 func (w *gjWorker) rec(d int) error {
 	w.stats.Recursions++
-	if w.stop != nil && w.stats.Recursions&255 == 0 && w.stop.Load() {
-		return ErrAborted
+	if w.stats.Recursions&255 == 0 {
+		if w.stop != nil && w.stop.Load() {
+			return ErrAborted
+		}
+		if !w.budget.Spend(256) {
+			return ErrNodeBudget
+		}
 	}
 	if d == len(w.plan.Order) {
 		return w.emit(w.binding)

@@ -110,8 +110,12 @@ func countFast(ctx context.Context, p *core.Plan, cls *agg.Classification, paral
 		defer core.WatchCancel(ctx, &stop)()
 		a := newAggWorker(p, cls, stats, nil)
 		a.stop = &stop
+		a.budget = core.BudgetFrom(ctx)
 		n := a.count(0)
 		if a.aborted {
+			if a.budgetHit {
+				return 0, core.ErrNodeBudget
+			}
 			return 0, core.CtxAbortErr(ctx, core.ErrAborted)
 		}
 		if a.overflow {
@@ -121,11 +125,19 @@ func countFast(ctx context.Context, p *core.Plan, cls *agg.Classification, paral
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
+	budget := core.BudgetFrom(ctx)
 	total, err := core.RunShardedSum(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (int64, error) {
+		if !budget.Spend(int64(len(chunk))) {
+			return 0, core.ErrNodeBudget
+		}
 		a := newAggWorker(p, cls, st, nil)
 		a.stop = stop
+		a.budget = budget
 		n := a.countChunk(chunk)
 		if a.aborted {
+			if a.budgetHit {
+				return 0, core.ErrNodeBudget
+			}
 			return 0, core.ErrAborted
 		}
 		if a.overflow {
@@ -148,8 +160,12 @@ func existsFast(ctx context.Context, p *core.Plan, cls *agg.Classification, para
 		defer core.WatchCancel(ctx, &stop)()
 		a := newAggWorker(p, cls, stats, nil)
 		a.stop = &stop
+		a.budget = core.BudgetFrom(ctx)
 		found := a.exists(0)
 		if !found {
+			if a.budgetHit {
+				return false, core.ErrNodeBudget
+			}
 			// The stop flag is only set by cancellation here, so a false
 			// under a cancelled context is inconclusive, not a "no".
 			if err := core.CtxErr(ctx); err != nil {
@@ -160,10 +176,19 @@ func existsFast(ctx context.Context, p *core.Plan, cls *agg.Classification, para
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
+	budget := core.BudgetFrom(ctx)
 	return core.RunShardedAny(ctx, vals, parallelism, stats, func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool) (bool, error) {
+		if !budget.Spend(int64(len(chunk))) {
+			return false, core.ErrNodeBudget
+		}
 		a := newAggWorker(p, cls, st, nil)
 		a.stop = stop
-		return a.existsChunk(chunk), nil
+		a.budget = budget
+		found := a.existsChunk(chunk)
+		if !found && a.budgetHit {
+			return false, core.ErrNodeBudget
+		}
+		return found, nil
 	})
 }
 
@@ -173,8 +198,15 @@ func projectVisit(ctx context.Context, p *core.Plan, cls *agg.Classification, pa
 		defer core.WatchCancel(ctx, &stop)()
 		a := newAggWorker(p, cls, stats, emit)
 		a.stop = &stop
+		a.budget = core.BudgetFrom(ctx)
 		err := a.visit(0)
 		if err == nil {
+			// Budget exhaustion inside the inner existence checks has no
+			// error path: prefixes were silently skipped, so a nil
+			// completion with the flag set is incomplete, not success.
+			if a.budgetHit {
+				return core.ErrNodeBudget
+			}
 			// See the Generic-Join twin: a nil completion under a
 			// cancelled ctx may have skipped prefixes via the suppressed
 			// existence checks — report the cancellation, not success.
@@ -184,11 +216,20 @@ func projectVisit(ctx context.Context, p *core.Plan, cls *agg.Classification, pa
 	}
 	vals := p.TopValues(nil)
 	stats.Recursions++
+	budget := core.BudgetFrom(ctx)
 	return core.RunShardedTop(ctx, vals, parallelism, len(cls.Spec.Project), stats, emit,
 		func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool, chunkEmit func(relation.Tuple) error) error {
+			if !budget.Spend(int64(len(chunk))) {
+				return core.ErrNodeBudget
+			}
 			a := newAggWorker(p, cls, st, chunkEmit)
 			a.stop = stop
-			return a.visitChunk(chunk)
+			a.budget = budget
+			err := a.visitChunk(chunk)
+			if err == nil && a.budgetHit {
+				return core.ErrNodeBudget
+			}
+			return err
 		})
 }
 
@@ -202,13 +243,19 @@ type aggWorker struct {
 	// stop, when non-nil, is polled by every search mode: sharded
 	// EXISTS short-circuits across workers through it, and a cancelled
 	// or aborted run unwinds at the next poll.
-	stop      *atomic.Bool
+	stop *atomic.Bool
+	// budget, when non-nil, is drawn down at the stop-poll stride; all
+	// workers of a run share one budget.
+	budget    *core.NodeBudget
 	projPos   []int
 	projBuf   relation.Tuple
 	keyRanges []int
 	// aborted records that a stop-flag poll fired inside a counting
 	// search (which has no error path); the entry points translate it.
-	aborted bool
+	// budgetHit qualifies the abort: the run died of budget exhaustion,
+	// not cancellation, and must surface core.ErrNodeBudget.
+	aborted   bool
+	budgetHit bool
 	// overflow records that a count exceeded int64 somewhere below;
 	// set by product, checked by the counting entry points.
 	overflow bool
@@ -294,9 +341,18 @@ func (a *aggWorker) memoKey(d int) []byte {
 func (a *aggWorker) count(d int) int64 {
 	w := a.w
 	w.stats.Recursions++
-	if a.aborted || (a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load()) {
-		a.aborted = true
+	if a.aborted {
 		return 0
+	}
+	if w.stats.Recursions&255 == 0 {
+		if a.stop != nil && a.stop.Load() {
+			a.aborted = true
+			return 0
+		}
+		if !a.budget.Spend(256) {
+			a.aborted, a.budgetHit = true, true
+			return 0
+		}
 	}
 	n := len(w.plan.Order)
 	if d == n {
@@ -340,10 +396,16 @@ func (a *aggWorker) count(d int) int64 {
 // short-circuiting on the first witness.
 func (a *aggWorker) exists(d int) bool {
 	w := a.w
-	if a.stop != nil && a.stop.Load() {
+	if a.aborted || (a.stop != nil && a.stop.Load()) {
 		return false
 	}
 	w.stats.Recursions++
+	if w.stats.Recursions&255 == 0 && !a.budget.Spend(256) {
+		// No error path here either: flag the exhaustion and unwind
+		// with inconclusive falses; the entry points translate.
+		a.aborted, a.budgetHit = true, true
+		return false
+	}
 	n := len(w.plan.Order)
 	if d == n {
 		return true
@@ -374,7 +436,7 @@ func (a *aggWorker) exists(d int) bool {
 		}
 		return true
 	})
-	if useMemo && (a.stop == nil || !a.stop.Load()) {
+	if useMemo && !a.aborted && (a.stop == nil || !a.stop.Load()) {
 		var v int64
 		if found {
 			v = 1
@@ -388,8 +450,13 @@ func (a *aggWorker) exists(d int) bool {
 // that has at least one extension.
 func (a *aggWorker) visit(d int) error {
 	w := a.w
-	if a.stop != nil && w.stats.Recursions&255 == 0 && a.stop.Load() {
-		return core.ErrAborted
+	if w.stats.Recursions&255 == 0 {
+		if a.stop != nil && a.stop.Load() {
+			return core.ErrAborted
+		}
+		if !a.budget.Spend(256) {
+			return core.ErrNodeBudget
+		}
 	}
 	if d == a.cls.EnumEnd {
 		if a.exists(d) {
@@ -443,9 +510,15 @@ func (a *aggWorker) leapfrog(d int, match func() bool) {
 		// innermost work of the whole search and can walk an enormous
 		// intersection with no recursion underneath to poll; poll here
 		// so cancellation unwinds mid-level.
-		if steps++; steps&255 == 0 && a.stop != nil && a.stop.Load() {
-			a.aborted = true
-			return
+		if steps++; steps&255 == 0 {
+			if a.stop != nil && a.stop.Load() {
+				a.aborted = true
+				return
+			}
+			if !a.budget.Spend(256) {
+				a.aborted, a.budgetHit = true, true
+				return
+			}
 		}
 		xmax := iters[(p+k-1)%k].it.Key()
 		x := iters[p].it.Key()
@@ -524,9 +597,15 @@ func (a *aggWorker) chunkEach(vals []relation.Value, body func() bool) {
 		// but a chunk of values whose subtrees are all tiny would
 		// otherwise only poll every 256 recursions; poll per 256
 		// top-level values too so abort latency is bounded both ways.
-		if i&255 == 255 && a.stop != nil && a.stop.Load() {
-			a.aborted = true
-			return
+		if i&255 == 255 {
+			if a.stop != nil && a.stop.Load() {
+				a.aborted = true
+				return
+			}
+			if !a.budget.Spend(256) {
+				a.aborted, a.budgetHit = true, true
+				return
+			}
 		}
 		ok := true
 		for _, st := range iters {

@@ -102,11 +102,12 @@ func PlanCount(ctx context.Context, p *core.Plan, parallelism int) (int, *core.S
 			return nil
 		})
 		w.stop = &stop
+		w.budget = core.BudgetFrom(ctx)
 		err = core.CtxAbortErr(ctx, w.rec(0))
 	} else {
 		vals := p.TopValues(nil)
 		stats.Recursions++
-		n, err = core.RunShardedCount(ctx, vals, parallelism, stats, shardRun(p))
+		n, err = core.RunShardedCount(ctx, vals, parallelism, stats, shardRun(p, core.BudgetFrom(ctx)))
 	}
 	if err != nil {
 		return 0, nil, err
@@ -139,22 +140,31 @@ func PlanVisit(ctx context.Context, p *core.Plan, parallelism int, stats *core.S
 		defer core.WatchCancel(ctx, &stop)()
 		w := newWorker(p, stats, emit)
 		w.stop = &stop
+		w.budget = core.BudgetFrom(ctx)
 		return core.CtxAbortErr(ctx, w.rec(0))
 	}
 	vals := p.TopValues(nil)
 	// Account for the root node exactly as the serial search does;
 	// per-value IntersectValues are counted by the workers.
 	stats.Recursions++
-	return core.RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, shardRun(p))
+	return core.RunShardedTop(ctx, vals, parallelism, len(p.Q.Vars), stats, emit, shardRun(p, core.BudgetFrom(ctx)))
 }
 
 // shardRun adapts the leapfrog search to the sharded runner: each
 // chunk gets a fresh worker (private iterators over the shared tries)
-// walking its slice of the precomputed depth-0 intersection.
-func shardRun(p *core.Plan) func([]relation.Value, *core.Stats, *atomic.Bool, func(relation.Tuple) error) error {
+// walking its slice of the precomputed depth-0 intersection. All
+// workers draw from the one budget, bounding the run's total nodes.
+func shardRun(p *core.Plan, budget *core.NodeBudget) func([]relation.Value, *core.Stats, *atomic.Bool, func(relation.Tuple) error) error {
 	return func(chunk []relation.Value, st *core.Stats, stop *atomic.Bool, emit func(relation.Tuple) error) error {
+		// Charge the chunk's depth-0 values upfront: per-chunk Stats
+		// restart the &255 poll stride, so without this a fleet of
+		// small chunks could dodge the budget entirely.
+		if !budget.Spend(int64(len(chunk))) {
+			return core.ErrNodeBudget
+		}
 		w := newWorker(p, st, emit)
 		w.stop = stop
+		w.budget = budget
 		return w.iterateTop(chunk)
 	}
 }
@@ -180,6 +190,9 @@ type worker struct {
 	// cancelled (or aborted) run unwinds promptly even when it emits
 	// rarely; the recursion returns core.ErrAborted.
 	stop *atomic.Bool
+	// budget, when non-nil, is drawn down at the same stride; an
+	// exhausted budget unwinds with core.ErrNodeBudget.
+	budget *core.NodeBudget
 }
 
 func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error) *worker {
@@ -208,8 +221,13 @@ func newWorker(p *core.Plan, stats *core.Stats, emit func(relation.Tuple) error)
 // the levels above d).
 func (w *worker) rec(d int) error {
 	w.stats.Recursions++
-	if w.stop != nil && w.stats.Recursions&255 == 0 && w.stop.Load() {
-		return core.ErrAborted
+	if w.stats.Recursions&255 == 0 {
+		if w.stop != nil && w.stop.Load() {
+			return core.ErrAborted
+		}
+		if !w.budget.Spend(256) {
+			return core.ErrNodeBudget
+		}
 	}
 	if d == len(w.plan.Order) {
 		return w.emit(w.binding)

@@ -1,0 +1,359 @@
+// Package wal gives wcoj.DB crash durability: every applied update
+// batch (and every Register) is appended to a write-ahead log before
+// it is published to readers, and compaction writes a full-state
+// snapshot, so reopening the directory replays to the exact pre-crash
+// update epoch.
+//
+// Directory layout — paired, monotonically numbered generations:
+//
+//	wal-<seq>.log    record log (see record.go for the frame format)
+//	snap-<seq>.snap  full-state snapshot the log's records follow
+//
+// Generation 0 has no snapshot (an empty engine). Rotate writes
+// snap-(s+1) via temp file + atomic rename, then starts wal-(s+1) and
+// prunes generation s; a crash between those steps leaves either the
+// old generation intact or the new snapshot with an empty (or absent)
+// log — both recover exactly.
+//
+// Recovery scans the newest valid snapshot, then replays its log.
+// A torn tail — a final frame with missing bytes, or whose checksum
+// fails right at EOF — is truncated away (the crash interrupted that
+// append; it was never acknowledged). A checksum failure in the middle
+// of the log is corruption and rejects the whole open: silently
+// skipping records would replay a state that never existed.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+var logMagic = []byte("WCOJWAL1")
+
+// Log is an open write-ahead log positioned at the tail of the current
+// generation's segment. Methods are not safe for concurrent use; the
+// DB serializes writers (they already hold its write mutex).
+type Log struct {
+	dir string
+	seq uint64
+	f   *os.File
+	off int64
+
+	// crashAt/crashFn simulate kill -9 at an exact byte offset: an
+	// Append that would carry the log past crashAt writes only up to it
+	// and invokes crashFn (the crash-recovery harness re-execs a child
+	// that installs os.Exit here). Production opens never set them.
+	crashAt int64
+	crashFn func()
+}
+
+// Open recovers the newest consistent state under dir (creating the
+// directory and an empty generation-0 log if needed) and returns the
+// log positioned for appends, the snapshot recovery starts from (nil
+// for generation 0), and the decoded records to replay on top of it.
+func Open(dir string) (*Log, *Snapshot, []*Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	snaps, logs, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Newest valid snapshot wins; its paired log holds everything
+	// after it. With no usable snapshot the full history lives in the
+	// lowest-numbered log (normally wal-0).
+	var snap *Snapshot
+	var seq uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s, err := readSnapshot(snapPath(dir, snaps[i]))
+		if err == nil {
+			snap, seq = s, snaps[i]
+			break
+		}
+	}
+	if snap == nil {
+		if len(logs) > 0 {
+			seq = logs[0]
+		} else {
+			seq = 0
+		}
+		if seq != 0 {
+			// A generation >0 log without a readable snapshot has lost
+			// its prefix; replaying it from an empty base would serve a
+			// state that never existed.
+			return nil, nil, nil, fmt.Errorf("wal: %s: no valid snapshot for generation %d", dir, seq)
+		}
+	}
+
+	recs, tail, err := readLog(logPath(dir, seq))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil, err
+	}
+
+	l := &Log{dir: dir, seq: seq}
+	if err := l.openSegment(tail); err != nil {
+		return nil, nil, nil, err
+	}
+	l.prune(seq)
+	return l, snap, recs, nil
+}
+
+// openSegment opens (or creates) the current generation's log file and
+// positions the writer at validTail — truncating anything torn past it.
+func (l *Log) openSegment(validTail int64) error {
+	path := logPath(l.dir, l.seq)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if validTail < int64(len(logMagic)) {
+		validTail = int64(len(logMagic))
+		if _, err := f.WriteAt(logMagic, 0); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Truncate(validTail); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(validTail, 0); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.off = f, validTail
+	return nil
+}
+
+// Append encodes rec as one frame and writes it at the tail. The bytes
+// reach the OS before Append returns; call Sync to force them to
+// stable storage (the DB syncs once per applied batch).
+func (l *Log) Append(rec *Record) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	frame := appendFrame(nil, rec)
+	if l.crashFn != nil && l.off+int64(len(frame)) > l.crashAt {
+		// Simulated kill -9: write the torn prefix, make it visible the
+		// way a real crash would, and die.
+		k := l.crashAt - l.off
+		if k < 0 {
+			k = 0
+		}
+		if k > int64(len(frame)) {
+			k = int64(len(frame))
+		}
+		l.f.Write(frame[:k])
+		l.f.Sync()
+		l.crashFn()
+		return fmt.Errorf("wal: crash point reached")
+	}
+	n, err := l.f.Write(frame)
+	l.off += int64(n)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	return l.f.Sync()
+}
+
+// Size returns the current byte offset of the tail (the header counts).
+func (l *Log) Size() int64 { return l.off }
+
+// SetCrashPoint arranges for fn to run — after writing only the bytes
+// up to offset off — on the first Append that would carry the log past
+// off. It simulates a process killed mid-write at an exact byte
+// offset; the crash-recovery harness is its only intended caller.
+func (l *Log) SetCrashPoint(off int64, fn func()) {
+	l.crashAt, l.crashFn = off, fn
+}
+
+// Rotate writes snap as the next generation's snapshot (temp file +
+// atomic rename), switches appends to that generation's fresh log, and
+// prunes the previous generation. On error the current generation
+// remains the recovery source.
+func (l *Log) Rotate(snap *Snapshot) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	next := l.seq + 1
+	if err := writeSnapshot(snapPath(l.dir, next), snap); err != nil {
+		return err
+	}
+	old := l.f
+	l.seq = next
+	if err := l.openSegment(0); err != nil {
+		return err
+	}
+	old.Close()
+	l.prune(next)
+	return syncDir(l.dir)
+}
+
+// Close flushes and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// prune removes generations strictly older than keep (best-effort:
+// they are dead weight, not state).
+func (l *Log) prune(keep uint64) {
+	snaps, logs, err := scanDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, s := range snaps {
+		if s < keep {
+			os.Remove(snapPath(l.dir, s))
+		}
+	}
+	for _, s := range logs {
+		if s < keep {
+			os.Remove(logPath(l.dir, s))
+		}
+	}
+}
+
+// readLog decodes every frame of the log at path. It returns the
+// records of the valid prefix and the byte offset of its end — the
+// tail to truncate to. A torn tail (incomplete final frame, or a
+// checksum failure that reaches EOF) ends the valid prefix cleanly;
+// corruption strictly inside the log is an error.
+func readLog(path string) ([]*Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(logMagic) {
+		// A crash can tear even the header write of a fresh segment;
+		// nothing valid follows.
+		return nil, 0, nil
+	}
+	if string(data[:len(logMagic)]) != string(logMagic) {
+		return nil, 0, fmt.Errorf("wal: %s: bad log header", path)
+	}
+	var recs []*Record
+	off := int64(len(logMagic))
+	for {
+		rec, next, err := nextFrame(data, off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: %s: offset %d: %w", path, off, err)
+		}
+		if rec == nil {
+			return recs, off, nil // torn tail (or clean EOF) at off
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+}
+
+// nextFrame decodes the frame at off. It returns (nil, 0, nil) when
+// the bytes from off to EOF do not form a complete valid frame but
+// could be a torn append — exactly EOF, or a partial/corrupt frame
+// that extends to EOF — and an error for corruption that provably is
+// not a torn tail (a bad frame with more data after it).
+func nextFrame(data []byte, off int64) (*Record, int64, error) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return nil, 0, nil
+	}
+	if len(rest) < 8 {
+		return nil, 0, nil // torn header
+	}
+	length := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if uint64(length) > maxFrame {
+		// An absurd length usually IS the torn tail (a half-written
+		// header). It can only be called corruption if a valid frame
+		// provably follows — undecidable without the real length — so
+		// treat it as torn only when it engulfs the rest of the file.
+		if uint64(len(rest)-8) <= uint64(length) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("frame length %d exceeds limit", length)
+	}
+	if uint64(len(rest)-8) < uint64(length) {
+		return nil, 0, nil // torn body
+	}
+	payload := rest[8 : 8+length]
+	atEOF := int64(len(rest)) == 8+int64(length)
+	if crc32.Checksum(payload, crcTable) != sum {
+		if atEOF {
+			return nil, 0, nil // torn final frame
+		}
+		return nil, 0, fmt.Errorf("checksum mismatch")
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		// The checksum matched, so these exact bytes were written by an
+		// encoder — a decode failure is corruption (or version skew),
+		// not a torn write, wherever it sits.
+		return nil, 0, err
+	}
+	return rec, off + 8 + int64(length), nil
+}
+
+func logPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// scanDir lists the generation numbers present, ascending.
+func scanDir(dir string) (snaps, logs []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		var seq uint64
+		switch name := e.Name(); {
+		case len(name) == len("wal-0000000000000000.log") && name[:4] == "wal-" && name[len(name)-4:] == ".log":
+			if _, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err == nil {
+				logs = append(logs, seq)
+			}
+		case len(name) == len("snap-0000000000000000.snap") && name[:5] == "snap-" && name[len(name)-5:] == ".snap":
+			if _, err := fmt.Sscanf(name, "snap-%016x.snap", &seq); err == nil {
+				snaps = append(snaps, seq)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	return snaps, logs, nil
+}
+
+// syncDir fsyncs the directory so renames and creates survive an OS
+// crash (best-effort: some filesystems reject directory fsync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -131,6 +131,18 @@ var (
 	Cardinality = constraints.Cardinality
 	FD          = constraints.FD
 	Degree      = constraints.Degree
+
+	// WithNodeBudget attaches a search-node budget to a query context:
+	// every engine entry point taking the context (across all its
+	// parallel shards) draws from the one allowance and fails with
+	// ErrNodeBudget when it runs out. Admission control for shared
+	// deployments — a runaway query is cut off by work done, not just
+	// wall clock.
+	WithNodeBudget = core.WithNodeBudget
+
+	// ErrNodeBudget reports that a query exceeded the node budget
+	// attached to its context; its partial results were discarded.
+	ErrNodeBudget = core.ErrNodeBudget
 )
 
 // Parse parses a datalog-style conjunctive query such as
