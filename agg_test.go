@@ -101,9 +101,10 @@ func TestCountFastEquivalence(t *testing.T) {
 
 // TestCountFastSkipsEnumeration is the acceptance check behind the
 // >=10x speedup claim, stated machine-independently: on the AGM-tight
-// triangle the enumerating Count explores ~k^3 search nodes while
-// CountFast stops at the ~k^2 bound levels, so its recursion count
-// must be at least 10x smaller (it is ~100x at k=100).
+// triangle the enumerating count (Options.DisablePushdown) explores
+// ~k^3 search nodes while the default pushdown Count stops at the
+// ~k^2 bound levels, so its recursion count must be at least 10x
+// smaller (it is ~100x at k=100).
 func TestCountFastSkipsEnumeration(t *testing.T) {
 	tri := dataset.TriangleAGMTight(10000)
 	db := NewDatabase()
@@ -115,17 +116,16 @@ func TestCountFastSkipsEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
-		o := Options{Algorithm: algo, Parallelism: 1}
-		slow, slowStats, err := Count(q, o)
+		slow, slowStats, err := Count(q, Options{Algorithm: algo, Parallelism: 1, DisablePushdown: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, fastStats, err := CountFast(q, o)
+		fast, fastStats, err := Count(q, Options{Algorithm: algo, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if fast != slow {
-			t.Fatalf("%v: CountFast = %d, Count = %d", algo, fast, slow)
+			t.Fatalf("%v: Count = %d, Count(DisablePushdown) = %d", algo, fast, slow)
 		}
 		if fastStats.Recursions*10 > slowStats.Recursions {
 			t.Errorf("%v: CountFast explored %d nodes, Count %d — want >=10x reduction",

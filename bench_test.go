@@ -354,9 +354,30 @@ func BenchmarkIntersect(b *testing.B) {
 	}
 	b.Run("leapfrog-3way", func(b *testing.B) {
 		ranges := []trie.LevelRange{
-			{Col: big, Lo: 0, Hi: len(big)},
-			{Col: third, Lo: 0, Hi: len(third)},
-			{Col: small, Lo: 0, Hi: len(small)},
+			{Keys: big, Lo: 0, Hi: len(big)},
+			{Keys: third, Lo: 0, Hi: len(third)},
+			{Keys: small, Lo: 0, Hi: len(small)},
+		}
+		var dst []relation.Value
+		for i := 0; i < b.N; i++ {
+			dst = trie.IntersectLevels(dst[:0], ranges)
+		}
+	})
+	// Heavy skew: 64 keys against 100k — the regime where the binary
+	// kernel gallops the small side through the large one instead of
+	// merging (see gallopRatio in internal/trie).
+	huge := make([]relation.Value, 100_000)
+	for i := range huge {
+		huge[i] = relation.Value(3 * i)
+	}
+	tiny := make([]relation.Value, 64)
+	for i := range tiny {
+		tiny[i] = relation.Value(4500 * i)
+	}
+	b.Run("gallop-skewed", func(b *testing.B) {
+		ranges := []trie.LevelRange{
+			{Keys: tiny, Lo: 0, Hi: len(tiny)},
+			{Keys: huge, Lo: 0, Hi: len(huge)},
 		}
 		var dst []relation.Value
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,205 @@
+package wcoj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ctxTestQuery binds the unabortable-without-polling product query
+// over a complete bipartite K (same shape as the prepared-query
+// cancellation tests, ~26G results at 150x150).
+func ctxTestQuery(t testing.TB) *Query {
+	t.Helper()
+	db := NewDatabase()
+	b := NewRelationBuilder("K", "x", "y")
+	for i := 0; i < 150; i++ {
+		for j := 0; j < 150; j++ {
+			if err := b.Add(Value(i), Value(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.Put(b.Build())
+	q, err := MustParse("Q(A,B,C,D) :- K(A,B), K(B,C), K(C,D)").Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestOptionsContextCancellation: Options.Context cancels the free
+// functions mid-run exactly like the ctx parameter of the prepared
+// entry points — the search workers poll it and unwind promptly.
+func TestOptionsContextCancellation(t *testing.T) {
+	q := ctxTestQuery(t)
+	for _, par := range []int{1, 4} {
+		for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
+			name := fmt.Sprintf("%v/p=%d", algo, par)
+			run := func(t *testing.T, f func(Options) error) {
+				t.Helper()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+				defer cancel()
+				start := time.Now()
+				err := f(Options{Algorithm: algo, Parallelism: par, Context: ctx, DisablePushdown: true})
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("err = %v, want deadline exceeded", err)
+				}
+				if elapsed := time.Since(start); elapsed > 5*time.Second {
+					t.Fatalf("cancellation took %v", elapsed)
+				}
+			}
+			t.Run("execute/"+name, func(t *testing.T) {
+				run(t, func(o Options) error { _, _, err := Execute(q, o); return err })
+			})
+			t.Run("count/"+name, func(t *testing.T) {
+				run(t, func(o Options) error { _, _, err := Count(q, o); return err })
+			})
+			t.Run("executefunc/"+name, func(t *testing.T) {
+				run(t, func(o Options) error {
+					_, err := ExecuteFunc(q, o, func(Tuple) error { return nil })
+					return err
+				})
+			})
+		}
+	}
+}
+
+// TestOptionsContextPreChecked: algorithms without in-search polling
+// still refuse to start under an already-cancelled context.
+func TestOptionsContextPreChecked(t *testing.T) {
+	db := NewDatabase()
+	b := NewRelationBuilder("E", "x", "y")
+	for i := 0; i < 8; i++ {
+		if err := b.Add(Value(i), Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+	q, err := MustParse("Q(A,B,C) :- E(A,B), E(B,C)").Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoBacktracking, AlgoBinaryJoin, AlgoBinaryJoinProject} {
+		opts := Options{Algorithm: algo, Context: ctx}
+		if _, _, err := Execute(q, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v Execute: err = %v, want canceled", algo, err)
+		}
+		if _, _, err := Count(q, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v Count: err = %v, want canceled", algo, err)
+		}
+		if _, _, err := Exists(q, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v Exists: err = %v, want canceled", algo, err)
+		}
+	}
+}
+
+// TestCountPushdownToggle: Count with and without DisablePushdown
+// agree, for plain and projected counting, on both WCOJ engines, and
+// CountFast remains an alias of the pushdown Count.
+func TestCountPushdownToggle(t *testing.T) {
+	db := NewDatabase()
+	b := NewRelationBuilder("E", "x", "y")
+	for i := 0; i < 40; i++ {
+		for _, j := range []int{(i * 3) % 40, (i * 7) % 40, (i + 11) % 40} {
+			if err := b.Add(Value(i), Value(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.Put(b.Build())
+	q, err := MustParse("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)").Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
+		base := Options{Algorithm: algo}
+		push, pushStats, err := Count(q, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := base
+		slow.DisablePushdown = true
+		enum, _, err := Count(q, slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if push != enum {
+			t.Fatalf("%v: pushdown count %d vs enumerated %d", algo, push, enum)
+		}
+		if pushStats.AggMultiplies == 0 && pushStats.Recursions >= push {
+			t.Errorf("%v: pushdown plan took no shortcut (%+v)", algo, *pushStats)
+		}
+		legacy, _, err := CountFast(q, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy != push {
+			t.Fatalf("%v: CountFast %d vs Count %d", algo, legacy, push)
+		}
+		proj := base
+		proj.Project = []string{"A"}
+		pn, _, err := Count(q, proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		projSlow := proj
+		projSlow.DisablePushdown = true
+		pn2, _, err := Count(q, projSlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pn != pn2 {
+			t.Fatalf("%v: projected count %d vs %d under DisablePushdown", algo, pn, pn2)
+		}
+	}
+}
+
+// TestExplainCarriesCountPlan: Explain reports the pushdown count plan
+// in its Count field (and matches the deprecated ExplainCount), unless
+// DisablePushdown clears it.
+func TestExplainCarriesCountPlan(t *testing.T) {
+	db := NewDatabase()
+	b := NewRelationBuilder("E", "x", "y")
+	for i := 0; i < 10; i++ {
+		if err := b.Add(Value(i), Value((i+1)%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Put(b.Build())
+	q, err := MustParse("Q(A,B,C) :- E(A,B), E(B,C)").Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Explain(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count == nil {
+		t.Fatal("Explain.Count is nil")
+	}
+	if e.Count.AggMode != "count" {
+		t.Fatalf("Explain.Count.AggMode = %q, want count", e.Count.AggMode)
+	}
+	legacy, err := ExplainCount(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(e.Count.Order), fmt.Sprint(legacy.Order); got != want {
+		t.Fatalf("Explain.Count order %s vs ExplainCount %s", got, want)
+	}
+	if e.Count.CountFrom != legacy.CountFrom {
+		t.Fatalf("CountFrom %d vs %d", e.Count.CountFrom, legacy.CountFrom)
+	}
+	off, err := Explain(q, Options{DisablePushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Count != nil {
+		t.Fatal("DisablePushdown must clear the count plan")
+	}
+}

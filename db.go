@@ -362,10 +362,10 @@ func (db *DB) Stats() DBStats {
 // must still reach validation) options never collide, and no slice
 // element can forge a separator.
 func planKey(src string, opts Options) string {
-	return fmt.Sprintf("%s|algo=%d|planner=%d|order=%s|project=%s|par=%d|dc=%#v",
+	return fmt.Sprintf("%s|algo=%d|planner=%d|order=%s|project=%s|par=%d|push=%t|dc=%#v",
 		src, opts.Algorithm, opts.Planner,
 		sliceKey(opts.Order), sliceKey(opts.Project), opts.Parallelism,
-		opts.Constraints)
+		!opts.DisablePushdown, opts.Constraints)
 }
 
 // sliceKey renders an options slice for the cache key: nil is distinct
@@ -390,6 +390,11 @@ func sliceKey(s []string) string {
 // not — prepared queries follow updates by re-versioning only the
 // touched relation's tries at their next execution.
 func (db *DB) Prepare(src string, opts Options) (*PreparedQuery, error) {
+	// Per-call cancellation of a prepared query comes from the ctx
+	// argument of each execution method; a one-shot Options.Context
+	// must not be pinned by a long-lived plan cache entry (nor split
+	// the cache key).
+	opts.Context = nil
 	parsed, err := query.Parse(src)
 	if err != nil {
 		return nil, err
@@ -901,12 +906,13 @@ func (pq *PreparedQuery) visit(ctx context.Context, s *pqState, stats *Stats, em
 	}
 }
 
-// Count runs the prepared streaming count: every result tuple is
-// enumerated and counted (distinct projected tuples when prepared with
-// Options.Project — that path is aggregate-aware, mirroring the
-// one-shot Count). See CountFast for the classification-driven count.
+// Count returns the prepared query's output cardinality (distinct
+// projected tuples when prepared with Options.Project). Like the
+// one-shot Count it runs the aggregate-aware pushdown plan by default,
+// enumerating every result tuple only when the query was prepared
+// with Options.DisablePushdown.
 func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
-	if pq.opts.Project != nil {
+	if pq.opts.Project != nil || (!pq.opts.DisablePushdown && wcojAlgorithm(pq.opts.Algorithm)) {
 		return pq.CountFast(ctx)
 	}
 	defer pq.record(time.Now())
@@ -939,8 +945,11 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
 	return n, stats, nil
 }
 
-// CountFast runs the prepared aggregate-aware count (see the one-shot
-// CountFast for the level-classification machinery it reuses).
+// CountFast runs the prepared aggregate-aware count.
+//
+// Deprecated: Count runs the aggregate pushdown automatically (unless
+// the query was prepared with Options.DisablePushdown); call Count
+// instead.
 func (pq *PreparedQuery) CountFast(ctx context.Context) (int, *Stats, error) {
 	defer pq.record(time.Now())
 	s := pq.currentState()

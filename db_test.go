@@ -513,7 +513,10 @@ func TestPreparedCancellation(t *testing.T) {
 		for _, algo := range []Algorithm{AlgoGenericJoin, AlgoLeapfrog} {
 			name := fmt.Sprintf("%v/p=%d", algo, par)
 			t.Run("count/"+name, func(t *testing.T) {
-				pq := cancelQuery(t, db, Options{Algorithm: algo, Parallelism: par})
+				// DisablePushdown keeps this a long enumeration: the
+				// default pushdown count finishes this product query in
+				// microseconds, leaving nothing to cancel.
+				pq := cancelQuery(t, db, Options{Algorithm: algo, Parallelism: par, DisablePushdown: true})
 				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 				defer cancel()
 				start := time.Now()

@@ -179,7 +179,11 @@ func ExampleExecute_costBasedPlanner() {
 // endpoints A and C occur in one atom each, so the planner sinks them
 // to the end of the order where their subtree cardinalities are
 // multiplied instead of recursed into.
-func ExampleCountFast() {
+// ExampleCount counts without enumerating: Count runs the aggregate
+// pushdown plan by default, and Explain reports that plan in its Count
+// field — single-atom variables are sunk past CountFrom and multiplied
+// through instead of searched.
+func ExampleCount() {
 	db := wcoj.NewDatabase()
 	b := wcoj.NewRelationBuilder("E", "src", "dst")
 	for _, e := range [][2]wcoj.Value{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 1}, {2, 4}} {
@@ -193,19 +197,62 @@ func ExampleCountFast() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	n, _, err := wcoj.CountFast(q, wcoj.Options{})
+	n, _, err := wcoj.Count(q, wcoj.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	e, err := wcoj.ExplainCount(q, wcoj.Options{})
+	e, err := wcoj.Explain(q, wcoj.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("2-paths: %d\n", n)
-	fmt.Printf("order: %v counted from level %d\n", e.Order, e.CountFrom)
+	fmt.Printf("order: %v counted from level %d\n", e.Count.Order, e.Count.CountFrom)
 	// Output:
 	// 2-paths: 8
 	// order: [B A C] counted from level 1
+}
+
+// ExampleOptions_context cancels a one-shot query through
+// Options.Context — the same per-256-nodes polling the DB/PreparedQuery
+// entry points drive through their explicit ctx parameter, so a free
+// function and a prepared query abort identically.
+func ExampleOptions_context() {
+	db := wcoj.NewDatabase()
+	b := wcoj.NewRelationBuilder("K", "x", "y")
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			if err := b.Add(wcoj.Value(i), wcoj.Value(j)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	db.Put(b.Build())
+	q, err := wcoj.MustParse("Q(A,B,C,D) :- K(A,B), K(B,C), K(C,D)").Bind(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The complete bipartite product has ~10^8 results; cancel instead
+	// of enumerating them.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = wcoj.Execute(q, wcoj.Options{Context: ctx})
+	fmt.Println("one-shot:", err)
+
+	// Equivalent cancellation of the prepared form.
+	sdb := wcoj.NewDB()
+	if err := sdb.Register(wcoj.NewRelation("K", []string{"x", "y"}, []wcoj.Tuple{{1, 1}})); err != nil {
+		log.Fatal(err)
+	}
+	pq, err := sdb.Prepare("Q(A,B,C,D) :- K(A,B), K(B,C), K(C,D)", wcoj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, err = pq.Execute(ctx)
+	fmt.Println("prepared:", err)
+	// Output:
+	// one-shot: context canceled
+	// prepared: context canceled
 }
 
 // ExampleExecute_project enumerates the distinct endpoints of 2-paths:

@@ -373,11 +373,7 @@ func (a *gjAggWorker) levelRanges(d int) []trie.LevelRange {
 	for _, ai := range w.plan.Participants[d] {
 		ga := w.atoms[ai]
 		l := ga.levelOf[d]
-		w.ranges = append(w.ranges, trie.LevelRange{
-			Col: ga.trie.Level(l),
-			Lo:  ga.loStack[l],
-			Hi:  ga.hiStack[l],
-		})
+		w.ranges = append(w.ranges, ga.trie.SegLevel(l, ga.segLo[l], ga.segHi[l]))
 	}
 	return w.ranges
 }
@@ -398,12 +394,9 @@ func (a *gjAggWorker) intersect(d int) []relation.Value {
 func (a *gjAggWorker) narrow(d int, v relation.Value) bool {
 	for _, ai := range a.w.plan.Participants[d] {
 		ga := a.w.atoms[ai]
-		l := ga.levelOf[d]
-		lo, hi := ga.trie.Range(l, ga.loStack[l], ga.hiStack[l], v)
-		if lo >= hi {
+		if !ga.bind(ga.levelOf[d], v) {
 			return false
 		}
-		ga.loStack[l+1], ga.hiStack[l+1] = lo, hi
 	}
 	return true
 }
@@ -416,9 +409,9 @@ func (a *gjAggWorker) product(d int) int64 {
 	prod := int64(1)
 	for j, ai := range a.cls.ActiveAtoms[d] {
 		ga := a.w.atoms[ai]
-		l := a.cls.BoundLevel[d][j]
+		lo, hi := ga.rows(a.cls.BoundLevel[d][j])
 		var ok bool
-		prod, ok = agg.Mul(prod, int64(ga.hiStack[l]-ga.loStack[l]))
+		prod, ok = agg.Mul(prod, int64(hi-lo))
 		if !ok {
 			a.overflow = true
 			return 0
@@ -435,8 +428,8 @@ func (a *gjAggWorker) product(d int) int64 {
 func (a *gjAggWorker) productNonEmpty(d int) bool {
 	for j, ai := range a.cls.ActiveAtoms[d] {
 		ga := a.w.atoms[ai]
-		l := a.cls.BoundLevel[d][j]
-		if ga.hiStack[l] <= ga.loStack[l] {
+		lo, hi := ga.rows(a.cls.BoundLevel[d][j])
+		if hi <= lo {
 			return false
 		}
 	}
@@ -450,8 +443,8 @@ func (a *gjAggWorker) memoKey(d int) []byte {
 	a.keyRanges = a.keyRanges[:0]
 	for j, ai := range a.cls.ActiveAtoms[d] {
 		ga := a.w.atoms[ai]
-		l := a.cls.BoundLevel[d][j]
-		a.keyRanges = append(a.keyRanges, ga.loStack[l], ga.hiStack[l])
+		lo, hi := ga.rows(a.cls.BoundLevel[d][j])
+		a.keyRanges = append(a.keyRanges, lo, hi)
 	}
 	return a.memo.Key(d, a.keyRanges)
 }
@@ -498,7 +491,9 @@ func (a *gjAggWorker) count(d int) int64 {
 		w.stats.IntersectValues += c
 		total = int64(c)
 	} else {
-		for _, v := range a.intersect(d) {
+		vals := a.intersect(d)
+		a.w.arm(d)
+		for _, v := range vals {
 			if !a.narrow(d, v) {
 				continue
 			}
@@ -554,7 +549,9 @@ func (a *gjAggWorker) exists(d int) bool {
 			w.stats.IntersectValues++
 		}
 	} else {
-		for _, v := range a.intersect(d) {
+		vals := a.intersect(d)
+		a.w.arm(d)
+		for _, v := range vals {
 			if a.stop != nil && a.stop.Load() {
 				return false
 			}
@@ -603,6 +600,7 @@ func (a *gjAggWorker) visit(d int) error {
 	}
 	w.stats.Recursions++
 	vals := a.intersect(d)
+	a.w.arm(d)
 	for _, v := range vals {
 		w.binding[w.plan.OutPos[d]] = v
 		if !a.narrow(d, v) {
@@ -618,6 +616,7 @@ func (a *gjAggWorker) visit(d int) error {
 // countChunk, existsChunk and visitChunk run the depth-0 per-value
 // loop over one shard of the precomputed top-level intersection.
 func (a *gjAggWorker) countChunk(vals []relation.Value) int64 {
+	a.w.arm(0)
 	var total int64
 	for _, v := range vals {
 		if !a.narrow(0, v) {
@@ -633,6 +632,7 @@ func (a *gjAggWorker) countChunk(vals []relation.Value) int64 {
 }
 
 func (a *gjAggWorker) existsChunk(vals []relation.Value) bool {
+	a.w.arm(0)
 	for _, v := range vals {
 		if a.stop != nil && a.stop.Load() {
 			return false
@@ -649,6 +649,7 @@ func (a *gjAggWorker) existsChunk(vals []relation.Value) bool {
 
 func (a *gjAggWorker) visitChunk(vals []relation.Value) error {
 	w := a.w
+	w.arm(0)
 	for _, v := range vals {
 		w.binding[w.plan.OutPos[0]] = v
 		if !a.narrow(0, v) {

@@ -28,8 +28,16 @@ type btConstraint struct {
 	// participates in the candidate intersection at depth d, per the
 	// loop condition of Algorithm 3).
 	intersector []bool
-	loStack     []int
-	hiStack     []int
+	// segLo/segHi[l] is the candidate segment range at trie level l
+	// (the children span pushed by the level-(l-1) binding). segCur[l]
+	// is the monotone narrowing cursor for the sweep in progress: it is
+	// re-armed to segLo[l] at the start of every value sweep, because
+	// the same candidate span can be swept several times without a
+	// fresh Children push (the search backtracks above l and descends
+	// again), as in the Generic-Join engine.
+	segLo  []int
+	segHi  []int
+	segCur []int
 }
 
 // BacktrackingSearch evaluates the query with Algorithm 3 of the paper:
@@ -170,8 +178,9 @@ func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *
 			trie:        tr,
 			levelOf:     make([]int, len(order)),
 			intersector: make([]bool, len(order)),
-			loStack:     make([]int, len(consOrder)+1),
-			hiStack:     make([]int, len(consOrder)+1),
+			segLo:       make([]int, len(consOrder)),
+			segHi:       make([]int, len(consOrder)),
+			segCur:      make([]int, len(consOrder)),
 		}
 		for d := range order {
 			bc.levelOf[d] = -1
@@ -185,7 +194,7 @@ func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *
 				}
 			}
 		}
-		bc.loStack[0], bc.hiStack[0] = 0, tr.Len()
+		bc.segLo[0], bc.segHi[0] = 0, tr.NumSegs(0)
 		cons = append(cons, bc)
 	}
 
@@ -265,15 +274,16 @@ func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *
 			if l < 0 || !bc.intersector[d] {
 				continue
 			}
-			ranges = append(ranges, trie.LevelRange{
-				Col: bc.trie.Level(l),
-				Lo:  bc.loStack[l],
-				Hi:  bc.hiStack[l],
-			})
+			ranges = append(ranges, bc.trie.SegLevel(l, bc.segLo[l], bc.segHi[l]))
 		}
 		vals := trie.IntersectLevels(scratch[d][:0], ranges)
 		scratch[d] = vals
 		stats.IntersectValues += len(vals)
+		for _, bc := range cons {
+			if l := bc.levelOf[d]; l >= 0 {
+				bc.segCur[l] = bc.segLo[l]
+			}
+		}
 	valueLoop:
 		//wcojlint:nopoll one-shot backtracking entry: ctx is checked once before rec(0) and BacktrackOptions plumbs no stop flag; bounded by the (small) constraint-driven search space
 		for _, v := range vals {
@@ -286,11 +296,15 @@ func backtrackVisit(q *Query, dc constraints.Set, opts BacktrackOptions, stats *
 				if l < 0 {
 					continue
 				}
-				lo, hi := bc.trie.Range(l, bc.loStack[l], bc.hiStack[l], v)
-				if lo >= hi {
+				s, ok := bc.trie.FindSegFrom(l, bc.segCur[l], bc.segHi[l], v)
+				if !ok {
+					bc.segCur[l] = s
 					continue valueLoop
 				}
-				bc.loStack[l+1], bc.hiStack[l+1] = lo, hi
+				bc.segCur[l] = s + 1
+				if l+1 < bc.trie.Depth() {
+					bc.segLo[l+1], bc.segHi[l+1] = bc.trie.Children(l, s)
+				}
 			}
 			if err := rec(d + 1); err != nil {
 				return err

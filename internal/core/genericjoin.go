@@ -160,17 +160,69 @@ func gjShardRun(p *Plan, budget *NodeBudget) shardRun {
 	}
 }
 
-// gjAtom is the per-atom, per-worker execution state of Generic-Join.
+// gjAtom is the per-atom, per-worker execution state of Generic-Join,
+// navigating the trie's CSR index by segment.
 type gjAtom struct {
 	trie *trie.Trie
 	// levelOf[d] is this atom's trie level bound when the global
 	// variable at depth d is bound, or -1 if the atom lacks that
 	// variable.
 	levelOf []int
-	// ranges[l] is the row range after binding the atom's first l
-	// variables; ranges[0] = [0, Len).
-	loStack []int
-	hiStack []int
+	// segLo/segHi[l] is the candidate segment range at trie level l
+	// after binding the atom's first l variables (the children span of
+	// the segment chosen at level l-1; the whole level for l = 0).
+	segLo []int
+	segHi []int
+	// segCur[l] is the narrowing cursor within [segLo[l], segHi[l]):
+	// each per-value sweep probes ascending values, so arm resets it to
+	// segLo once per sweep and every find gallops forward from the
+	// previous hit — amortized O(1) per probe. A level can be swept
+	// many times (once per combination of the other atoms' bindings),
+	// which is why the cursor is separate from segLo.
+	segCur []int
+	// segAt[l] is the segment chosen at level l by the current prefix;
+	// its row range (SegRows) is what the aggregate engine's products
+	// and memo keys are built from.
+	segAt []int
+}
+
+// reset re-arms the atom for a fresh search from the root.
+func (ga *gjAtom) reset() {
+	ga.segLo[0], ga.segHi[0] = 0, ga.trie.NumSegs(0)
+}
+
+// arm starts a fresh ascending sweep over the level-l candidates.
+func (ga *gjAtom) arm(l int) {
+	ga.segCur[l] = ga.segLo[l]
+}
+
+// bind locates v at trie level l within the candidate range, recording
+// the chosen segment and pushing its children span. It reports whether
+// v is present (it always is when v came from the level intersection).
+func (ga *gjAtom) bind(l int, v relation.Value) bool {
+	s, ok := ga.trie.FindSegFrom(l, ga.segCur[l], ga.segHi[l], v)
+	if !ok {
+		ga.segCur[l] = s
+		return false
+	}
+	ga.segCur[l] = s + 1
+	ga.segAt[l] = s
+	if l+1 < ga.trie.Depth() {
+		ga.segLo[l+1], ga.segHi[l+1] = ga.trie.Children(l, s)
+	}
+	return true
+}
+
+// rows returns the row range selected after this atom's first l
+// variables are bound: the whole relation for l = 0, the chosen
+// level-(l-1) segment's rows otherwise. The range sizes feed the
+// aggregate engine's suffix products and memo keys, byte-identical to
+// the row-stack ranges of the previous layout.
+func (ga *gjAtom) rows(l int) (lo, hi int) {
+	if l == 0 {
+		return 0, ga.trie.Len()
+	}
+	return ga.trie.SegRows(l-1, ga.segAt[l-1])
 }
 
 // gjWorker is the mutable state of one search goroutine: the per-atom
@@ -204,16 +256,30 @@ func newGJWorker(p *Plan, stats *Stats, emit func(relation.Tuple) error) *gjWork
 		emit:    emit,
 	}
 	for i, tr := range p.Tries {
+		k := tr.Depth()
+		idx := make([]int, 4*k)
 		ga := &gjAtom{
 			trie:    tr,
 			levelOf: p.LevelOf[i],
-			loStack: make([]int, tr.Depth()+1),
-			hiStack: make([]int, tr.Depth()+1),
+			segLo:   idx[:k:k],
+			segHi:   idx[k : 2*k : 2*k],
+			segCur:  idx[2*k : 3*k : 3*k],
+			segAt:   idx[3*k:],
 		}
-		ga.loStack[0], ga.hiStack[0] = 0, tr.Len()
+		ga.reset()
 		w.atoms[i] = ga
 	}
 	return w
+}
+
+// arm starts a fresh ascending per-value sweep at depth d: every
+// participating atom's narrowing cursor rewinds to its candidate
+// range's start.
+func (w *gjWorker) arm(d int) {
+	for _, ai := range w.plan.Participants[d] {
+		ga := w.atoms[ai]
+		ga.arm(ga.levelOf[d])
+	}
 }
 
 // rec is the Generic-Join recursion: intersect the participating
@@ -235,11 +301,7 @@ func (w *gjWorker) rec(d int) error {
 	for _, ai := range w.plan.Participants[d] {
 		ga := w.atoms[ai]
 		l := ga.levelOf[d]
-		w.ranges = append(w.ranges, trie.LevelRange{
-			Col: ga.trie.Level(l),
-			Lo:  ga.loStack[l],
-			Hi:  ga.hiStack[l],
-		})
+		w.ranges = append(w.ranges, ga.trie.SegLevel(l, ga.segLo[l], ga.segHi[l]))
 	}
 	vals := trie.IntersectLevels(w.scratch[d][:0], w.ranges)
 	w.scratch[d] = vals
@@ -252,18 +314,16 @@ func (w *gjWorker) rec(d int) error {
 // parallel engine calls it directly at depth 0 with one chunk of the
 // precomputed top-level intersection.
 func (w *gjWorker) iterate(d int, vals []relation.Value) error {
+	w.arm(d)
 	for _, v := range vals {
 		w.binding[w.plan.OutPos[d]] = v
 		ok := true
 		for _, ai := range w.plan.Participants[d] {
 			ga := w.atoms[ai]
-			l := ga.levelOf[d]
-			lo, hi := ga.trie.Range(l, ga.loStack[l], ga.hiStack[l], v)
-			if lo >= hi {
+			if !ga.bind(ga.levelOf[d], v) {
 				ok = false
 				break
 			}
-			ga.loStack[l+1], ga.hiStack[l+1] = lo, hi
 		}
 		if !ok {
 			continue // cannot happen: v came from the intersection

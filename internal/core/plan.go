@@ -223,7 +223,7 @@ func (p *Plan) TopValues(dst []relation.Value) []relation.Value {
 	ranges := make([]trie.LevelRange, 0, len(p.Participants[0]))
 	for _, ai := range p.Participants[0] {
 		tr := p.Tries[ai]
-		ranges = append(ranges, trie.LevelRange{Col: tr.Level(0), Lo: 0, Hi: tr.Len()})
+		ranges = append(ranges, tr.SegLevel(0, 0, tr.NumSegs(0)))
 	}
 	return trie.IntersectLevels(dst, ranges)
 }

@@ -170,11 +170,13 @@ func TestTrieCacheEmptyRelationsBounded(t *testing.T) {
 }
 
 // TestSetTrieCacheLimitShrink: shrinking the budget evicts down to it.
+// The per-entry charge (columns + CSR index + fixed overhead) is
+// measured from the cache rather than assumed, so the test holds for
+// any trie layout.
 func TestSetTrieCacheLimitShrink(t *testing.T) {
 	ResetTrieCache()
 	const n = 200
-	entryBytes := int64(n*2*8) + trieEntryOverhead
-	prev := SetTrieCacheLimit(8 * entryBytes)
+	prev := SetTrieCacheLimit(1 << 20)
 	defer func() {
 		SetTrieCacheLimit(prev)
 		ResetTrieCache()
@@ -184,8 +186,18 @@ func TestSetTrieCacheLimitShrink(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if bytes, _, _ := TrieCacheUsage(); bytes != 6*entryBytes {
-		t.Fatalf("resident = %d bytes, want %d", bytes, 6*entryBytes)
+	bytes, _, _ := TrieCacheUsage()
+	if _, _, size := TrieCacheStats(); size != 6 {
+		t.Fatalf("resident entries = %d, want 6", size)
+	}
+	// The six tries are identical in shape, so the resident bytes split
+	// evenly into per-entry charges.
+	entryBytes := bytes / 6
+	if bytes != 6*entryBytes {
+		t.Fatalf("resident %d bytes is not six equal entries", bytes)
+	}
+	if colsOnly := int64(n*2*8) + trieEntryOverhead; entryBytes <= colsOnly {
+		t.Fatalf("entry charge %d does not cover the CSR index (columns+overhead alone = %d)", entryBytes, colsOnly)
 	}
 	SetTrieCacheLimit(2 * entryBytes)
 	bytes, limit, _ := TrieCacheUsage()

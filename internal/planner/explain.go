@@ -55,6 +55,12 @@ type Explanation struct {
 	// depth from which the engines multiply subtree cardinalities
 	// instead of recursing (len(Order) when there is no such suffix).
 	CountFrom int
+	// Count, when non-nil, is the planning record of the aggregate
+	// pushdown plan Count runs for the same options: single-atom (or
+	// projected-away) variables sunk to the end of the order, each
+	// level classified bound / free-output / free-counted. It is nil
+	// when the caller disabled the pushdown.
+	Count *Explanation
 }
 
 // String renders the explanation in the -explain CLI format.
@@ -106,6 +112,10 @@ func (e *Explanation) String() string {
 			fmt.Fprintf(&b, "  worst: [%s] cost=%.3g (%.3gx the chosen order)\n",
 				strings.Join(e.Worst.Order, " "), e.Worst.Cost, e.Worst.Cost/e.Cost)
 		}
+	}
+	if e.Count != nil {
+		b.WriteString("count ")
+		b.WriteString(e.Count.String())
 	}
 	return b.String()
 }

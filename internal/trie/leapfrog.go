@@ -5,167 +5,165 @@ import (
 )
 
 // LevelRange is one participant in a multiway sorted intersection: a
-// column (with duplicates, ascending) restricted to rows [Lo,Hi).
+// dense, strictly increasing, duplicate-free key array restricted to
+// segments [Lo,Hi) — one trie level's segment keys within a parent's
+// children span (see Trie.SegLevel). Exactly one of Keys and Keys32 is
+// non-nil: wide tries expose Keys, uint32-narrowed tries Keys32.
 type LevelRange struct {
-	Col []relation.Value
-	Lo  int
-	Hi  int
+	Keys   []relation.Value
+	Keys32 []uint32
+	Lo     int
+	Hi     int
 }
 
-// Size returns the number of rows in the range.
+// Size returns the number of keys in the range.
 func (lr LevelRange) Size() int { return lr.Hi - lr.Lo }
 
-// IntersectLevels computes the sorted distinct values common to all
-// level ranges, appending to dst. It runs the classic leapfrog search:
-// repeatedly seek the minimum cursor up to the current maximum value,
-// emitting when all cursors agree. Per emitted or skipped value the
-// cost is O(k log N), so the total cost is proportional (up to logs) to
-// the smallest range — the intersection primitive Algorithm 1 and
-// Generic-Join assume.
+// key is the element type the intersection kernels are generic over:
+// wide (int64) trie keys or uint32-narrowed ones.
+type key interface {
+	~int64 | ~uint32
+}
+
+// span is a kernel-internal cursor over one key range; the kernels
+// advance lo in place.
+type span[K key] struct {
+	keys []K
+	lo   int
+	hi   int
+}
+
+// gallopRatio is the size skew at which a binary intersection switches
+// from the linear merge to galloping the small side through the large
+// one: with |small|*gallopRatio <= |large| the O(|small| log |large|)
+// gallop beats the O(|small|+|large|) merge by enough to pay for its
+// worse constant factor.
+const gallopRatio = 8
+
+// gallopLB returns the first index i in [lo,hi) with keys[i] >= v by
+// exponential probing from lo followed by a binary search over the
+// final block — O(1 + log jump) instead of O(log (hi-lo)), which is
+// what makes forward-moving cursors (leapfrog seeks, narrowing sweeps)
+// amortized cheap.
+func gallopLB[K key](keys []K, lo, hi int, v K) int {
+	if lo >= hi || keys[lo] >= v {
+		return lo
+	}
+	// Invariant: keys[i] < v.
+	i, step := lo, 1
+	for i+step < hi && keys[i+step] < v {
+		i += step
+		step <<= 1
+	}
+	j := i + step
+	if j > hi {
+		j = hi
+	}
+	lo, hi = i+1, j
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if keys[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// mixedWidth reports whether ranges mixes narrowed and wide key
+// arrays (possible when one query joins narrowed and wide relations).
+func mixedWidth(ranges []LevelRange) bool {
+	narrow := ranges[0].Keys32 != nil
+	for _, r := range ranges[1:] {
+		if (r.Keys32 != nil) != narrow {
+			return true
+		}
+	}
+	return false
+}
+
+// widenRanges converts every narrowed range to a wide copy — the
+// correctness-first slow path for mixed-width intersections.
+func widenRanges(ranges []LevelRange) []LevelRange {
+	out := make([]LevelRange, len(ranges))
+	for i, r := range ranges {
+		if r.Keys32 == nil {
+			out[i] = r
+			continue
+		}
+		w := make([]relation.Value, r.Hi-r.Lo)
+		for j := range w {
+			w[j] = relation.Value(r.Keys32[r.Lo+j])
+		}
+		out[i] = LevelRange{Keys: w, Lo: 0, Hi: len(w)}
+	}
+	return out
+}
+
+func toSpans64(ranges []LevelRange) []span[relation.Value] {
+	spans := make([]span[relation.Value], len(ranges))
+	for i, r := range ranges {
+		spans[i] = span[relation.Value]{keys: r.Keys, lo: r.Lo, hi: r.Hi}
+	}
+	return spans
+}
+
+func toSpans32(ranges []LevelRange) []span[uint32] {
+	spans := make([]span[uint32], len(ranges))
+	for i, r := range ranges {
+		spans[i] = span[uint32]{keys: r.Keys32, lo: r.Lo, hi: r.Hi}
+	}
+	return spans
+}
+
+// IntersectLevels computes the sorted values common to all level
+// ranges, appending to dst. Keys are duplicate-free, so the k = 1 case
+// is a bulk copy, k = 2 picks linear merge or galloping by size skew
+// (gallopRatio), and k >= 3 runs the leapfrog search with galloping
+// seeks. Per emitted or skipped value the cost is O(k log N), so the
+// total is proportional (up to logs) to the smallest range — the
+// intersection primitive Algorithm 1 and Generic-Join assume.
 func IntersectLevels(dst []relation.Value, ranges []LevelRange) []relation.Value {
 	k := len(ranges)
 	if k == 0 {
 		return dst
 	}
-	cur := make([]int, k)
-	for i, r := range ranges {
-		if r.Lo >= r.Hi {
-			return dst
-		}
-		cur[i] = r.Lo
-	}
-	if k == 1 {
-		r := ranges[0]
-		i := r.Lo
-		for i < r.Hi {
-			v := r.Col[i]
-			dst = append(dst, v)
-			i = upperBound(r.Col, i, r.Hi, v)
-		}
-		return dst
-	}
-	// p is the cursor we are about to move; max is the current largest
-	// key among cursors.
-	p := 0
-	max := ranges[k-1].Col[cur[k-1]]
-	// Start cursors at their first values and establish max.
 	for i := range ranges {
-		v := ranges[i].Col[cur[i]]
-		if v > max {
-			max = v
-		}
-	}
-	for {
-		r := ranges[p]
-		c := lowerBound(r.Col, cur[p], r.Hi, max)
-		if c >= r.Hi {
+		if ranges[i].Lo >= ranges[i].Hi {
 			return dst
 		}
-		v := r.Col[c]
-		cur[p] = c
-		if v == max {
-			// Check whether all cursors now sit on max.
-			all := true
-			for i := range ranges {
-				if ranges[i].Col[cur[i]] != max {
-					all = false
-					break
-				}
-			}
-			if all {
-				dst = append(dst, max)
-				// Advance every cursor past max.
-				for i := range ranges {
-					cur[i] = upperBound(ranges[i].Col, cur[i], ranges[i].Hi, max)
-					if cur[i] >= ranges[i].Hi {
-						return dst
-					}
-				}
-				max = ranges[0].Col[cur[0]]
-				for i := 1; i < k; i++ {
-					if w := ranges[i].Col[cur[i]]; w > max {
-						max = w
-					}
-				}
-				p = 0
-				continue
-			}
-		}
-		if v > max {
-			max = v
-		}
-		p = (p + 1) % k
 	}
+	if mixedWidth(ranges) {
+		return IntersectLevels(dst, widenRanges(ranges))
+	}
+	if ranges[0].Keys32 != nil {
+		return intersectSpans(dst, toSpans32(ranges))
+	}
+	return intersectSpans(dst, toSpans64(ranges))
 }
 
 // IntersectLevelsCount returns the size of the multiway intersection
 // without materializing its values — the tail level of a counting run
 // needs only the cardinality, so the append traffic of IntersectLevels
-// is pure waste there. Same leapfrog search, same cost bound.
+// is pure waste there. Same strategy selection, same cost bound.
 func IntersectLevelsCount(ranges []LevelRange) int {
 	k := len(ranges)
 	if k == 0 {
 		return 0
 	}
-	for _, r := range ranges {
-		if r.Lo >= r.Hi {
+	for i := range ranges {
+		if ranges[i].Lo >= ranges[i].Hi {
 			return 0
 		}
 	}
-	if k == 1 {
-		return DistinctCount(ranges[0].Col, ranges[0].Lo, ranges[0].Hi)
+	if mixedWidth(ranges) {
+		return IntersectLevelsCount(widenRanges(ranges))
 	}
-	cur := make([]int, k)
-	for i, r := range ranges {
-		cur[i] = r.Lo
+	if ranges[0].Keys32 != nil {
+		return countSpans(toSpans32(ranges))
 	}
-	n := 0
-	p := 0
-	max := ranges[k-1].Col[cur[k-1]]
-	for i := range ranges {
-		if v := ranges[i].Col[cur[i]]; v > max {
-			max = v
-		}
-	}
-	for {
-		r := ranges[p]
-		c := lowerBound(r.Col, cur[p], r.Hi, max)
-		if c >= r.Hi {
-			return n
-		}
-		v := r.Col[c]
-		cur[p] = c
-		if v == max {
-			all := true
-			for i := range ranges {
-				if ranges[i].Col[cur[i]] != max {
-					all = false
-					break
-				}
-			}
-			if all {
-				n++
-				for i := range ranges {
-					cur[i] = upperBound(ranges[i].Col, cur[i], ranges[i].Hi, max)
-					if cur[i] >= ranges[i].Hi {
-						return n
-					}
-				}
-				max = ranges[0].Col[cur[0]]
-				for i := 1; i < k; i++ {
-					if w := ranges[i].Col[cur[i]]; w > max {
-						max = w
-					}
-				}
-				p = 0
-				continue
-			}
-		}
-		if v > max {
-			max = v
-		}
-		p = (p + 1) % k
-	}
+	return countSpans(toSpans64(ranges))
 }
 
 // IntersectLevelsAny reports whether the multiway intersection is
@@ -176,53 +174,185 @@ func IntersectLevelsAny(ranges []LevelRange) bool {
 	if k == 0 {
 		return false
 	}
-	for _, r := range ranges {
-		if r.Lo >= r.Hi {
+	for i := range ranges {
+		if ranges[i].Lo >= ranges[i].Hi {
 			return false
 		}
 	}
 	if k == 1 {
 		return true
 	}
-	cur := make([]int, k)
-	for i, r := range ranges {
-		cur[i] = r.Lo
+	if mixedWidth(ranges) {
+		return IntersectLevelsAny(widenRanges(ranges))
 	}
-	p := 0
-	max := ranges[k-1].Col[cur[k-1]]
-	for i := range ranges {
-		if v := ranges[i].Col[cur[i]]; v > max {
-			max = v
-		}
+	if ranges[0].Keys32 != nil {
+		return anySpans(toSpans32(ranges))
 	}
-	for {
-		r := ranges[p]
-		c := lowerBound(r.Col, cur[p], r.Hi, max)
-		if c >= r.Hi {
-			return false
+	return anySpans(toSpans64(ranges))
+}
+
+// intersectSpans materializes the intersection; all spans are
+// non-empty.
+func intersectSpans[K key](dst []relation.Value, spans []span[K]) []relation.Value {
+	switch len(spans) {
+	case 1:
+		s := spans[0]
+		for i := s.lo; i < s.hi; i++ {
+			dst = append(dst, relation.Value(s.keys[i]))
 		}
-		v := r.Col[c]
-		cur[p] = c
-		if v == max {
-			all := true
-			for i := range ranges {
-				if ranges[i].Col[cur[i]] != max {
-					all = false
-					break
+		return dst
+	case 2:
+		a, b := spans[0], spans[1]
+		if a.hi-a.lo > b.hi-b.lo {
+			a, b = b, a
+		}
+		if (b.hi - b.lo) >= gallopRatio*(a.hi-a.lo) {
+			// Gallop the small side through the large one.
+			j := b.lo
+			for i := a.lo; i < a.hi; i++ {
+				v := a.keys[i]
+				j = gallopLB(b.keys, j, b.hi, v)
+				if j >= b.hi {
+					return dst
+				}
+				if b.keys[j] == v {
+					dst = append(dst, relation.Value(v))
+					j++
 				}
 			}
-			if all {
-				return true
+			return dst
+		}
+		// Linear merge of comparable sizes.
+		i, j := a.lo, b.lo
+		for i < a.hi && j < b.hi {
+			av, bv := a.keys[i], b.keys[j]
+			switch {
+			case av == bv:
+				dst = append(dst, relation.Value(av))
+				i++
+				j++
+			case av < bv:
+				i++
+			default:
+				j++
 			}
 		}
-		if v > max {
-			max = v
+		return dst
+	}
+	leapfrogUntil(spans, func(v K) bool {
+		dst = append(dst, relation.Value(v))
+		return false
+	})
+	return dst
+}
+
+// countSpans is the counting twin of intersectSpans.
+func countSpans[K key](spans []span[K]) int {
+	switch len(spans) {
+	case 1:
+		return spans[0].hi - spans[0].lo
+	case 2:
+		a, b := spans[0], spans[1]
+		if a.hi-a.lo > b.hi-b.lo {
+			a, b = b, a
 		}
-		p = (p + 1) % k
+		n := 0
+		if (b.hi - b.lo) >= gallopRatio*(a.hi-a.lo) {
+			j := b.lo
+			for i := a.lo; i < a.hi; i++ {
+				v := a.keys[i]
+				j = gallopLB(b.keys, j, b.hi, v)
+				if j >= b.hi {
+					return n
+				}
+				if b.keys[j] == v {
+					n++
+					j++
+				}
+			}
+			return n
+		}
+		i, j := a.lo, b.lo
+		for i < a.hi && j < b.hi {
+			av, bv := a.keys[i], b.keys[j]
+			switch {
+			case av == bv:
+				n++
+				i++
+				j++
+			case av < bv:
+				i++
+			default:
+				j++
+			}
+		}
+		return n
+	}
+	n := 0
+	leapfrogUntil(spans, func(K) bool {
+		n++
+		return false
+	})
+	return n
+}
+
+// anySpans short-circuits on the first common value; spans are
+// non-empty and len(spans) >= 2.
+func anySpans[K key](spans []span[K]) bool {
+	found := false
+	leapfrogUntil(spans, func(K) bool {
+		found = true
+		return true
+	})
+	return found
+}
+
+// leapfrogUntil is Veldhuizen's leapfrog search over the spans,
+// calling emit for every common key; cursors advance in place with
+// galloping seeks, so the cost per emitted or skipped key is
+// O(k + log jump). Spans must be non-empty. emit returns true to stop
+// early (EXISTS). The classic invariant: cursors are kept sorted by
+// current key starting from p; when the smallest equals the largest
+// all k agree.
+func leapfrogUntil[K key](spans []span[K], emit func(K) bool) {
+	k := len(spans)
+	// Insertion sort by current key (k is the number of atoms on this
+	// level — single digits).
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && spans[j].keys[spans[j].lo] < spans[j-1].keys[spans[j-1].lo]; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	p := 0
+	max := spans[k-1].keys[spans[k-1].lo]
+	for {
+		s := &spans[p]
+		x := s.keys[s.lo]
+		if x == max {
+			// All cursors agree on x.
+			if emit(x) {
+				return
+			}
+			s.lo++
+			if s.lo >= s.hi {
+				return
+			}
+			max = s.keys[s.lo]
+		} else {
+			s.lo = gallopLB(s.keys, s.lo, s.hi, max)
+			if s.lo >= s.hi {
+				return
+			}
+			max = s.keys[s.lo]
+		}
+		p++
+		if p == k {
+			p = 0
+		}
 	}
 }
 
-// SmallestRange returns the index of the range with the fewest rows,
+// SmallestRange returns the index of the range with the fewest keys,
 // used by variable-ordering heuristics.
 func SmallestRange(ranges []LevelRange) int {
 	best, arg := -1, -1
@@ -234,8 +364,10 @@ func SmallestRange(ranges []LevelRange) int {
 	return arg
 }
 
-// DistinctCount returns the number of distinct values in a column range
-// (by group-skipping, O(d log N) for d distinct values).
+// DistinctCount returns the number of distinct values in a raw column
+// range (by group-skipping, O(d log N) for d distinct values). Compat
+// helper over row-addressed columns; trie levels answer this in O(1)
+// via NumSegs/Children.
 func DistinctCount(col []relation.Value, lo, hi int) int {
 	n := 0
 	i := lo
@@ -246,7 +378,7 @@ func DistinctCount(col []relation.Value, lo, hi int) int {
 	return n
 }
 
-// Distinct appends the distinct values of a column range to dst.
+// Distinct appends the distinct values of a raw column range to dst.
 func Distinct(dst []relation.Value, col []relation.Value, lo, hi int) []relation.Value {
 	i := lo
 	for i < hi {

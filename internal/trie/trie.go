@@ -2,17 +2,28 @@
 // with the level-iterator interface (Open/Up/Next/Seek/Key) that
 // Veldhuizen's Leapfrog Triejoin is defined against.
 //
-// A trie is simply the relation's sorted columnar storage viewed as a
-// layered search tree: level d enumerates the distinct values of
-// attribute d within the row range selected by the values chosen at
-// levels 0..d-1. All navigation is binary search over column ranges, so
-// Seek costs O(log N) and iterating the distinct values of a level
-// costs O(log N) per value — which is what gives the Õ(min{|X|,|Y|})
-// intersection guarantee the paper's runtime analyses rely on.
+// A trie is the relation's sorted columnar storage viewed as a layered
+// search tree: level d enumerates the distinct values of attribute d
+// within the row range selected by the values chosen at levels 0..d-1.
+//
+// Since the columns are immutable, Build precomputes a flat CSR
+// (compressed sparse row) index over them: per level a dense array of
+// distinct segment keys plus int32 offset arrays mapping each segment
+// to its row range and to its children at the next level. Navigation
+// (Open, Next, CurrentRange, Children) is then O(1) array arithmetic,
+// and Seek/FindSegFrom are galloping searches over duplicate-free key
+// arrays — the repeated lowerBound/upperBound binary searches over raw
+// column ranges of the previous layout disappear from the hot paths.
+// When every value of the relation fits in uint32 the per-level key
+// arrays are narrowed to 4-byte keys, halving the memory bandwidth of
+// the intersection kernels in leapfrog.go. All index storage is
+// arena-allocated: one offsets slab and one keys slab per trie,
+// regardless of arity. See DESIGN.md §11.
 package trie
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wcoj/internal/relation"
@@ -20,11 +31,34 @@ import (
 
 // Trie is an immutable trie view over a relation sorted by a specific
 // attribute order.
+//
+// CSR index shape (k = arity, n = rows):
+//
+//   - segs[d] is the number of level-d segments (distinct prefixes of
+//     length d+1). At the deepest level segments are exactly rows
+//     (relations are duplicate-free sets), so segs[k-1] = n.
+//   - keys[d][s] (or keys32[d][s] when narrowed) is the level-d value
+//     of segment s — strictly increasing within any one parent's
+//     children span, duplicate-free. keys[k-1] aliases cols[k-1].
+//   - rowStart[d], for d < k-1, has segs[d]+1 entries: segment s spans
+//     rows [rowStart[d][s], rowStart[d][s+1]). Deepest-level segments
+//     are rows, so their row range is the identity (not stored).
+//   - childStart[d], for d < k-1, has segs[d]+1 entries: segment s's
+//     children at level d+1 are segments
+//     [childStart[d][s], childStart[d][s+1]). Level-(k-1) children are
+//     rows, so childStart[k-2] aliases rowStart[k-2].
 type Trie struct {
 	rel   *relation.Relation
 	attrs []string
 	cols  [][]relation.Value
 	n     int
+
+	segs       []int
+	keys       [][]relation.Value
+	keys32     [][]uint32
+	rowStart   [][]int32
+	childStart [][]int32
+	owned      int64 // arena bytes owned by the CSR index
 }
 
 // Build returns a trie over r with attributes in the given order. If
@@ -53,7 +87,157 @@ func Build(r *relation.Relation, order []string) (*Trie, error) {
 	for j := range cols {
 		cols[j] = r.Col(j)
 	}
-	return &Trie{rel: r, attrs: r.Attrs(), cols: cols, n: r.Len()}, nil
+	t := &Trie{rel: r, attrs: r.Attrs(), cols: cols, n: r.Len()}
+	if err := t.buildIndex(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// buildIndex computes the CSR arrays in two linear passes over the
+// already-sorted columns: one to find segment boundaries per level,
+// one to fill the arena-allocated offset and key slabs.
+func (t *Trie) buildIndex() error {
+	k := len(t.cols)
+	n := t.n
+	if k == 0 {
+		return nil
+	}
+	if n > math.MaxInt32 {
+		return fmt.Errorf("trie: relation of %d rows exceeds the int32 CSR offset range", n)
+	}
+	t.segs = make([]int, k)
+	t.segs[k-1] = n
+
+	// Segment start rows per level (excluding the deepest): a level-d
+	// boundary is a value change in column d or any boundary of level
+	// d-1 — boundaries nest, so each level is a merge-walk over the
+	// previous level's starts.
+	bounds := make([][]int32, k-1)
+	for d := 0; d < k-1; d++ {
+		col := t.cols[d]
+		var b []int32
+		if d == 0 {
+			b = make([]int32, 0, 16)
+			for i := 0; i < n; i++ {
+				if i == 0 || col[i] != col[i-1] {
+					b = append(b, int32(i))
+				}
+			}
+		} else {
+			prev := bounds[d-1]
+			b = make([]int32, 0, len(prev)+16)
+			pi := 0
+			for i := 0; i < n; i++ {
+				pb := pi < len(prev) && int(prev[pi]) == i
+				if pb {
+					pi++
+				}
+				if pb || col[i] != col[i-1] {
+					b = append(b, int32(i))
+				}
+			}
+		}
+		bounds[d] = b
+		t.segs[d] = len(b)
+	}
+
+	// Offset arena: rowStart for every non-deepest level plus
+	// childStart for levels with non-row children (childStart[k-2]
+	// aliases rowStart[k-2]).
+	totOff := 0
+	totKeys := 0
+	for d := 0; d < k-1; d++ {
+		totOff += t.segs[d] + 1
+		if d < k-2 {
+			totOff += t.segs[d] + 1
+		}
+		totKeys += t.segs[d]
+	}
+	offArena := make([]int32, totOff)
+	t.rowStart = make([][]int32, k)
+	t.childStart = make([][]int32, k)
+	off := 0
+	for d := 0; d < k-1; d++ {
+		m := t.segs[d]
+		rs := offArena[off : off+m+1 : off+m+1]
+		off += m + 1
+		copy(rs, bounds[d])
+		rs[m] = int32(n)
+		t.rowStart[d] = rs
+	}
+	for d := 0; d < k-2; d++ {
+		m := t.segs[d]
+		cs := offArena[off : off+m+1 : off+m+1]
+		off += m + 1
+		next := t.rowStart[d+1]
+		j := 0
+		for s := 0; s < m; s++ {
+			for next[j] != t.rowStart[d][s] {
+				j++
+			}
+			cs[s] = int32(j)
+		}
+		cs[m] = int32(t.segs[d+1])
+		t.childStart[d] = cs
+	}
+	if k >= 2 {
+		t.childStart[k-2] = t.rowStart[k-2]
+	}
+
+	// Key slabs. Narrow to uint32 when every value of every column is
+	// representable (values can be negative: raw integer columns are
+	// stored verbatim, only Dict-interned IDs are dense non-negative).
+	narrow := true
+	for _, col := range t.cols {
+		for _, v := range col {
+			if v < 0 || v > math.MaxUint32 {
+				narrow = false
+				break
+			}
+		}
+		if !narrow {
+			break
+		}
+	}
+	if narrow {
+		arena := make([]uint32, totKeys+n)
+		t.keys32 = make([][]uint32, k)
+		koff := 0
+		for d := 0; d < k-1; d++ {
+			m := t.segs[d]
+			ks := arena[koff : koff+m : koff+m]
+			koff += m
+			col := t.cols[d]
+			for s := 0; s < m; s++ {
+				ks[s] = uint32(col[t.rowStart[d][s]])
+			}
+			t.keys32[d] = ks
+		}
+		last := arena[koff : koff+n : koff+n]
+		for i, v := range t.cols[k-1] {
+			last[i] = uint32(v)
+		}
+		t.keys32[k-1] = last
+		t.owned = int64(totOff)*4 + int64(totKeys+n)*4
+	} else {
+		arena := make([]relation.Value, totKeys)
+		t.keys = make([][]relation.Value, k)
+		koff := 0
+		for d := 0; d < k-1; d++ {
+			m := t.segs[d]
+			ks := arena[koff : koff+m : koff+m]
+			koff += m
+			col := t.cols[d]
+			for s := 0; s < m; s++ {
+				ks[s] = col[t.rowStart[d][s]]
+			}
+			t.keys[d] = ks
+		}
+		t.keys[k-1] = t.cols[k-1] // aliases the column: rows are segments
+		t.owned = int64(totOff)*4 + int64(totKeys)*8
+	}
+	return nil
 }
 
 // Attrs returns the trie's attribute order.
@@ -68,12 +252,95 @@ func (t *Trie) Len() int { return t.n }
 // Relation returns the (possibly re-sorted) relation backing the trie.
 func (t *Trie) Relation() *relation.Relation { return t.rel }
 
-// SizeBytes estimates the heap footprint of the trie's columnar
-// storage (tuples x arity x 8-byte values). When Build shared the
-// relation's native storage the estimate still charges the full
-// columns — the cache that budgets by SizeBytes pins them either way.
+// Narrowed reports whether the trie's key arrays were narrowed to
+// uint32 (every value of the relation is in [0, 2^32)).
+func (t *Trie) Narrowed() bool { return t.keys32 != nil }
+
+// SizeBytes estimates the heap footprint the trie pins: the columnar
+// storage (tuples x arity x 8-byte values — charged in full even when
+// Build shared the relation's native storage, since the cache that
+// budgets by SizeBytes pins it either way) plus the owned CSR index
+// arenas (offset arrays and dense, possibly uint32-narrowed, key
+// slabs).
 func (t *Trie) SizeBytes() int64 {
-	return int64(t.n) * int64(len(t.cols)) * 8
+	return int64(t.n)*int64(len(t.cols))*8 + t.owned
+}
+
+// NumSegs returns the number of segments (distinct values) at level d
+// under the root — for level 0 that is the number of distinct top
+// values; deeper levels count distinct prefixes of length d+1.
+func (t *Trie) NumSegs(d int) int { return t.segs[d] }
+
+// SegKey returns the level-d value of segment s.
+func (t *Trie) SegKey(d, s int) relation.Value {
+	if t.keys32 != nil {
+		return relation.Value(t.keys32[d][s])
+	}
+	return t.keys[d][s]
+}
+
+// SegRows returns the row range [lo,hi) of level-d segment s.
+func (t *Trie) SegRows(d, s int) (lo, hi int) {
+	if d == len(t.cols)-1 {
+		return s, s + 1
+	}
+	rs := t.rowStart[d]
+	return int(rs[s]), int(rs[s+1])
+}
+
+// Children returns the segment index range [lo,hi) of level-d segment
+// s's children at level d+1.
+func (t *Trie) Children(d, s int) (lo, hi int) {
+	cs := t.childStart[d]
+	return int(cs[s]), int(cs[s+1])
+}
+
+// SegLevel returns the intersection view of level d restricted to
+// segments [lo,hi) — a parent's children span, or the whole level for
+// d = 0. The keys are dense, strictly increasing and duplicate-free,
+// which is what the kernels in leapfrog.go assume.
+func (t *Trie) SegLevel(d, lo, hi int) LevelRange {
+	if t.keys32 != nil {
+		return LevelRange{Keys32: t.keys32[d], Lo: lo, Hi: hi}
+	}
+	return LevelRange{Keys: t.keys[d], Lo: lo, Hi: hi}
+}
+
+// FindSegFrom locates v among the level-d segments [from,hi) by a
+// galloping search from the left edge. It returns the lower-bound
+// position and whether the segment at it holds exactly v. Callers that
+// probe ascending values pass the previous hit's successor as from, so
+// a whole narrowing sweep costs amortized O(1) per probe (plus log of
+// the jump); the engines' per-value Range binary searches of the
+// previous layout cost O(log n) each.
+func (t *Trie) FindSegFrom(d, from, hi int, v relation.Value) (int, bool) {
+	if t.keys32 != nil {
+		if uint64(v) > math.MaxUint32 { // negative or too wide: absent
+			return from, false
+		}
+		w := uint32(v)
+		ks := t.keys32[d]
+		s := gallopLB(ks, from, hi, w)
+		return s, s < hi && ks[s] == w
+	}
+	ks := t.keys[d]
+	s := gallopLB(ks, from, hi, v)
+	return s, s < hi && ks[s] == v
+}
+
+// seekSeg returns the first segment in [from,hi) with key >= v,
+// galloping from the current position (the leapfrog seek pattern).
+func (t *Trie) seekSeg(d, from, hi int, v relation.Value) int {
+	if t.keys32 != nil {
+		if v < 0 {
+			return from
+		}
+		if v > math.MaxUint32 {
+			return hi
+		}
+		return gallopLB(t.keys32[d], from, hi, uint32(v))
+	}
+	return gallopLB(t.keys[d], from, hi, v)
 }
 
 // lowerBound returns the first index i in [lo,hi) with col[i] >= v.
@@ -87,7 +354,9 @@ func upperBound(col []relation.Value, lo, hi int, v relation.Value) int {
 }
 
 // Range restricts rows [lo,hi) at level d to those whose level-d value
-// equals v, returning the sub-range.
+// equals v, returning the sub-range. This is the row-addressed compat
+// surface (binary search over the raw column); the engines navigate by
+// segment (FindSegFrom/Children) instead.
 func (t *Trie) Range(d, lo, hi int, v relation.Value) (int, int) {
 	col := t.cols[d]
 	nlo := lowerBound(col, lo, hi, v)
@@ -95,34 +364,37 @@ func (t *Trie) Range(d, lo, hi int, v relation.Value) (int, int) {
 	return nlo, nhi
 }
 
-// Level exposes the column of level d; used by the leapfrog
-// intersection helpers.
+// Level exposes the raw column of level d (with duplicates); retained
+// for diagnostics and tests. Intersection kernels work on the dense
+// segment keys via SegLevel.
 func (t *Trie) Level(d int) []relation.Value { return t.cols[d] }
 
 // Iterator is a cursor over a Trie implementing the LFTJ trie-iterator
 // contract. A fresh iterator sits at the (virtual) root; Open descends
-// one level, positioning at that level's first distinct value.
+// one level, positioning at that level's first distinct value. The
+// cursor state is a segment index per level, so Open/Next/Key and the
+// row-range accessors are O(1) array reads and Seek is a galloping
+// search forward over the duplicate-free segment keys.
 type Iterator struct {
 	t *Trie
-	// Per open level d (0-based): the current value occupies rows
-	// [segStart[d], segEnd[d]); the parent's row range ends at end[d].
-	depth    int // -1 at root
-	segStart []int
-	segEnd   []int
-	end      []int
-	atEnd    []bool
+	// Per open level d: the cursor sits on segment seg[d]; the
+	// parent's children span ends at segment end[d] (exclusive).
+	depth int // -1 at root
+	seg   []int
+	end   []int
+	atEnd []bool
 }
 
 // NewIterator returns an iterator at the root of t.
 func NewIterator(t *Trie) *Iterator {
 	k := t.Depth()
+	idx := make([]int, 2*k)
 	return &Iterator{
-		t:        t,
-		depth:    -1,
-		segStart: make([]int, k),
-		segEnd:   make([]int, k),
-		end:      make([]int, k),
-		atEnd:    make([]bool, k),
+		t:     t,
+		depth: -1,
+		seg:   idx[:k:k],
+		end:   idx[k:],
+		atEnd: make([]bool, k),
 	}
 }
 
@@ -137,21 +409,18 @@ func (it *Iterator) Open() {
 		panic("trie: Open below the deepest level")
 	}
 	var lo, hi int
-	if d == 0 {
-		lo, hi = 0, it.t.n
-	} else {
-		lo, hi = it.segStart[d-1], it.segEnd[d-1]
+	switch {
+	case d == 0:
+		lo, hi = 0, it.t.segs[0]
+	case it.atEnd[d-1]:
+		lo, hi = 0, 0
+	default:
+		lo, hi = it.t.Children(d-1, it.seg[d-1])
 	}
 	it.depth = d
-	it.segStart[d] = lo
+	it.seg[d] = lo
 	it.end[d] = hi
-	if lo >= hi {
-		it.atEnd[d] = true
-		it.segEnd[d] = lo
-		return
-	}
-	it.atEnd[d] = false
-	it.segEnd[d] = upperBound(it.t.cols[d], lo, hi, it.t.cols[d][lo])
+	it.atEnd[d] = lo >= hi
 }
 
 // Up ascends one level.
@@ -172,7 +441,7 @@ func (it *Iterator) Key() relation.Value {
 	if it.atEnd[d] {
 		panic("trie: Key at end")
 	}
-	return it.t.cols[d][it.segStart[d]]
+	return it.t.SegKey(d, it.seg[d])
 }
 
 // Next advances to the next distinct value at the current level.
@@ -181,27 +450,24 @@ func (it *Iterator) Next() {
 	if it.atEnd[d] {
 		return
 	}
-	it.segStart[d] = it.segEnd[d]
-	if it.segStart[d] >= it.end[d] {
+	it.seg[d]++
+	if it.seg[d] >= it.end[d] {
 		it.atEnd[d] = true
-		return
 	}
-	it.segEnd[d] = upperBound(it.t.cols[d], it.segStart[d], it.end[d], it.t.cols[d][it.segStart[d]])
 }
 
-// Seek positions the level at the least value >= v, or at-end.
+// Seek positions the level at the least value >= v, or at-end. Seeks
+// gallop forward from the current position, so a leapfrog pass over a
+// level costs amortized O(1 + log jump) per seek.
 func (it *Iterator) Seek(v relation.Value) {
 	d := it.depth
 	if it.atEnd[d] {
 		return
 	}
-	lo := lowerBound(it.t.cols[d], it.segStart[d], it.end[d], v)
-	it.segStart[d] = lo
-	if lo >= it.end[d] {
+	it.seg[d] = it.t.seekSeg(d, it.seg[d], it.end[d], v)
+	if it.seg[d] >= it.end[d] {
 		it.atEnd[d] = true
-		return
 	}
-	it.segEnd[d] = upperBound(it.t.cols[d], lo, it.end[d], it.t.cols[d][lo])
 }
 
 // CurrentRange returns the row range [lo,hi) of the current value at
@@ -209,7 +475,7 @@ func (it *Iterator) Seek(v relation.Value) {
 // subtree under the current value.
 func (it *Iterator) CurrentRange() (lo, hi int) {
 	d := it.depth
-	return it.segStart[d], it.segEnd[d]
+	return it.t.SegRows(d, it.seg[d])
 }
 
 // RangeAt returns the row range [lo,hi) of the current value at an
@@ -218,5 +484,5 @@ func (it *Iterator) CurrentRange() (lo, hi int) {
 // are explored, so aggregate operators read a parent's bound range
 // through RangeAt while the leapfrog loop is mid-flight below it.
 func (it *Iterator) RangeAt(level int) (lo, hi int) {
-	return it.segStart[level], it.segEnd[level]
+	return it.t.SegRows(level, it.seg[level])
 }

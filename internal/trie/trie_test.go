@@ -178,13 +178,13 @@ func TestCurrentRangeAndRange(t *testing.T) {
 }
 
 func TestIntersectLevels(t *testing.T) {
-	a := []relation.Value{1, 1, 2, 3, 5, 5, 7}
-	b := []relation.Value{2, 3, 3, 4, 7, 8}
+	a := []relation.Value{1, 2, 3, 5, 7}
+	b := []relation.Value{2, 3, 4, 7, 8}
 	c := []relation.Value{0, 3, 7, 9}
 	got := IntersectLevels(nil, []LevelRange{
-		{Col: a, Lo: 0, Hi: len(a)},
-		{Col: b, Lo: 0, Hi: len(b)},
-		{Col: c, Lo: 0, Hi: len(c)},
+		{Keys: a, Lo: 0, Hi: len(a)},
+		{Keys: b, Lo: 0, Hi: len(b)},
+		{Keys: c, Lo: 0, Hi: len(c)},
 	})
 	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
 		t.Fatalf("got %v, want [3 7]", got)
@@ -192,10 +192,10 @@ func TestIntersectLevels(t *testing.T) {
 }
 
 func TestIntersectLevelsSingle(t *testing.T) {
-	a := []relation.Value{1, 1, 2, 2, 2, 9}
-	got := IntersectLevels(nil, []LevelRange{{Col: a, Lo: 0, Hi: len(a)}})
+	a := []relation.Value{1, 2, 9}
+	got := IntersectLevels(nil, []LevelRange{{Keys: a, Lo: 0, Hi: len(a)}})
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 9 {
-		t.Fatalf("distinct of single range: %v", got)
+		t.Fatalf("single range copies its keys: %v", got)
 	}
 }
 
@@ -205,16 +205,16 @@ func TestIntersectLevelsEmptyCases(t *testing.T) {
 	}
 	a := []relation.Value{1, 2}
 	got := IntersectLevels(nil, []LevelRange{
-		{Col: a, Lo: 0, Hi: 2},
-		{Col: a, Lo: 1, Hi: 1}, // empty range
+		{Keys: a, Lo: 0, Hi: 2},
+		{Keys: a, Lo: 1, Hi: 1}, // empty range
 	})
 	if len(got) != 0 {
 		t.Fatalf("intersection with empty range: %v", got)
 	}
 	// Disjoint.
 	got = IntersectLevels(nil, []LevelRange{
-		{Col: []relation.Value{1, 2}, Lo: 0, Hi: 2},
-		{Col: []relation.Value{3, 4}, Lo: 0, Hi: 2},
+		{Keys: []relation.Value{1, 2}, Lo: 0, Hi: 2},
+		{Keys: []relation.Value{3, 4}, Lo: 0, Hi: 2},
 	})
 	if len(got) != 0 {
 		t.Fatalf("disjoint intersection: %v", got)
@@ -233,7 +233,8 @@ func TestDistinctHelpers(t *testing.T) {
 	if len(d) != 3 || d[0] != 1 || d[1] != 2 || d[2] != 5 {
 		t.Fatalf("Distinct = %v", d)
 	}
-	if i := SmallestRange([]LevelRange{{Col: col, Lo: 0, Hi: 6}, {Col: col, Lo: 0, Hi: 2}}); i != 1 {
+	keys := []relation.Value{1, 2, 3, 4, 5, 6}
+	if i := SmallestRange([]LevelRange{{Keys: keys, Lo: 0, Hi: 6}, {Keys: keys, Lo: 0, Hi: 2}}); i != 1 {
 		t.Fatalf("SmallestRange = %d", i)
 	}
 	if i := SmallestRange(nil); i != -1 {
@@ -242,7 +243,7 @@ func TestDistinctHelpers(t *testing.T) {
 }
 
 // Property: IntersectLevels over full ranges equals the set
-// intersection of distinct values.
+// intersection of the key sets.
 func TestPropertyIntersectLevels(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -251,19 +252,20 @@ func TestPropertyIntersectLevels(t *testing.T) {
 		sets := make([]map[relation.Value]bool, k)
 		for i := 0; i < k; i++ {
 			n := rng.Intn(60)
-			col := make([]relation.Value, n)
 			sets[i] = make(map[relation.Value]bool)
 			for j := 0; j < n; j++ {
-				v := relation.Value(rng.Intn(30))
-				col[j] = v
-				sets[i][v] = true
+				sets[i][relation.Value(rng.Intn(30))] = true
+			}
+			col := make([]relation.Value, 0, len(sets[i]))
+			for v := range sets[i] {
+				col = append(col, v)
 			}
 			sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
 			cols[i] = col
 		}
 		ranges := make([]LevelRange, k)
 		for i := range cols {
-			ranges[i] = LevelRange{Col: cols[i], Lo: 0, Hi: len(cols[i])}
+			ranges[i] = LevelRange{Keys: cols[i], Lo: 0, Hi: len(cols[i])}
 		}
 		got := IntersectLevels(nil, ranges)
 		var want []relation.Value

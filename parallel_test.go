@@ -105,6 +105,13 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v serial: %v", name, algo, err)
 			}
+			serialN, serialCountStats, err := Count(q, Options{Algorithm: algo, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s/%v serial count: %v", name, algo, err)
+			}
+			if serialN != serialOut.Len() {
+				t.Fatalf("%s/%v: serial Count %d vs Execute %d", name, algo, serialN, serialOut.Len())
+			}
 			for _, p := range parallelisms {
 				t.Run(fmt.Sprintf("%s/%v/p=%d", name, algo, p), func(t *testing.T) {
 					opts := Options{Algorithm: algo, Parallelism: p}
@@ -125,8 +132,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 					if n != serialOut.Len() {
 						t.Fatalf("parallel Count %d vs %d", n, serialOut.Len())
 					}
-					if *cstats != *serialStats {
-						t.Errorf("count stats diverge: %+v vs %+v", *cstats, *serialStats)
+					if *cstats != *serialCountStats {
+						t.Errorf("count stats diverge: %+v vs %+v", *cstats, *serialCountStats)
 					}
 				})
 			}

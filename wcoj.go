@@ -38,6 +38,7 @@
 package wcoj
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -108,7 +109,7 @@ type (
 	LevelClass = agg.Class
 )
 
-// Level classes reported by ExplainCount and projection Explain plans.
+// Level classes reported by Explain's count plan and projection plans.
 const (
 	ClassBound       = agg.Bound
 	ClassFreeOutput  = agg.FreeOutput
@@ -289,6 +290,26 @@ type Options struct {
 	// extensions costs the same as one with a single extension. The
 	// other algorithms materialize the full result and project it.
 	Project []string
+	// Context, when non-nil, cancels an in-flight run: the free
+	// functions (Execute, ExecuteFunc, Count, Exists) hand it to the
+	// AlgoGenericJoin and AlgoLeapfrog search workers, which poll it
+	// every 256 search nodes and unwind promptly with ctx.Err() — the
+	// same machinery the DB/PreparedQuery entry points drive through
+	// their explicit ctx parameter (see ExampleOptions_context). The
+	// other algorithms have no in-search polling; for them the context
+	// is checked once before the run starts. DB.Prepare ignores this
+	// field: per-call cancellation of a prepared query comes from the
+	// ctx argument of each execution method.
+	Context context.Context
+	// DisablePushdown makes Count enumerate every result tuple instead
+	// of running the aggregate-aware pushdown plan (sunk single-atom
+	// variables, free-counted suffix, per-prefix memo — see the Count
+	// documentation). The results are identical; the escape hatch
+	// exists for debugging and for A/B measurement of the pushdown
+	// itself. It does not affect distinct projected counting (Project
+	// set), which is inherently aggregate-aware, and is ignored by the
+	// non-WCOJ algorithms, which never push aggregates down.
+	DisablePushdown bool
 }
 
 // workers resolves Options.Parallelism to a concrete worker count.
@@ -404,6 +425,9 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 	if err := opts.validateProject(q); err != nil {
 		return nil, nil, err
 	}
+	if err := core.CtxErr(opts.Context); err != nil {
+		return nil, nil, err
+	}
 	if opts.Project != nil {
 		return executeProjected(q, opts)
 	}
@@ -413,13 +437,13 @@ func Execute(q *Query, opts Options) (*Relation, *Stats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return core.GenericJoin(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()})
+		return core.GenericJoin(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context})
 	case AlgoLeapfrog:
 		pol, err := opts.orderPolicy()
 		if err != nil {
 			return nil, nil, err
 		}
-		return lftj.Join(q, lftj.Options{Policy: pol, Parallelism: opts.workers()})
+		return lftj.Join(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context})
 	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
@@ -473,9 +497,9 @@ func projectVisit(q *Query, opts Options, stats *Stats, emit func(Tuple) error) 
 		return err
 	}
 	if opts.Algorithm == AlgoLeapfrog {
-		return lftj.ProjectVisit(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, opts.Project, stats, emit)
+		return lftj.ProjectVisit(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, opts.Project, stats, emit)
 	}
-	return core.GenericJoinProjectVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, opts.Project, stats, emit)
+	return core.GenericJoinProjectVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, opts.Project, stats, emit)
 }
 
 // ExecuteFunc evaluates the query, streaming each result tuple to emit
@@ -503,6 +527,9 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 	if err := opts.validateProject(q); err != nil {
 		return nil, err
 	}
+	if err := core.CtxErr(opts.Context); err != nil {
+		return nil, err
+	}
 	if opts.Project != nil {
 		switch opts.Algorithm {
 		case AlgoGenericJoin, AlgoLeapfrog:
@@ -526,7 +553,7 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 			return nil, err
 		}
 		n := 0
-		err = core.GenericJoinVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, stats,
+		err = core.GenericJoinVisit(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, stats,
 			func(t Tuple) error { n++; return emit(t) })
 		if err != nil {
 			return nil, err
@@ -539,7 +566,7 @@ func ExecuteFunc(q *Query, opts Options, emit func(Tuple) error) (*Stats, error)
 			return nil, err
 		}
 		n := 0
-		err = lftj.Visit(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, stats,
+		err = lftj.Visit(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, stats,
 			func(t Tuple) error { n++; return emit(t) })
 		if err != nil {
 			return nil, err
@@ -582,15 +609,25 @@ func replayRelation(q *Query, opts Options, emit func(Tuple) error) (*Stats, err
 	return stats, nil
 }
 
-// Count evaluates the query returning only the output cardinality.
-// The WCOJ algorithms (AlgoGenericJoin, AlgoLeapfrog, AlgoBacktracking)
-// stream: they count without materializing the result or, under
-// parallelism, buffering any tuples — but they still enumerate every
-// result tuple to count it; CountFast skips the enumeration the count
-// does not need. The binary-join baselines have no streaming mode —
-// for AlgoBinaryJoin and AlgoBinaryJoinProject Count materializes the
-// full output via Execute and returns its length. With Options.Project
-// set, Count counts the distinct projected tuples.
+// Count evaluates the query returning only the output cardinality —
+// full multiplicity with a nil Options.Project, distinct projected
+// tuples otherwise.
+//
+// For AlgoGenericJoin and AlgoLeapfrog, Count runs the aggregate-aware
+// pushdown plan by default: each plan level is classified (see
+// PlanExplanation.Count), variables occurring in a single atom are
+// sunk to the end of the variable order — where the number of
+// extensions is the product of the atoms' current row-range sizes
+// (relations are duplicate-free sets) — the deepest searched level
+// contributes its intersection size without recursing, and a
+// per-(trie,prefix) memo counts shared suffixes once. Setting
+// Options.DisablePushdown falls back to enumerating (never
+// materializing) every result tuple; the two agree at every
+// Parallelism setting and under every planner policy.
+//
+// AlgoBacktracking counts its stream serially. The binary-join
+// baselines have no streaming mode: Count materializes their full
+// output via Execute and returns its length.
 func Count(q *Query, opts Options) (int, *Stats, error) {
 	if err := opts.validatePlanner(); err != nil {
 		return 0, nil, err
@@ -598,35 +635,48 @@ func Count(q *Query, opts Options) (int, *Stats, error) {
 	if err := opts.validateProject(q); err != nil {
 		return 0, nil, err
 	}
-	if opts.Project != nil {
-		switch opts.Algorithm {
-		case AlgoGenericJoin, AlgoLeapfrog:
-			// Distinct projected counting is inherently aggregate-aware:
-			// there is no slower enumerate-every-multiplicity variant
-			// worth preserving.
-			return CountFast(q, opts)
-		default:
+	if err := core.CtxErr(opts.Context); err != nil {
+		return 0, nil, err
+	}
+	switch opts.Algorithm {
+	case AlgoGenericJoin, AlgoLeapfrog:
+		// Distinct projected counting is inherently aggregate-aware,
+		// so DisablePushdown only governs the multiplicity count.
+		if opts.Project == nil && opts.DisablePushdown {
+			pol, err := opts.orderPolicy()
+			if err != nil {
+				return 0, nil, err
+			}
+			if opts.Algorithm == AlgoLeapfrog {
+				return lftj.Count(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context})
+			}
+			return core.GenericJoinCount(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context})
+		}
+		spec := agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
+		pol, err := opts.orderPolicyFor(&spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		if opts.Algorithm == AlgoLeapfrog {
+			n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, spec)
+			if err != nil {
+				return 0, nil, err
+			}
+			return int(n), stats, nil
+		}
+		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		return int(n), stats, nil
+	case AlgoBacktracking:
+		if opts.Project != nil {
 			out, stats, err := Execute(q, opts)
 			if err != nil {
 				return 0, nil, err
 			}
 			return out.Len(), stats, nil
 		}
-	}
-	switch opts.Algorithm {
-	case AlgoGenericJoin:
-		pol, err := opts.orderPolicy()
-		if err != nil {
-			return 0, nil, err
-		}
-		return core.GenericJoinCount(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()})
-	case AlgoLeapfrog:
-		pol, err := opts.orderPolicy()
-		if err != nil {
-			return 0, nil, err
-		}
-		return lftj.Count(q, lftj.Options{Policy: pol, Parallelism: opts.workers()})
-	case AlgoBacktracking:
 		dc, err := backtrackConstraints(q, opts.Constraints)
 		if err != nil {
 			return 0, nil, err
@@ -642,60 +692,15 @@ func Count(q *Query, opts Options) (int, *Stats, error) {
 	return 0, nil, fmt.Errorf("wcoj: unknown algorithm %v", opts.Algorithm)
 }
 
-// CountFast evaluates COUNT with the aggregate-aware engines. Where
-// Count enumerates every result tuple to count it, CountFast
-// classifies each plan level (see PlanExplanation.Classes, reported by
-// ExplainCount) and skips the enumeration work the count does not
-// need: variables occurring in a single atom are sunk to the end of
-// the variable order, where the number of extensions is the product of
-// the atoms' current row-range sizes (relations are duplicate-free
-// sets); the deepest searched level contributes its intersection size
-// without recursing; and a per-(trie,prefix) memo counts shared
-// suffixes once. The result is identical to Count — full multiplicity
-// with a nil Options.Project, distinct projected tuples otherwise — at
-// every Parallelism setting and under every planner policy.
+// CountFast evaluates COUNT with the aggregate-aware engines.
 //
-// CountFast applies to AlgoGenericJoin and AlgoLeapfrog; the other
-// algorithms fall back to Count.
+// Deprecated: Count runs the aggregate pushdown automatically; call
+// Count instead. CountFast remains as a thin wrapper that forces the
+// pushdown on (it predates — and therefore ignores —
+// Options.DisablePushdown).
 func CountFast(q *Query, opts Options) (int, *Stats, error) {
-	if err := opts.validatePlanner(); err != nil {
-		return 0, nil, err
-	}
-	if err := opts.validateProject(q); err != nil {
-		return 0, nil, err
-	}
-	spec := agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
-	switch opts.Algorithm {
-	case AlgoGenericJoin:
-		pol, err := opts.orderPolicyFor(&spec)
-		if err != nil {
-			return 0, nil, err
-		}
-		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, spec)
-		if err != nil {
-			return 0, nil, err
-		}
-		return int(n), stats, nil
-	case AlgoLeapfrog:
-		pol, err := opts.orderPolicyFor(&spec)
-		if err != nil {
-			return 0, nil, err
-		}
-		n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, spec)
-		if err != nil {
-			return 0, nil, err
-		}
-		return int(n), stats, nil
-	default:
-		if opts.Project != nil {
-			out, stats, err := Execute(q, opts)
-			if err != nil {
-				return 0, nil, err
-			}
-			return out.Len(), stats, nil
-		}
-		return Count(q, opts)
-	}
+	opts.DisablePushdown = false
+	return Count(q, opts)
 }
 
 // errFirstWitness aborts ExecuteFunc once Exists has its answer.
@@ -719,6 +724,9 @@ func Exists(q *Query, opts Options) (bool, *Stats, error) {
 	if err := opts.validateProject(q); err != nil {
 		return false, nil, err
 	}
+	if err := core.CtxErr(opts.Context); err != nil {
+		return false, nil, err
+	}
 	spec := agg.Spec{Mode: agg.ModeExists}
 	switch opts.Algorithm {
 	case AlgoGenericJoin:
@@ -726,14 +734,14 @@ func Exists(q *Query, opts Options) (bool, *Stats, error) {
 		if err != nil {
 			return false, nil, err
 		}
-		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers()}, spec)
+		n, stats, err := core.GenericJoinAgg(q, core.GenericJoinOptions{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, spec)
 		return n != 0, stats, err
 	case AlgoLeapfrog:
 		pol, err := opts.orderPolicyFor(&spec)
 		if err != nil {
 			return false, nil, err
 		}
-		n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers()}, spec)
+		n, stats, err := lftj.Agg(q, lftj.Options{Policy: pol, Parallelism: opts.workers(), Ctx: opts.Context}, spec)
 		return n != 0, stats, err
 	default:
 		full := opts
@@ -790,6 +798,13 @@ func backtrackConstraints(q *Query, dc ConstraintSet) (ConstraintSet, error) {
 // With Options.Project set the plan is the projected enumeration's:
 // projected-away variables are sunk and the explanation reports each
 // level's bound/free-output/free-counted classification.
+//
+// The returned explanation also carries the count plan: its Count
+// field is the planning record of the aggregate pushdown Count would
+// run under the same options — which levels are searched (bound),
+// which are enumerated into the output (free-output) and which are
+// counted by range multiplication without being searched
+// (free-counted). It is nil with Options.DisablePushdown set.
 func Explain(q *Query, opts Options) (*PlanExplanation, error) {
 	popt, err := opts.plannerOptions()
 	if err != nil {
@@ -801,15 +816,29 @@ func Explain(q *Query, opts Options) (*PlanExplanation, error) {
 		}
 		popt.Agg = &agg.Spec{Mode: agg.ModeEnumerate, Project: opts.Project}
 	}
-	return planner.Choose(q, popt)
+	e, err := planner.Choose(q, popt)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisablePushdown {
+		cpopt, err := opts.plannerOptions()
+		if err != nil {
+			return nil, err
+		}
+		cpopt.Agg = &agg.Spec{Mode: agg.ModeCount, Project: opts.Project}
+		ce, err := planner.Choose(q, cpopt)
+		if err != nil {
+			return nil, err
+		}
+		e.Count = ce
+	}
+	return e, nil
 }
 
-// ExplainCount is Explain for the plan CountFast would run: variables
-// occurring in a single atom (or projected away, with Options.Project
-// set) are sunk to the end of the order and the explanation carries
-// the level classification — which levels are searched (bound), which
-// are enumerated into the output (free-output) and which are counted
-// by range multiplication without being searched (free-counted).
+// ExplainCount is Explain restricted to the count plan.
+//
+// Deprecated: Explain now reports the count plan in its Count field;
+// call Explain instead.
 func ExplainCount(q *Query, opts Options) (*PlanExplanation, error) {
 	if err := opts.validateProject(q); err != nil {
 		return nil, err
