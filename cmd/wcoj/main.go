@@ -123,14 +123,12 @@ func run(c config) error {
 		if err != nil {
 			return err
 		}
-		var e *wcoj.PlanExplanation
-		if c.count || c.exists {
-			e, err = wcoj.ExplainCount(q, opts)
-		} else {
-			e, err = wcoj.Explain(q, opts)
-		}
+		e, err := wcoj.Explain(q, opts)
 		if err != nil {
 			return err
+		}
+		if (c.count || c.exists) && e.Count != nil {
+			e = e.Count // the aggregate plan is what count/exists runs
 		}
 		fmt.Print(e)
 		return nil
@@ -164,7 +162,7 @@ func run(c config) error {
 		var n int
 		var stats *wcoj.Stats
 		for i := 0; i < c.repeat; i++ {
-			if n, stats, err = pq.CountFast(ctx); err != nil {
+			if n, stats, err = pq.Count(ctx); err != nil {
 				return err
 			}
 		}

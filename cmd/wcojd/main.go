@@ -462,7 +462,7 @@ func handleQuery(ctx context.Context, db *wcoj.DB, req queryRequest) (*queryResp
 			resp.Count = 1
 		}
 	case req.Count:
-		n, _, err := pq.CountFast(ctx)
+		n, _, err := pq.Count(ctx)
 		if err != nil {
 			return nil, http.StatusInternalServerError, err
 		}

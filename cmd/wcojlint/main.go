@@ -4,6 +4,11 @@
 //
 //	go run ./cmd/wcojlint ./...
 //	go run ./cmd/wcojlint -only snapshotonce,ctxpoll ./internal/core
+//	go run ./cmd/wcojlint -disable nilness ./...
+//	go run ./cmd/wcojlint -enable arenaescape,fsyncorder ./...
+//
+// -enable restricts the run to the named analyzers (a synonym for
+// -only); -disable subtracts names from whatever -enable/-only left.
 //
 // Exit status: 0 clean, 1 findings reported, 2 analysis failure.
 package main
@@ -28,10 +33,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wcojlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (synonym for -only)")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	dir := fs.String("C", "", "change to this directory before loading packages")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: wcojlint [-only a,b] [-C dir] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: wcojlint [-only a,b] [-enable a,b] [-disable a,b] [-C dir] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Suite() {
 			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -48,21 +55,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
-		byName := make(map[string]*analysis.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*only, ",") {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	parseNames := func(csv string) ([]string, bool) {
+		var names []string
+		for _, name := range strings.Split(csv, ",") {
 			name = strings.TrimSpace(name)
-			a, ok := byName[name]
-			if !ok {
+			if _, ok := byName[name]; !ok {
 				fmt.Fprintf(stderr, "wcojlint: unknown analyzer %q\n", name)
-				return 2
+				return nil, false
 			}
-			analyzers = append(analyzers, a)
+			names = append(names, name)
 		}
+		return names, true
+	}
+	for _, restrict := range []string{*only, *enable} {
+		if restrict == "" {
+			continue
+		}
+		names, ok := parseNames(restrict)
+		if !ok {
+			return 2
+		}
+		keep := make(map[string]bool, len(names))
+		for _, n := range names {
+			keep[n] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if *disable != "" {
+		names, ok := parseNames(*disable)
+		if !ok {
+			return 2
+		}
+		drop := make(map[string]bool, len(names))
+		for _, n := range names {
+			drop[n] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
 	}
 
 	units, err := loader.Load(*dir, fs.Args()...)

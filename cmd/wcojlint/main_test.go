@@ -31,7 +31,10 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("wcojlint -list = exit %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"snapshotonce", "ctxpoll", "statsmerge", "valueident"} {
+	for _, name := range []string{
+		"snapshotonce", "ctxpoll", "statsmerge", "valueident",
+		"arenaescape", "fsyncorder", "publishimmutable", "deprecated",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout.String())
 		}
@@ -57,6 +60,37 @@ func TestOnlySubset(t *testing.T) {
 	code := run([]string{"-C", "../..", "-only", "statsmerge", "./internal/core"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("-only statsmerge ./internal/core = exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestEnableUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-enable", "nosuchanalyzer", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown -enable analyzer: exit %d, want 2", code)
+	}
+}
+
+func TestDisableUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-disable", "nosuchanalyzer", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown -disable analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr.String())
+	}
+}
+
+func TestEnableDisableSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var stdout, stderr bytes.Buffer
+	// -enable restricts to two analyzers, -disable subtracts one: the
+	// run is statsmerge alone and must stay clean on internal/core.
+	code := run([]string{"-C", "../..", "-enable", "statsmerge,nilness", "-disable", "nilness", "./internal/core"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-enable/-disable subset = exit %d\nstdout:\n%s\nstderr:\n%s",
 			code, stdout.String(), stderr.String())
 	}
 }

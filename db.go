@@ -913,7 +913,7 @@ func (pq *PreparedQuery) visit(ctx context.Context, s *pqState, stats *Stats, em
 // with Options.DisablePushdown.
 func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
 	if pq.opts.Project != nil || (!pq.opts.DisablePushdown && wcojAlgorithm(pq.opts.Algorithm)) {
-		return pq.CountFast(ctx)
+		return pq.countPushdown(ctx)
 	}
 	defer pq.record(time.Now())
 	s := pq.currentState()
@@ -951,13 +951,21 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, *Stats, error) {
 // the query was prepared with Options.DisablePushdown); call Count
 // instead.
 func (pq *PreparedQuery) CountFast(ctx context.Context) (int, *Stats, error) {
+	return pq.countPushdown(ctx)
+}
+
+// countPushdown runs the prepared aggregate-aware count plan — the
+// pushdown path shared by Count and the deprecated CountFast alias.
+func (pq *PreparedQuery) countPushdown(ctx context.Context) (int, *Stats, error) {
 	defer pq.record(time.Now())
 	s := pq.currentState()
 	if !wcojAlgorithm(pq.opts.Algorithm) {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		n, stats, err := CountFast(s.q, pq.opts)
+		opts := pq.opts
+		opts.DisablePushdown = false
+		n, stats, err := Count(s.q, opts)
 		if err == nil {
 			pq.tuples.Add(int64(n))
 		}

@@ -181,7 +181,7 @@ func (db *DB) Apply(b *Batch) (UpdateStats, error) {
 	// snapshotting under mu.RLock sees all of the batch or none of it.
 	db.mu.Lock()
 	for name, nv := range next {
-		db.versions[name] = nv
+		db.versions[name] = nv //wcojlint:nosync loop runs only when next is non-empty, and then the batch was synced above
 	}
 	if len(next) > 0 {
 		db.updEpoch.Add(1)
@@ -221,7 +221,7 @@ func (db *DB) maybeCompact(name string, v *delta.Version) {
 		db.mu.Unlock()
 		return
 	}
-	db.compacting[name] = true
+	db.compacting[name] = true //wcojlint:nosync compacting is a scheduling latch, not durable state
 	db.mu.Unlock()
 	go db.backgroundCompact(name, v)
 }
@@ -240,7 +240,7 @@ func (db *DB) backgroundCompact(name string, v *delta.Version) {
 		db.walSnapshot() //nolint:errcheck
 	}
 	db.mu.Lock()
-	db.compacting[name] = false
+	db.compacting[name] = false //wcojlint:nosync compacting is a scheduling latch, not durable state
 	head := db.versions[name]
 	db.mu.Unlock()
 	if head != nil && head.DeltaLen() > 0 {

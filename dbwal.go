@@ -53,8 +53,8 @@ func OpenDir(dir string) (*DB, error) {
 		}
 	}
 	db.writeMu.Lock()
-	db.walDictN = db.Dict().Len()
-	db.wal = l
+	db.walDictN = db.Dict().Len() //wcojlint:nosync recovery: the DB is not yet visible to any reader
+	db.wal = l                    //wcojlint:nosync recovery: the DB is not yet visible to any reader
 	db.writeMu.Unlock()
 	return db, nil
 }
@@ -103,6 +103,7 @@ func (db *DB) replayRecord(rec *wal.Record) error {
 		r := rec.Rel
 		db.mu.Lock()
 		db.data.Put(r)
+		//wcojlint:nosync replay: the record being applied is already durable in the log
 		db.versions[r.Name()] = &delta.Version{
 			Epoch: rec.RelEpoch,
 			Base:  r,

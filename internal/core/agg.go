@@ -367,6 +367,8 @@ func newGJAggWorker(p *Plan, cls *agg.Classification, stats *Stats, emit func(re
 
 // levelRanges assembles the participating level ranges at depth d into
 // the worker's scratch.
+//
+//wcojlint:retains w.ranges is scratch consumed by the caller's intersection, under one pinned snapshot
 func (a *gjAggWorker) levelRanges(d int) []trie.LevelRange {
 	w := a.w
 	w.ranges = w.ranges[:0]

@@ -283,7 +283,10 @@ func (w *gjWorker) arm(d int) {
 }
 
 // rec is the Generic-Join recursion: intersect the participating
-// level ranges at depth d and recurse per value.
+// level ranges at depth d and recurse per value. w.ranges holds
+// arena-loaned level ranges as per-depth scratch.
+//
+//wcojlint:retains w.ranges is scratch consumed within this recursion step, under one pinned snapshot
 func (w *gjWorker) rec(d int) error {
 	w.stats.Recursions++
 	if w.stats.Recursions&255 == 0 {

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+	"wcoj/internal/lint/dataflow"
+)
+
+// ArenaEscape enforces the CSR arena loan contract (DESIGN.md §11):
+// the Keys/Keys32 slices inside a trie.LevelRange alias the trie's
+// column arenas, and a LevelRange itself is a loan bounded by the
+// snapshot that produced it. Compaction swaps the snapshot and the old
+// arenas are recycled, so a loaned slice that outlives its snapshot
+// scope reads someone else's keys. The analyzer tracks every value
+// derived from an arena accessor through the function's dataflow and
+// flags the loan when it:
+//
+//   - is stored to a struct field, a global, or a captured variable;
+//   - is sent on a channel;
+//   - is returned to the caller;
+//   - is captured by a nested function literal;
+//   - is appended into a longer-lived slice without a deep copy
+//     (append(dst, keys...) of a scalar-element slice is a copy and
+//     stays clean; append(dst, r) of a LevelRange retains the alias).
+//
+// Seeds are: selections of .Keys/.Keys32 from a LevelRange-typed
+// value, call results of type LevelRange or []LevelRange (SegLevel and
+// friends), and parameters of those types (the caller handed the
+// function a live loan). Matching is by type name so fixture stand-ins
+// are covered, mirroring valueident.
+//
+// A function whose contract transfers ownership — the loan is consumed
+// strictly within the same snapshot scope, e.g. span cursors built for
+// one intersection call — is declared with `//wcojlint:retains <why>`
+// and exempted.
+var ArenaEscape = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc:  "CSR arena slices (LevelRange.Keys/Keys32) must not outlive their snapshot scope",
+	Run:  runArenaEscape,
+}
+
+// levelRangeType reports whether t (after deref) is a named LevelRange
+// or a slice of them.
+func levelRangeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = deref(t)
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if n, ok := deref(sl.Elem()).(*types.Named); ok && n.Obj().Name() == "LevelRange" {
+			return true
+		}
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() == "LevelRange"
+	}
+	return false
+}
+
+func runArenaEscape(pass *analysis.Pass) error {
+	dirs := parseDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			if dataflow.FuncBody(n) == nil {
+				return true
+			}
+			if d, ok := dirs.at(pass.Fset, n.Pos(), "retains"); ok && d.arg != "" {
+				return true // declared ownership transfer
+			}
+			checkArenaFunc(pass, dirs, n, ft)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkArenaFunc(pass *analysis.Pass, dirs directiveIndex, fn ast.Node, ft *ast.FuncType) {
+	// Parameters of LevelRange-ish type are live loans on entry.
+	loanParams := make(map[types.Object]bool)
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			t := exprType(pass, field.Type)
+			if t == nil || !levelRangeType(t) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					loanParams[obj] = true
+				}
+			}
+		}
+	}
+
+	seed := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return obj != nil && loanParams[obj]
+		case *ast.SelectorExpr:
+			if e.Sel.Name != "Keys" && e.Sel.Name != "Keys32" {
+				return false
+			}
+			return levelRangeType(exprType(pass, e.X))
+		case *ast.CallExpr:
+			// Only real calls hand out loans; make/new allocate fresh
+			// storage and conversions re-type an existing value.
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return false
+			}
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					return false
+				}
+			}
+			return levelRangeType(exprType(pass, e))
+		}
+		return false
+	}
+
+	res := dataflow.Track(pass.TypesInfo, fn, seed)
+	for _, s := range res.Sites {
+		// A retains directive on the escaping line sanctions that one
+		// site without exempting the whole function.
+		if d, ok := dirs.at(pass.Fset, s.Pos, "retains"); ok && d.arg != "" {
+			continue
+		}
+		pass.Reportf(s.Pos, "arena loan %s is %s: it aliases a CSR arena owned by the snapshot and is overwritten by compaction; copy the keys, or sanction ownership with //wcojlint:retains <why>", describeLoan(s), s.Kind)
+	}
+}
+
+// describeLoan names the escaping value for the diagnostic.
+func describeLoan(s dataflow.Site) string {
+	if s.Obj != nil {
+		return s.Obj.Name()
+	}
+	if sel, ok := s.Expr.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "value"
+}

@@ -1,0 +1,538 @@
+// Package dataflow is the intra-procedural dataflow substrate of
+// wcojlint: def-use chains over one function body, a small escape
+// lattice for values whose lifetime is bounded by a scope the
+// compiler cannot see (arena loans, snapshot pointers), and a
+// statement-order happens-before walk (order.go). The AST-shape
+// analyzers of PR 6 cannot track a value through `u := t`; the
+// flow-sensitive invariants of the WAL and MVCC layers — fsync before
+// publish, no writes after publish, no arena loan past its snapshot —
+// need exactly that, so this package provides it once and the
+// analyzers stay declarative: a seed predicate in, escape sites out.
+//
+// Everything here is deliberately intra-procedural. A value passed to
+// another function is not an escape (the callee is analyzed on its
+// own, mirroring valueident's contract), so the precision/soundness
+// trade is the same one the PR 6 analyzers made: no false positives
+// from conservative whole-program reasoning, directives for the few
+// sanctioned ownership transfers.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Escape classifies how far a tracked value travels beyond the
+// function that created it. The lattice is ordered by severity:
+// EscapeNone (still function-local) is bottom; the others all mean
+// the value outlives the scope its contract bounds it to, in
+// increasingly unrecoverable ways (a captured alias at least stays in
+// this goroutine; a stored or sent one is unreachable to review).
+type Escape uint8
+
+const (
+	// EscapeNone: the value never leaves the function's locals.
+	EscapeNone Escape = iota
+	// EscapeCaptured: the value is referenced by a nested function
+	// literal, which may run after the scope ends.
+	EscapeCaptured
+	// EscapeReturned: the value is returned to the caller.
+	EscapeReturned
+	// EscapeSent: the value is sent on a channel.
+	EscapeSent
+	// EscapeStored: the value is written to a field, a non-local
+	// variable, or an element of non-local storage.
+	EscapeStored
+)
+
+var escapeNames = [...]string{
+	EscapeNone:     "local",
+	EscapeCaptured: "captured by a closure",
+	EscapeReturned: "returned",
+	EscapeSent:     "sent on a channel",
+	EscapeStored:   "stored to a field or outer variable",
+}
+
+func (e Escape) String() string {
+	if int(e) < len(escapeNames) {
+		return escapeNames[e]
+	}
+	return "unknown escape"
+}
+
+// Join returns the more severe of two lattice points.
+func (e Escape) Join(o Escape) Escape {
+	if o > e {
+		return o
+	}
+	return e
+}
+
+// Site is one place a tracked value escapes its function.
+type Site struct {
+	Kind Escape
+	Pos  token.Pos
+	// Expr is the escaping use (a seed expression or an alias of one).
+	Expr ast.Expr
+	// Obj is the alias object involved, or nil when a seed expression
+	// escapes directly (e.g. `return tr.SegLevel(...)`).
+	Obj types.Object
+}
+
+// DefUse records, for every object local to one function, where it is
+// (re)defined and where it is read. Definitions are AssignStmt,
+// ValueSpec and RangeStmt nodes whose left-hand side binds the
+// object; uses are every other identifier occurrence.
+type DefUse struct {
+	Defs map[types.Object][]ast.Node
+	Uses map[types.Object][]*ast.Ident
+}
+
+// Chains builds the def-use chains of fn's body. fn is the whole
+// function node (*ast.FuncDecl or *ast.FuncLit), so parameters and
+// named results count as local definitions.
+func Chains(info *types.Info, fn ast.Node) *DefUse {
+	du := &DefUse{
+		Defs: make(map[types.Object][]ast.Node),
+		Uses: make(map[types.Object][]*ast.Ident),
+	}
+	body := FuncBody(fn)
+	if body == nil {
+		return du
+	}
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= fn.Pos() && obj.Pos() <= fn.End()
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if local(obj) {
+						du.Defs[obj] = append(du.Defs[obj], n)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if obj := info.Defs[id]; local(obj) {
+					du.Defs[obj] = append(du.Defs[obj], n)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if local(obj) {
+						du.Defs[obj] = append(du.Defs[obj], n)
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; local(obj) {
+				du.Uses[obj] = append(du.Uses[obj], n)
+			}
+		}
+		return true
+	})
+	return du
+}
+
+// Result is the outcome of one Track run: every local object that
+// aliases a seed value (mapped to the seed expression that tainted
+// it, for diagnostics) and every escape site found.
+type Result struct {
+	Aliases map[types.Object]ast.Expr
+	Sites   []Site
+}
+
+// Track propagates seed values through fn's body and records where
+// they escape. seed classifies an expression as originating a tracked
+// value (an arena accessor call, a loaned slice read, ...).
+//
+// Propagation follows assignments and range statements into locals
+// (including laundering chains `u := t; v := u`), reslicing, element
+// reads of tracked containers, and `append`: appending a tracked
+// value as a single element taints the destination, while a spread
+// `append(dst, src...)` of a slice with basic element type is a
+// sanctioned deep copy and taints nothing (a spread of a slice of
+// pointer-bearing elements still aliases and is tracked).
+//
+// Escapes are: assignment to storage that outlives the function (a
+// field, a dereference, an element of a non-local container, a global
+// or outer-scope variable), channel sends, returns, and capture by a
+// nested function literal. Nested literals are otherwise opaque —
+// their own bodies are each caller's responsibility — and calls never
+// escape their arguments: the callee is analyzed on its own.
+func Track(info *types.Info, fn ast.Node, seed func(ast.Expr) bool) *Result {
+	res := &Result{Aliases: make(map[types.Object]ast.Expr)}
+	body := FuncBody(fn)
+	if body == nil {
+		return res
+	}
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= fn.Pos() && obj.Pos() <= fn.End()
+	}
+
+	// tainted reports whether e evaluates to (an alias of) a tracked
+	// value, and returns the seed expression it traces back to.
+	var tainted func(e ast.Expr) (ast.Expr, bool)
+	tainted = func(e ast.Expr) (ast.Expr, bool) {
+		if e == nil {
+			return nil, false
+		}
+		if seed(e) {
+			return e, true
+		}
+		// A value of basic type is a copy, never an alias: reading
+		// k[0] out of a tracked []int64 does not extend the loan.
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+				return nil, false
+			}
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if src, ok := res.Aliases[obj]; ok {
+				return src, true
+			}
+		case *ast.ParenExpr:
+			return tainted(e.X)
+		case *ast.SliceExpr:
+			return tainted(e.X) // reslicing keeps the alias
+		case *ast.IndexExpr:
+			return tainted(e.X) // element of a tracked container
+		case *ast.StarExpr:
+			return tainted(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return tainted(e.X)
+			}
+		case *ast.SelectorExpr:
+			// A field of a tracked composite still aliases it; a
+			// method value does not.
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return tainted(e.X)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if src, ok := tainted(v); ok {
+					return src, true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+				// Builtin append: the result aliases a tracked dst, or
+				// retains a tracked element appended without spread.
+				if len(e.Args) > 0 {
+					if src, ok := tainted(e.Args[0]); ok {
+						return src, true
+					}
+				}
+				for _, arg := range e.Args[1:] {
+					src, ok := tainted(arg)
+					if !ok {
+						continue
+					}
+					if e.Ellipsis == token.NoPos || !spreadCopies(info, arg) {
+						return src, true
+					}
+				}
+			}
+		}
+		return nil, false
+	}
+
+	// Fixpoint over definitions: loops can taint a local from a value
+	// defined later in source order.
+	for changed := true; changed; {
+		changed = false
+		walkShallow(body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := pairedRhs(n, i)
+					if rhs == nil {
+						continue
+					}
+					src, ok := tainted(rhs)
+					if !ok {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok {
+						if id.Name == "_" {
+							continue
+						}
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if local(obj) {
+							if _, seen := res.Aliases[obj]; !seen {
+								res.Aliases[obj] = src
+								changed = true
+							}
+						}
+						continue
+					}
+					// Element/field write into a local container
+					// (out[i] = loan, s.f = loan): the container now
+					// holds the alias, so returning or storing it later
+					// escapes the loan.
+					if obj := baseObj(info, lhs); local(obj) {
+						if _, seen := res.Aliases[obj]; !seen {
+							res.Aliases[obj] = src
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				src, ok := tainted(n.X)
+				if !ok || n.Value == nil {
+					break
+				}
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if local(obj) && !basicType(obj.Type()) {
+						if _, seen := res.Aliases[obj]; !seen {
+							res.Aliases[obj] = src
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if i >= len(n.Values) || id.Name == "_" {
+						continue
+					}
+					if src, ok := tainted(n.Values[i]); ok {
+						if obj := info.Defs[id]; local(obj) {
+							if _, seen := res.Aliases[obj]; !seen {
+								res.Aliases[obj] = src
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+
+	report := func(kind Escape, pos token.Pos, e ast.Expr) {
+		var obj types.Object
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+		res.Sites = append(res.Sites, Site{Kind: kind, Pos: pos, Expr: e, Obj: obj})
+	}
+
+	// Escape pass.
+	walkShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := pairedRhs(n, i)
+				if rhs == nil {
+					continue
+				}
+				if _, ok := tainted(rhs); !ok {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					obj := info.Defs[l]
+					if obj == nil {
+						obj = info.Uses[l]
+					}
+					if obj != nil && l.Name != "_" && !local(obj) {
+						report(EscapeStored, l.Pos(), rhs)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if !localStorage(info, local, lhs) {
+						report(EscapeStored, l.Pos(), rhs)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if _, ok := tainted(n.Value); ok {
+				report(EscapeSent, n.Value.Pos(), n.Value)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if _, ok := tainted(r); ok {
+					report(EscapeReturned, r.Pos(), r)
+				}
+			}
+		case *ast.FuncLit:
+			// Capture scan: identifier uses of tracked objects inside
+			// the literal. The literal's own dataflow is its caller's
+			// Track run; here only the capture edge matters.
+			seen := make(map[types.Object]bool)
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || seen[obj] {
+					return true
+				}
+				if src, ok := res.Aliases[obj]; ok && obj.Pos() < n.Pos() {
+					seen[obj] = true
+					res.Sites = append(res.Sites, Site{Kind: EscapeCaptured, Pos: id.Pos(), Expr: src, Obj: obj})
+				}
+				return true
+			})
+		}
+	})
+	return res
+}
+
+// baseObj unwraps an assignment target (selector/index/deref chains)
+// to the object of its base identifier, or nil.
+func baseObj(info *types.Info, lhs ast.Expr) types.Object {
+	for {
+		switch l := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = l.X
+		case *ast.IndexExpr:
+			lhs = l.X
+		case *ast.StarExpr:
+			lhs = l.X
+		case *ast.SelectorExpr:
+			lhs = l.X
+		case *ast.Ident:
+			if obj := info.Uses[l]; obj != nil {
+				return obj
+			}
+			return info.Defs[l]
+		default:
+			return nil
+		}
+	}
+}
+
+// basicType reports whether t's underlying type is basic — a value
+// that copies, never aliases.
+func basicType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}
+
+// pairedRhs returns the right-hand expression feeding Lhs[i], or nil
+// when the assignment is not pairwise (multi-value call, mismatch).
+func pairedRhs(n *ast.AssignStmt, i int) ast.Expr {
+	if len(n.Rhs) == len(n.Lhs) {
+		return n.Rhs[i]
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		return nil // multi-value call: results are fresh for our purposes
+	}
+	return nil
+}
+
+// spreadCopies reports whether `append(dst, src...)` deep-copies src:
+// true when the element type is basic (scalars copy by value), false
+// when elements carry pointers or slices that still alias.
+func spreadCopies(info *types.Info, src ast.Expr) bool {
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, basic := sl.Elem().Underlying().(*types.Basic)
+	return basic
+}
+
+// localStorage reports whether the assignment target lhs (a selector,
+// index or dereference) writes into storage rooted at a value-typed
+// local variable — storage whose lifetime the function still owns.
+// Writes through pointers, into fields of non-local values, or into
+// containers the function did not declare are not local.
+func localStorage(info *types.Info, local func(types.Object) bool, lhs ast.Expr) bool {
+	for {
+		switch l := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = l.X
+		case *ast.IndexExpr:
+			lhs = l.X
+		case *ast.SelectorExpr:
+			// A field path stays local only while the base is a value;
+			// selecting through a pointer leaves the local frame.
+			if tv, ok := info.Types[l.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					return false
+				}
+			}
+			lhs = l.X
+		case *ast.Ident:
+			obj := info.Uses[l]
+			if obj == nil {
+				obj = info.Defs[l]
+			}
+			if !local(obj) {
+				return false
+			}
+			// A local of pointer or map type reaches shared storage; a
+			// local slice's backing array is treated as function-owned
+			// (its escape is caught if the slice itself escapes).
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer:
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// FuncBody returns the body of a function node (*ast.FuncDecl or
+// *ast.FuncLit), or nil.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// walkShallow visits every node under root except the bodies of
+// nested function literals (the literal node itself is visited, so
+// callers can handle capture edges).
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		visit(n)
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return true
+	})
+}

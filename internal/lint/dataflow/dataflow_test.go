@@ -1,0 +1,556 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// load type-checks one snippet (package df) and returns its file and
+// info. Snippets are import-free so the test stays hermetic.
+func load(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "df.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("df", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+// fn returns the named function declaration.
+func fn(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+const trackSrc = `package df
+
+type Loan struct{ Keys []int64 }
+type Arena struct{}
+
+func (a *Arena) Get() Loan { return Loan{} }
+
+type holder struct{ kept []int64 }
+
+var global []int64
+
+func localOnly(a *Arena) int64 {
+	l := a.Get()
+	k := l.Keys
+	return k[0]
+}
+
+func launder(a *Arena, h *holder) {
+	k := a.Get().Keys
+	u := k
+	v := u
+	h.kept = v
+}
+
+func ret(a *Arena) []int64 {
+	return a.Get().Keys
+}
+
+func send(a *Arena, ch chan []int64) {
+	ch <- a.Get().Keys
+}
+
+func capture(a *Arena) func() int64 {
+	k := a.Get().Keys
+	return func() int64 { return k[0] }
+}
+
+func storeGlobal(a *Arena) {
+	global = a.Get().Keys
+}
+
+func spreadCopy(a *Arena) []int64 {
+	var dst []int64
+	dst = append(dst, a.Get().Keys...)
+	return dst
+}
+
+func appendAlias(a *Arena) [][]int64 {
+	var dst [][]int64
+	dst = append(dst, a.Get().Keys)
+	return dst
+}
+
+func rangeProp(a *Arena, h *holder) {
+	ls := []Loan{a.Get()}
+	for _, l := range ls {
+		h.kept = l.Keys
+	}
+}
+
+func localStruct(a *Arena) int64 {
+	var s struct{ k []int64 }
+	s.k = a.Get().Keys
+	return s.k[0]
+}
+
+func reslice(a *Arena, h *holder) {
+	k := a.Get().Keys
+	h.kept = k[1:3]
+}
+
+func loopTaint(a *Arena, h *holder) {
+	var u, k []int64
+	for i := 0; i < 2; i++ {
+		h.kept = u
+		u = k
+		k = a.Get().Keys
+	}
+}
+
+func multiValue(a *Arena, h *holder) {
+	k, n := a.Get().Keys, 1
+	_ = n
+	u, err := twoVals()
+	_ = err
+	h.kept = k
+	h.kept = u
+}
+
+func twoVals() ([]int64, error) { return nil, nil }
+
+func ptrLocal(a *Arena) {
+	h := &holder{}
+	h.kept = a.Get().Keys
+}
+
+func mapLocal(a *Arena) {
+	m := map[int][]int64{}
+	m[0] = a.Get().Keys
+}
+
+func varSpec(a *Arena, h *holder) {
+	var k = a.Get().Keys
+	h.kept = k
+}
+
+func blankAssign(a *Arena) {
+	_ = a.Get().Keys
+}
+`
+
+// seedGet marks calls returning the Loan type and .Keys reads on it.
+func seedGet(info *types.Info) func(ast.Expr) bool {
+	return func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[e]; ok {
+				if n, ok := tv.Type.(*types.Named); ok && n.Obj().Name() == "Loan" {
+					return true
+				}
+			}
+		case *ast.SelectorExpr:
+			if e.Sel.Name != "Keys" {
+				return false
+			}
+			if tv, ok := info.Types[e.X]; ok {
+				if n, ok := tv.Type.(*types.Named); ok && n.Obj().Name() == "Loan" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+func kinds(res *Result) []Escape {
+	var out []Escape
+	for _, s := range res.Sites {
+		out = append(out, s.Kind)
+	}
+	return out
+}
+
+func TestTrackEscapes(t *testing.T) {
+	_, f, info := load(t, trackSrc)
+	cases := []struct {
+		fn   string
+		want []Escape
+	}{
+		{"localOnly", nil},
+		{"launder", []Escape{EscapeStored}},
+		{"ret", []Escape{EscapeReturned}},
+		{"send", []Escape{EscapeSent}},
+		{"capture", []Escape{EscapeCaptured}},
+		{"storeGlobal", []Escape{EscapeStored}},
+		{"spreadCopy", nil},
+		{"appendAlias", []Escape{EscapeReturned}},
+		{"rangeProp", []Escape{EscapeStored}},
+		{"localStruct", nil},
+		{"reslice", []Escape{EscapeStored}},
+		{"loopTaint", []Escape{EscapeStored}},
+		// Pairwise multi-assign tracks k; the two-valued call result is
+		// fresh, so only one of the two field stores escapes.
+		{"multiValue", []Escape{EscapeStored}},
+		// A field write through a local pointer reaches shared storage.
+		{"ptrLocal", []Escape{EscapeStored}},
+		// A local map is function-owned storage.
+		{"mapLocal", nil},
+		{"varSpec", []Escape{EscapeStored}},
+		{"blankAssign", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			res := Track(info, fn(t, f, tc.fn), seedGet(info))
+			got := kinds(res)
+			if len(got) != len(tc.want) {
+				t.Fatalf("%s: escapes %v, want %v", tc.fn, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("%s: escape[%d] = %v, want %v", tc.fn, i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEscapeLattice(t *testing.T) {
+	if EscapeNone.Join(EscapeStored) != EscapeStored || EscapeStored.Join(EscapeCaptured) != EscapeStored {
+		t.Error("Join must pick the more severe point")
+	}
+	for e := EscapeNone; e <= EscapeStored; e++ {
+		if e.String() == "" || e.String() == "unknown escape" {
+			t.Errorf("escape %d has no name", e)
+		}
+	}
+	if Escape(250).String() != "unknown escape" {
+		t.Error("out-of-range escape must not panic")
+	}
+}
+
+func TestChains(t *testing.T) {
+	_, f, info := load(t, trackSrc)
+	du := Chains(info, fn(t, f, "launder"))
+	var kDefs, kUses int
+	for obj, defs := range du.Defs {
+		if obj.Name() == "k" {
+			kDefs = len(defs)
+		}
+	}
+	for obj, uses := range du.Uses {
+		if obj.Name() == "k" {
+			kUses = len(uses)
+		}
+	}
+	if kDefs != 1 || kUses != 1 {
+		t.Errorf("launder k: %d defs %d uses, want 1 and 1", kDefs, kUses)
+	}
+	if got := Chains(info, fn(t, f, "localOnly")); len(got.Defs) == 0 {
+		t.Error("localOnly: no defs recorded")
+	}
+	// A nil-body function yields empty chains, not a panic.
+	if du := Chains(info, &ast.FuncDecl{Name: ast.NewIdent("x")}); len(du.Defs) != 0 {
+		t.Error("nil body must yield empty chains")
+	}
+	// ValueSpec and RangeStmt left-hand sides are definitions too.
+	vs := Chains(info, fn(t, f, "varSpec"))
+	var found bool
+	for obj, defs := range vs.Defs {
+		if obj.Name() == "k" {
+			if _, ok := defs[0].(*ast.ValueSpec); !ok {
+				t.Errorf("varSpec k defined by %T, want *ast.ValueSpec", defs[0])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("varSpec: no def for k")
+	}
+	rp := Chains(info, fn(t, f, "rangeProp"))
+	found = false
+	for obj, defs := range rp.Defs {
+		if obj.Name() == "l" {
+			if _, ok := defs[0].(*ast.RangeStmt); !ok {
+				t.Errorf("rangeProp l defined by %T, want *ast.RangeStmt", defs[0])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rangeProp: no def for l")
+	}
+}
+
+const orderSrc = `package df
+
+func sync() error { return nil }
+func publish()    {}
+func cond() bool  { return true }
+
+func sequential() {
+	sync()
+	publish()
+}
+
+func reversed() {
+	publish()
+	sync()
+}
+
+func initDominates() {
+	if err := sync(); err != nil {
+		return
+	}
+	publish()
+}
+
+func conditionalSync() {
+	if cond() {
+		sync()
+	}
+	publish()
+}
+
+func deferredSync() {
+	defer sync()
+	publish()
+}
+
+func goSync() {
+	go sync()
+	publish()
+}
+
+func inLoopBody() {
+	for i := 0; i < 3; i++ {
+		sync()
+		publish()
+	}
+}
+
+func loopThenAfter() {
+	for cond() {
+		sync()
+	}
+	publish()
+}
+
+func condThenBody() {
+	for sync() == nil {
+		publish()
+	}
+}
+
+func closureSync() {
+	f := func() { sync() }
+	f()
+	publish()
+}
+
+func gotoSkips() {
+	goto after
+	sync()
+after:
+	publish()
+}
+
+func switchArm() {
+	switch {
+	case cond():
+		sync()
+	}
+	publish()
+}
+
+func switchTag(v int) {
+	switch mustSync(); v {
+	case 1:
+		publish()
+	}
+}
+
+func mustSync() {}
+
+func shortCircuit() {
+	_ = cond() && sync() == nil
+	publish()
+}
+
+func sameCase(v int) {
+	switch v {
+	case 1:
+		sync()
+		publish()
+	}
+}
+
+func selectArm(ch chan int) {
+	select {
+	case <-ch:
+		sync()
+	}
+	publish()
+}
+
+func initToBody() {
+	if err := sync(); err == nil {
+		publish()
+	}
+}
+
+func condToBody() {
+	if sync() == nil {
+		publish()
+	}
+}
+
+func bodyToElse() {
+	if cond() {
+		sync()
+	} else {
+		publish()
+	}
+}
+
+func rangeOperand() {
+	for range []error{sync()} {
+		publish()
+	}
+}
+`
+
+// callTo finds the first call to name within fd.
+func callTo(t *testing.T, info *types.Info, fd *ast.FuncDecl, name string) ast.Node {
+	t.Helper()
+	var out ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+				out = c
+				return false
+			}
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("%s: no call to %s", fd.Name.Name, name)
+	}
+	return out
+}
+
+func TestDominates(t *testing.T) {
+	_, f, info := load(t, orderSrc)
+	cases := []struct {
+		fn   string
+		sync string
+		want bool
+	}{
+		{"sequential", "sync", true},
+		{"reversed", "sync", false},
+		{"initDominates", "sync", true},
+		{"conditionalSync", "sync", false},
+		{"deferredSync", "sync", false},
+		{"goSync", "sync", false},
+		{"inLoopBody", "sync", true},
+		{"loopThenAfter", "sync", false},
+		{"condThenBody", "sync", true},
+		{"closureSync", "sync", false},
+		{"gotoSkips", "sync", false},
+		{"switchArm", "sync", false},
+		{"switchTag", "mustSync", true},
+		{"shortCircuit", "sync", false},
+		{"sameCase", "sync", true},
+		{"selectArm", "sync", false},
+		{"initToBody", "sync", true},
+		{"condToBody", "sync", true},
+		{"bodyToElse", "sync", false},
+		{"rangeOperand", "sync", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fd := fn(t, f, tc.fn)
+			s := callTo(t, info, fd, tc.sync)
+			p := callTo(t, info, fd, "publish")
+			o := NewOrder(fd.Body)
+			if got := o.Dominates(s, p); got != tc.want {
+				t.Errorf("%s: Dominates(sync, publish) = %v, want %v", tc.fn, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDominatesDegenerate(t *testing.T) {
+	_, f, _ := load(t, orderSrc)
+	fd := fn(t, f, "sequential")
+	o := NewOrder(fd.Body)
+	n := fd.Body.List[0]
+	if o.Dominates(n, n) {
+		t.Error("a node must not dominate itself")
+	}
+	other := fn(t, f, "reversed").Body.List[0]
+	if o.Dominates(other, n) || o.Dominates(n, other) {
+		t.Error("nodes outside the body must not participate")
+	}
+	// Containment: the statement containing a call does not dominate it.
+	call := callTo(t, nil, fd, "publish")
+	if o.Dominates(fd.Body.List[1], call) {
+		t.Error("a parent must not dominate its own child")
+	}
+}
+
+func TestFuncBody(t *testing.T) {
+	_, f, _ := load(t, orderSrc)
+	if FuncBody(fn(t, f, "sequential")) == nil {
+		t.Error("FuncBody(FuncDecl) = nil")
+	}
+	if FuncBody(ast.NewIdent("x")) != nil {
+		t.Error("FuncBody(non-func) != nil")
+	}
+	lit := &ast.FuncLit{Body: &ast.BlockStmt{}}
+	if FuncBody(lit) != lit.Body {
+		t.Error("FuncBody(FuncLit) wrong")
+	}
+}
+
+func TestWalkShallowSkipsNestedLiterals(t *testing.T) {
+	src := `package df
+func outer() {
+	_ = func() { inner() }
+	outerCall()
+}
+func inner()     {}
+func outerCall() {}
+`
+	_, f, _ := load(t, src)
+	var names []string
+	walkShallow(fn(t, f, "outer").Body, func(n ast.Node) {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+		}
+	})
+	if strings.Join(names, ",") != "outerCall" {
+		t.Errorf("walkShallow visited %v, want [outerCall]", names)
+	}
+}

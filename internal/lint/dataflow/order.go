@@ -1,0 +1,256 @@
+package dataflow
+
+// Statement-order happens-before within one function body. The
+// fsyncorder and publishimmutable analyzers need one question
+// answered: "on every execution that reaches node b, has node a
+// already executed?" — sync-dominates-publish, publish-precedes-write.
+// A full CFG would be overkill for a lint pass; the AST already
+// encodes the needed order for structured Go: statements in a block
+// run in sequence, a statement's Init/Cond limbs run before its
+// conditional limbs, and anything inside a conditional limb, a nested
+// function literal, `go`, or `defer` gives no ordering promise to
+// code after it. Functions containing goto/labeled statements opt out
+// of all ordering claims (the jump can bypass anything).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Order answers happens-before queries for nodes of one function body.
+type Order struct {
+	parent  map[ast.Node]ast.Node
+	root    *ast.BlockStmt
+	hasGoto bool
+}
+
+// NewOrder prepares the ordering relation of body.
+func NewOrder(body *ast.BlockStmt) *Order {
+	o := &Order{parent: make(map[ast.Node]ast.Node), root: body}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			o.parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		switch n.(type) {
+		case *ast.LabeledStmt, *ast.BranchStmt:
+			// goto (and labeled break/continue targets) can bypass any
+			// statement; plain break/continue only exit conditional
+			// constructs, which already yield no ordering. Be
+			// conservative for the labeled forms.
+			if ls, ok := n.(*ast.LabeledStmt); ok && ls.Label != nil {
+				o.hasGoto = true
+			}
+			if bs, ok := n.(*ast.BranchStmt); ok && (bs.Tok == token.GOTO || bs.Label != nil) {
+				o.hasGoto = true
+			}
+		}
+		return true
+	})
+	return o
+}
+
+// chain returns the ancestor path [n, parent(n), ..., root], or nil
+// when n is not under the body.
+func (o *Order) chain(n ast.Node) []ast.Node {
+	var out []ast.Node
+	for cur := n; cur != nil; {
+		out = append(out, cur)
+		if cur == ast.Node(o.root) {
+			return out
+		}
+		cur = o.parent[cur]
+	}
+	return nil
+}
+
+// Dominates reports whether a must have executed before b on every
+// execution path that reaches b. False is always a safe answer; true
+// is only returned when the AST structure guarantees the order:
+// a's enclosing statement precedes b's in a common block (or an
+// earlier unconditional limb of the same statement) and a executes
+// unconditionally whenever that statement does.
+func (o *Order) Dominates(a, b ast.Node) bool {
+	if o.hasGoto || a == b {
+		return false
+	}
+	ca, cb := o.chain(a), o.chain(b)
+	if ca == nil || cb == nil {
+		return false
+	}
+	// Deepest common ancestor: chains end at root; walk from the root
+	// end until they diverge.
+	ia, ib := len(ca)-1, len(cb)-1
+	for ia > 0 && ib > 0 && ca[ia-1] == cb[ib-1] {
+		ia--
+		ib--
+	}
+	lca := ca[ia]
+	if lca == a || lca == b {
+		return false // one contains the other: no complete-before order
+	}
+	// ca[ia-1] and cb[ib-1] are the diverging children of the LCA...
+	// except when lca == a's chain element itself; guarded above.
+	la, lb := ca[ia-1], cb[ib-1]
+	if list := stmtList(lca); list != nil {
+		pa, pb := indexIn(list, la), indexIn(list, lb)
+		if pa < 0 || pb < 0 || pa >= pb {
+			return false
+		}
+	} else if !limbBefore(lca, la, lb) {
+		return false
+	}
+	// a must run unconditionally whenever its top-level limb starts.
+	return unconditionalPath(ca[:ia])
+}
+
+// stmtList returns the statement list a node directly sequences, or
+// nil when it is not a sequencing construct.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func indexIn(list []ast.Stmt, n ast.Node) int {
+	for i, s := range list {
+		if ast.Node(s) == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// limbBefore reports whether, within statement parent, limb la always
+// finishes executing before limb lb starts. Only the unconditional
+// early limbs (Init, Cond, a range's operand, a switch tag) order
+// ahead of the conditional late limbs (bodies).
+func limbBefore(parent, la, lb ast.Node) bool {
+	rank := func(limb ast.Node) int {
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			switch limb {
+			case ast.Node(p.Init):
+				return 0
+			case ast.Node(p.Cond):
+				return 1
+			case ast.Node(p.Body), ast.Node(p.Else):
+				return 2
+			}
+		case *ast.ForStmt:
+			switch limb {
+			case ast.Node(p.Init):
+				return 0
+			case ast.Node(p.Cond):
+				return 1
+			case ast.Node(p.Body):
+				return 2
+				// Post runs after the body; it gives no ordering for
+				// code after the loop (the body may run zero times).
+			}
+		case *ast.RangeStmt:
+			switch limb {
+			case ast.Node(p.X):
+				return 0
+			case ast.Node(p.Body):
+				return 2
+			}
+		case *ast.SwitchStmt:
+			switch limb {
+			case ast.Node(p.Init):
+				return 0
+			case ast.Node(p.Tag):
+				return 1
+			case ast.Node(p.Body):
+				return 2
+			}
+		case *ast.TypeSwitchStmt:
+			switch limb {
+			case ast.Node(p.Init):
+				return 0
+			case ast.Node(p.Assign):
+				return 1
+			case ast.Node(p.Body):
+				return 2
+			}
+		case *ast.BinaryExpr:
+			if p.Op == token.LAND || p.Op == token.LOR {
+				switch limb {
+				case ast.Node(p.X):
+					return 0
+				case ast.Node(p.Y):
+					return 2
+				}
+			}
+		}
+		return -1
+	}
+	ra, rb := rank(la), rank(lb)
+	// Only a strictly earlier limb that itself always runs (rank 0 or
+	// 1: Init/Cond class) orders ahead; body-vs-else are alternatives.
+	return ra >= 0 && rb >= 0 && ra < rb && ra < 2
+}
+
+// unconditionalPath reports whether every parent→child edge along the
+// chain (ordered [node ... limb]) is executed unconditionally when
+// the limb starts: no conditional bodies, nested function literals,
+// go/defer statements, or short-circuit right operands on the way
+// down.
+func unconditionalPath(chain []ast.Node) bool {
+	for i := len(chain) - 1; i > 0; i-- {
+		parent, child := chain[i], chain[i-1]
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			if child == ast.Node(p.Body) || child == ast.Node(p.Else) {
+				return false
+			}
+		case *ast.ForStmt:
+			if child == ast.Node(p.Body) || child == ast.Node(p.Post) {
+				return false
+			}
+			if child == ast.Node(p.Cond) {
+				// Cond runs at least once... only if Init terminates,
+				// which it does structurally. Cond is unconditional.
+				continue
+			}
+		case *ast.RangeStmt:
+			if child == ast.Node(p.Body) || child == ast.Node(p.Key) || child == ast.Node(p.Value) {
+				return false
+			}
+		case *ast.SwitchStmt:
+			if child == ast.Node(p.Body) {
+				return false
+			}
+		case *ast.TypeSwitchStmt:
+			if child == ast.Node(p.Body) {
+				return false
+			}
+		case *ast.SelectStmt:
+			return false
+		case *ast.CaseClause, *ast.CommClause:
+			return false
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.BinaryExpr:
+			if (p.Op == token.LAND || p.Op == token.LOR) && child == ast.Node(p.Y) {
+				return false
+			}
+		}
+	}
+	return true
+}

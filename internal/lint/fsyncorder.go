@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+	"wcoj/internal/lint/dataflow"
+)
+
+// FsyncOrder enforces the WAL durability-before-visibility rule
+// (DESIGN.md §10): a mutation must be fsynced to the log strictly
+// before it becomes visible to readers. In any function that both
+// touches WAL state (an Append/Rotate on the log, or a call that
+// transitively syncs) and publishes engine state — a Store/Swap on an
+// atomic.Pointer, or an assignment to a //wcojlint:guardedby field —
+// every publish must be dominated by a sync: on every path that
+// reaches the publish, a sync has already run. A publish reachable
+// without a preceding sync is exactly the reordering that voids crash
+// recovery — the crash window where a reader observed state the log
+// never made durable.
+//
+// Sync events are calls to methods named Sync/Fsync and calls to
+// module functions that transitively reach one (computed over all
+// loaded units in Prepare, so walAppendBatchLocked — Append then
+// Sync inside — counts as a sync at its call sites). Dominance is the
+// AST-structural order of internal/lint/dataflow: a sync inside an if
+// body, a defer, or a goroutine does not dominate code after it.
+//
+// A publish that is intentionally not preceded by a sync — e.g. the
+// no-op path where the WAL batch was empty — is annotated
+// `//wcojlint:nosync <why>` on the publishing line.
+var FsyncOrder = &analysis.Analyzer{
+	Name:    "fsyncorder",
+	Doc:     "WAL sync must dominate state publication (durability before visibility)",
+	Run:     runFsyncOrder,
+	Prepare: prepareFsyncOrder,
+}
+
+// syncFacts is the cross-unit fact set: keys (pkgPath.[Recv.]Name) of
+// module functions that transitively call a Sync/Fsync method.
+type syncFacts struct {
+	syncing map[string]bool
+}
+
+// funcKey renders the cross-unit string key of a function object.
+// Object pointers do not match across independently type-checked
+// units, so facts are keyed by path instead.
+func funcKey(fn *types.Func) string {
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+			key = n.Obj().Name() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isSyncName reports whether a method name is a direct fsync.
+func isSyncName(name string) bool { return name == "Sync" || name == "Fsync" }
+
+func prepareFsyncOrder(units []*analysis.Unit) (any, error) {
+	// Direct call edges between module functions, and the base set of
+	// functions that call a Sync/Fsync method directly.
+	callees := make(map[string][]string)
+	syncing := make(map[string]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				var key string
+				if obj, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					key = funcKey(obj)
+				}
+				if key == "" {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(u.Info, call)
+					if fn == nil {
+						return true
+					}
+					if isSyncName(fn.Name()) {
+						syncing[key] = true
+					} else {
+						callees[key] = append(callees[key], funcKey(fn))
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Transitive closure: a caller of a syncing function syncs.
+	for changed := true; changed; {
+		changed = false
+		for caller, cs := range callees {
+			if syncing[caller] {
+				continue
+			}
+			for _, c := range cs {
+				if syncing[c] {
+					syncing[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return &syncFacts{syncing: syncing}, nil
+}
+
+// isWalTouch reports whether the call appends to or rotates a WAL log:
+// a method named Append*/Rotate on a receiver type named Log.
+func isWalTouch(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if name != "Rotate" && name != "Append" && name != "AppendBatch" && name != "AppendRegister" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n, ok := deref(sig.Recv().Type()).(*types.Named)
+	return ok && n.Obj().Name() == "Log"
+}
+
+func runFsyncOrder(pass *analysis.Pass) error {
+	facts, _ := pass.Facts.(*syncFacts)
+	dirs := parseDirectives(pass)
+	guarded := guardedFields(pass, dirs)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFsyncOrder(pass, dirs, facts, guarded, fd)
+		}
+	}
+	return nil
+}
+
+// guardedFields collects //wcojlint:guardedby-annotated struct fields,
+// the mutex-published state fsyncorder treats as a visibility edge.
+func guardedFields(pass *analysis.Pass, dirs directiveIndex) map[*types.Var]bool {
+	guarded := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, ok := dirs.at(pass.Fset, field.Pos(), "guardedby"); !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func checkFsyncOrder(pass *analysis.Pass, dirs directiveIndex, facts *syncFacts, guarded map[*types.Var]bool, fd *ast.FuncDecl) {
+	type publish struct {
+		node ast.Node
+		what string
+	}
+	var syncs []ast.Node
+	var walTouch bool
+	var publishes []publish
+
+	walkSameFunc(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil {
+				if isSyncName(fn.Name()) || (facts != nil && facts.syncing[funcKey(fn)]) {
+					syncs = append(syncs, n)
+					walTouch = true
+					return true
+				}
+			}
+			if isWalTouch(pass.TypesInfo, n) {
+				walTouch = true
+			}
+			// atomic.Pointer publication: x.Store(v) / x.Swap(v).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Store" || sel.Sel.Name == "Swap") {
+				if t := exprType(pass, sel.X); t != nil && namedIn(t, "sync/atomic", "Pointer") {
+					publishes = append(publishes, publish{node: n, what: "atomic.Pointer." + sel.Sel.Name})
+				}
+			}
+		case *ast.AssignStmt:
+			// Mutex-guarded publication: writing a guardedby field (or
+			// an element of one, db.versions[name] = nv).
+			for _, lhs := range n.Lhs {
+				if v := guardedTarget(pass, guarded, lhs); v != nil {
+					publishes = append(publishes, publish{node: n, what: "guarded field " + v.Name()})
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	if !walTouch || len(publishes) == 0 {
+		// Not a durability boundary: no WAL state in play, or nothing
+		// published. A function that appends and publishes with zero
+		// syncs is the worst case and falls through — no sync can
+		// dominate, so every publish is flagged.
+		return
+	}
+
+	order := dataflow.NewOrder(fd.Body)
+	for _, p := range publishes {
+		if d, ok := dirs.at(pass.Fset, p.node.Pos(), "nosync"); ok && d.arg != "" {
+			continue
+		}
+		dominated := false
+		for _, s := range syncs {
+			if order.Dominates(s, p.node) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(p.node.Pos(), "publish via %s is reachable without a preceding WAL sync in %s: durability must precede visibility; sync before publishing, or annotate //wcojlint:nosync <why>", p.what, fd.Name.Name)
+		}
+	}
+}
+
+// guardedTarget resolves an assignment target to the guarded field it
+// writes, unwrapping index/star layers (db.versions[name] = nv writes
+// field versions).
+func guardedTarget(pass *analysis.Pass, guarded map[*types.Var]bool, lhs ast.Expr) *types.Var {
+	for {
+		switch l := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = l.X
+		case *ast.IndexExpr:
+			lhs = l.X
+		case *ast.StarExpr:
+			lhs = l.X
+		case *ast.SelectorExpr:
+			if v := fieldObject(pass, l); v != nil && guarded[v] {
+				return v
+			}
+			lhs = l.X
+		default:
+			return nil
+		}
+	}
+}

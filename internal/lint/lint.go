@@ -11,7 +11,21 @@
 //   - statsmerge: Stats.Merge folds every counter field, and
 //     exhaustive-marked stats snapshots populate every field;
 //   - valueident: tuples handed to emit callbacks are never mutated
-//     or retained by alias.
+//     or retained by alias;
+//   - arenaescape: slices loaned from the CSR arenas
+//     (trie.LevelRange.Keys/Keys32 and LevelRange-typed results) must
+//     not outlive their snapshot scope (dataflow-tracked);
+//   - fsyncorder: in functions that touch WAL state and publish it,
+//     the fsync must dominate the publication;
+//   - publishimmutable: no writes through a pointer after it is
+//     Stored into an atomic.Pointer snapshot;
+//   - deprecated: internal code must not call symbols documented
+//     `// Deprecated:` (CountFast, ExplainCount, ...).
+//
+// The last four are built on internal/lint/dataflow (def-use chains,
+// an escape lattice and AST-structural happens-before), so they track
+// values through assignments where the PR 6 analyzers only matched
+// AST shapes.
 //
 // Plus three general-purpose passes (nilness, unusedwrite, copylocks)
 // so one binary runs everything.
@@ -26,6 +40,9 @@
 //	//wcojlint:guardedby <mutex>   struct field is guarded by the named mutex field
 //	//wcojlint:exhaustive          composite literals of this struct must set every field
 //	//wcojlint:retains <reason>    function takes ownership of its tuple argument
+//	                               (or, on a line, sanctions one arena-loan escape)
+//	//wcojlint:nosync <reason>     publish is intentionally not preceded by a WAL sync
+//	//wcojlint:mutates <reason>    sanctioned write through an already-published pointer
 package lint
 
 import (
@@ -44,6 +61,10 @@ func Suite() []*analysis.Analyzer {
 		CtxPoll,
 		StatsMerge,
 		ValueIdent,
+		ArenaEscape,
+		FsyncOrder,
+		PublishImmutable,
+		Deprecated,
 		Nilness,
 		UnusedWrite,
 		CopyLocks,
@@ -52,7 +73,7 @@ func Suite() []*analysis.Analyzer {
 
 // directive is one parsed machine-readable comment.
 type directive struct {
-	kind string // nopoll | locked | guardedby | exhaustive | retains
+	kind string // nopoll | locked | guardedby | exhaustive | retains | nosync | mutates
 	arg  string // reason or mutex field name
 	pos  token.Pos
 	col  int // start column: distinguishes own-line from trailing comments
@@ -79,7 +100,7 @@ func parseDirectives(pass *analysis.Pass) directiveIndex {
 				}
 				kind, arg, _ := strings.Cut(rest, " ")
 				switch kind {
-				case "nopoll", "locked", "guardedby", "exhaustive", "retains":
+				case "nopoll", "locked", "guardedby", "exhaustive", "retains", "nosync", "mutates":
 				default:
 					continue // staticcheck's own //lint: directives etc.
 				}

@@ -22,6 +22,10 @@ func TestAnalyzers(t *testing.T) {
 		{"ctxpoll", lint.CtxPoll},
 		{"statsmerge", lint.StatsMerge},
 		{"valueident", lint.ValueIdent},
+		{"arenaescape", lint.ArenaEscape},
+		{"fsyncorder", lint.FsyncOrder},
+		{"publishimmutable", lint.PublishImmutable},
+		{"deprecated", lint.Deprecated},
 		{"nilness", lint.Nilness},
 		{"unusedwrite", lint.UnusedWrite},
 		{"copylocks", lint.CopyLocks},
@@ -35,12 +39,14 @@ func TestAnalyzers(t *testing.T) {
 	}
 }
 
-// TestSuite pins the suite composition: the four project analyzers
-// first, then the general correctness passes. CI runs Suite(), so a
-// analyzer dropped from it would silently stop gating.
+// TestSuite pins the suite composition: the shape-based project
+// analyzers first, then the dataflow-powered ones, then the general
+// correctness passes. CI runs Suite(), so an analyzer dropped from it
+// would silently stop gating.
 func TestSuite(t *testing.T) {
 	want := []string{
 		"snapshotonce", "ctxpoll", "statsmerge", "valueident",
+		"arenaescape", "fsyncorder", "publishimmutable", "deprecated",
 		"nilness", "unusedwrite", "copylocks",
 	}
 	suite := lint.Suite()

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wcoj/internal/lint/analysis"
+	"wcoj/internal/lint/dataflow"
+)
+
+// PublishImmutable enforces the MVCC snapshot rule (DESIGN.md §10):
+// state published through an atomic.Pointer is immutable from the
+// moment of the Store. Readers hold the pointer without any lock —
+// that is the whole point of the snapshot design — so a writer that
+// keeps mutating the pointed-to value after publishing it races every
+// concurrent reader. The correct pattern is copy-on-write: build the
+// new state fully, Store it, never touch it again (swap in a fresh
+// copy for the next change).
+//
+// The analyzer finds each `p.Store(x)` / `p.Swap(x)` where p has type
+// atomic.Pointer[T] and x resolves to a local variable, then flags any
+// write through x (or a tracked alias of x) that the Store dominates:
+// on every path reaching the write, the value was already published.
+// Writes before the Store are the build phase and are fine.
+//
+// A sanctioned post-publish write (e.g. a field the readers never
+// inspect, guarded elsewhere) is annotated `//wcojlint:mutates <why>`
+// on the writing line.
+var PublishImmutable = &analysis.Analyzer{
+	Name: "publishimmutable",
+	Doc:  "no writes through a pointer after it is Stored into an atomic.Pointer",
+	Run:  runPublishImmutable,
+}
+
+func runPublishImmutable(pass *analysis.Pass) error {
+	dirs := parseDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				if dataflow.FuncBody(n) != nil {
+					checkPublishImmutable(pass, dirs, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// storeCall matches p.Store(x) / p.Swap(x) on an atomic.Pointer-typed
+// operand and returns the local object the stored argument resolves
+// to, or nil.
+func storeCall(pass *analysis.Pass, fn ast.Node, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap") || len(call.Args) == 0 {
+		return nil
+	}
+	t := exprType(pass, sel.X)
+	if t == nil || !namedIn(t, "sync/atomic", "Pointer") {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+		return nil // non-local: its lifetime is someone else's analysis
+	}
+	return obj
+}
+
+func checkPublishImmutable(pass *analysis.Pass, dirs directiveIndex, fn ast.Node) {
+	body := dataflow.FuncBody(fn)
+
+	// Pass 1: collect the published locals and their Store sites.
+	// Nested literals are skipped — a Store inside a closure is that
+	// closure's own checkPublishImmutable visit.
+	published := make(map[types.Object][]ast.Node)
+	walkSameFunc(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := storeCall(pass, fn, call); obj != nil {
+				published[obj] = append(published[obj], call)
+			}
+		}
+		return true
+	})
+	if len(published) == 0 {
+		return
+	}
+
+	order := dataflow.NewOrder(body)
+	for obj, stores := range published {
+		// Track aliases of the published pointer so `q := ns; q.f = v`
+		// after the Store is caught too.
+		res := dataflow.Track(pass.TypesInfo, fn, func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && pass.TypesInfo.Uses[id] == obj
+		})
+		aliases := map[types.Object]bool{obj: true}
+		for a := range res.Aliases {
+			aliases[a] = true
+		}
+
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				root, through := writeRoot(pass, lhs)
+				if root == nil || !aliases[root] || !through {
+					continue
+				}
+				for _, st := range stores {
+					if !order.Dominates(st, as) {
+						continue
+					}
+					if d, ok := dirs.at(pass.Fset, as.Pos(), "mutates"); ok && d.arg != "" {
+						break
+					}
+					pass.Reportf(lhs.Pos(), "write through %s after it was published via atomic.Pointer.Store: snapshots are immutable once visible; build fully before Store, or annotate //wcojlint:mutates <why>", root.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// writeRoot unwraps an assignment target to its base identifier and
+// reports whether the write goes through the value (a field, element
+// or dereference) rather than rebinding the variable itself.
+func writeRoot(pass *analysis.Pass, lhs ast.Expr) (types.Object, bool) {
+	through := false
+	for {
+		switch l := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = l.X
+		case *ast.SelectorExpr:
+			through = true
+			lhs = l.X
+		case *ast.IndexExpr:
+			through = true
+			lhs = l.X
+		case *ast.StarExpr:
+			through = true
+			lhs = l.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[l]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[l]
+			}
+			return obj, through
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Fixture for the arenaescape analyzer: slices loaned from the CSR
+// arenas (LevelRange.Keys/Keys32, LevelRange-typed results) must not
+// outlive their snapshot scope. The types are name-matched stand-ins
+// for internal/trie.
+package arenaescape
+
+type Value int64
+
+// LevelRange mirrors trie.LevelRange: Keys/Keys32 alias the trie's
+// column arenas.
+type LevelRange struct {
+	Keys   []Value
+	Keys32 []uint32
+	Lo, Hi int
+}
+
+type Trie struct{ keys []Value }
+
+func (t *Trie) SegLevel(d, lo, hi int) LevelRange {
+	return LevelRange{Keys: t.keys[lo:hi], Lo: lo, Hi: hi}
+}
+
+type holder struct {
+	kept   []Value
+	kept32 []uint32
+	ranges []LevelRange
+	ch     chan []uint32
+}
+
+// storeKeys retains the loaned slice in a field.
+func (h *holder) storeKeys(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	h.kept = r.Keys // want `arena loan`
+}
+
+// launder re-assigns the loan through locals before storing it; the
+// dataflow tracker follows the chain.
+func (h *holder) launder(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	k := r.Keys
+	u := k
+	h.kept = u // want `arena loan u is stored`
+}
+
+// returnKeys hands the loan to the caller.
+func returnKeys(t *Trie) []Value {
+	return t.SegLevel(0, 0, 1).Keys // want `arena loan`
+}
+
+// sendKeys lets another goroutine see a recycled arena.
+func (h *holder) sendKeys(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	h.ch <- r.Keys32[0:1] // want `arena loan`
+}
+
+// capture closes over the loan; the closure may run after compaction.
+func capture(t *Trie, run func(func())) {
+	k := t.SegLevel(0, 0, 1).Keys
+	run(func() {
+		_ = k[0] // want `arena loan k is captured`
+	})
+}
+
+// appendRange retains the whole LevelRange (and its Keys header) in a
+// longer-lived slice.
+func (h *holder) appendRange(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	h.ranges = append(h.ranges, r) // want `arena loan`
+}
+
+// paramLoan receives a live loan from its caller and stores it.
+func (h *holder) paramLoan(r LevelRange) {
+	h.kept = r.Keys // want `arena loan`
+}
+
+// spreadCopy deep-copies scalar keys out of the arena: clean.
+func (h *holder) spreadCopy(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	h.kept = append(h.kept, r.Keys...)
+	h.kept32 = append(h.kept32, r.Keys32...)
+}
+
+// explicitCopy snapshots the keys with make+copy: clean.
+func (h *holder) explicitCopy(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	out := make([]Value, len(r.Keys))
+	copy(out, r.Keys)
+	h.kept = out
+}
+
+// localUse consumes the loan within the snapshot scope: clean.
+func localUse(t *Trie) Value {
+	r := t.SegLevel(0, 0, 1)
+	var sum Value
+	for _, v := range r.Keys {
+		sum += v
+	}
+	return sum
+}
+
+// spanCursor transfers ownership by contract: the whole function is
+// sanctioned with a retains directive.
+//
+//wcojlint:retains spans are consumed within the same intersection call
+func spanCursor(r LevelRange) []Value {
+	return r.Keys
+}
+
+// lineSanction keeps one sanctioned escape in an otherwise-checked
+// function.
+func (h *holder) lineSanction(t *Trie) {
+	r := t.SegLevel(0, 0, 1)
+	h.kept = r.Keys         //wcojlint:retains consumed before the next compaction fence
+	h.kept32 = r.Keys32[:1] // want `arena loan`
+}

@@ -1,0 +1,66 @@
+// Fixture for the deprecated analyzer: symbols documented with a
+// `// Deprecated:` paragraph must not be referenced by internal code
+// outside the declarations of deprecated symbols themselves.
+package deprecated
+
+// Count is the supported counting entry point.
+func Count(n int) int { return n }
+
+// CountFast is the legacy alias.
+//
+// Deprecated: use Count instead.
+func CountFast(n int) int { return Count(n) }
+
+// ExplainCount is a legacy wrapper; deprecated shims may delegate to
+// each other without being flagged.
+//
+// Deprecated: use Explain.
+func ExplainCount(n int) int { return CountFast(n) }
+
+// caller still uses the legacy alias.
+func caller() int {
+	return CountFast(2) // want `CountFast is deprecated: use Count instead`
+}
+
+// PQ carries a deprecated method.
+type PQ struct{}
+
+// CountFast mirrors the package-level alias.
+//
+// Deprecated: use PQ.Count.
+func (p *PQ) CountFast() int { return 0 }
+
+// Count is the supported method.
+func (p *PQ) Count() int { return 0 }
+
+func callMethod(p *PQ) int {
+	return p.CountFast() // want `CountFast is deprecated: use PQ.Count`
+}
+
+func callGood(p *PQ) int { return p.Count() }
+
+// OldLimit is a retired tuning constant.
+//
+// Deprecated: the planner sizes this itself.
+const OldLimit = 10
+
+func useConst() int {
+	return OldLimit // want `OldLimit is deprecated`
+}
+
+// OldThing is a retired type; every reference is flagged, including
+// type positions.
+//
+// Deprecated: use Thing.
+type OldThing struct{}
+
+func makeOld() int {
+	var o OldThing // want `OldThing is deprecated`
+	_ = o
+	return 0
+}
+
+// Thing is the supported replacement.
+type Thing struct{}
+
+func makeNew() Thing { return Thing{} }

@@ -1,0 +1,130 @@
+// Fixture for the fsyncorder analyzer: in a function that touches WAL
+// state and publishes engine state, the fsync must dominate the
+// publication. Log is a name-matched stand-in for internal/wal.Log.
+package fsyncorder
+
+import "sync/atomic"
+
+type Record struct{ b []byte }
+
+type Log struct{ n int }
+
+func (l *Log) Append(r *Record) error { l.n++; return nil }
+func (l *Log) Sync() error            { return nil }
+func (l *Log) Rotate() error          { l.n = 0; return nil }
+
+type state struct{ n int }
+
+type DB struct {
+	wal   *Log
+	state atomic.Pointer[state]
+	//wcojlint:guardedby mu
+	versions map[string]int
+}
+
+// good: append, sync, then publish — durability precedes visibility.
+func good(db *DB, r *Record) error {
+	if err := db.wal.Append(r); err != nil {
+		return err
+	}
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	db.state.Store(&state{n: 1})
+	return nil
+}
+
+// storeBeforeSync publishes first: the crash window.
+func storeBeforeSync(db *DB, r *Record) error {
+	_ = db.wal.Append(r)
+	db.state.Store(&state{n: 1}) // want `without a preceding WAL sync`
+	return db.wal.Sync()
+}
+
+// condSync only syncs on one path; the publish is reachable unsynced.
+func condSync(db *DB, r *Record, dirty bool) {
+	_ = db.wal.Append(r)
+	if dirty {
+		_ = db.wal.Sync()
+	}
+	db.state.Store(&state{n: 1}) // want `without a preceding WAL sync`
+}
+
+// initSync syncs in the if-init, which runs unconditionally: clean.
+func initSync(db *DB, r *Record) error {
+	_ = db.wal.Append(r)
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	db.state.Store(&state{n: 1})
+	return nil
+}
+
+// appendAndSync is a helper that transitively syncs.
+func appendAndSync(db *DB, r *Record) error {
+	if err := db.wal.Append(r); err != nil {
+		return err
+	}
+	return db.wal.Sync()
+}
+
+// viaHelper publishes after a call that transitively syncs: clean.
+func viaHelper(db *DB, r *Record) error {
+	if err := appendAndSync(db, r); err != nil {
+		return err
+	}
+	db.state.Store(&state{n: 1})
+	return nil
+}
+
+// guardedPublish writes a guardedby field after append without sync.
+//
+//wcojlint:locked caller holds mu and writeMu
+func guardedPublish(db *DB, r *Record) {
+	_ = db.wal.Append(r)
+	db.versions["r"] = 1 // want `without a preceding WAL sync`
+}
+
+// guardedPublishSynced is the corrected version: clean.
+//
+//wcojlint:locked caller holds mu and writeMu
+func guardedPublishSynced(db *DB, r *Record) error {
+	_ = db.wal.Append(r)
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	db.versions["r"] = 1
+	return nil
+}
+
+// sanctioned: the no-op path publishes nothing the log must cover.
+//
+//wcojlint:locked caller holds mu and writeMu
+func sanctioned(db *DB, r *Record) {
+	_ = db.wal.Append(r)
+	db.versions["r"] = 0 //wcojlint:nosync version map rewrite carries no new records
+}
+
+// deferSync runs the sync after the function body: too late.
+func deferSync(db *DB, r *Record) {
+	_ = db.wal.Append(r)
+	defer db.wal.Sync()
+	db.state.Store(&state{n: 1}) // want `without a preceding WAL sync`
+}
+
+// rotateOnly touches the WAL without ever syncing before publish.
+func rotateOnly(db *DB) {
+	_ = db.wal.Rotate()
+	db.state.Store(&state{n: 1}) // want `without a preceding WAL sync`
+}
+
+// noWal publishes state without WAL involvement: not a durability
+// boundary, clean.
+func noWal(db *DB) {
+	db.state.Store(&state{n: 1})
+}
+
+// syncOnly fsyncs without publishing: clean.
+func syncOnly(db *DB) error {
+	return db.wal.Sync()
+}

@@ -1,0 +1,106 @@
+// Fixture for the publishimmutable analyzer: state Stored into an
+// atomic.Pointer is immutable from the moment of publication.
+package publishimmutable
+
+import "sync/atomic"
+
+type state struct {
+	n     int
+	stats [4]int
+	idx   map[string]int
+}
+
+type DB struct{ p atomic.Pointer[state] }
+
+// good builds fully, publishes last: clean.
+func good(db *DB) {
+	ns := &state{n: 1}
+	ns.stats[0] = 2
+	ns.idx = map[string]int{"a": 1}
+	db.p.Store(ns)
+}
+
+// writeAfterStore mutates published state.
+func writeAfterStore(db *DB) {
+	ns := &state{n: 1}
+	db.p.Store(ns)
+	ns.n = 2 // want `after it was published`
+}
+
+// condWrite still races: when the write runs, the state is public.
+func condWrite(db *DB, c bool) {
+	ns := &state{}
+	db.p.Store(ns)
+	if c {
+		ns.stats[1] = 1 // want `after it was published`
+	}
+}
+
+// viaAlias launders the published pointer through a local first.
+func viaAlias(db *DB) {
+	ns := &state{}
+	db.p.Store(ns)
+	q := ns
+	q.n = 1 // want `after it was published`
+}
+
+// viaSwap: Swap publishes just like Store.
+func viaSwap(db *DB) {
+	ns := &state{}
+	old := db.p.Swap(ns)
+	_ = old
+	ns.n = 1 // want `after it was published`
+}
+
+// inClosure: the goroutine runs strictly after the Store.
+func inClosure(db *DB, run func(func())) {
+	ns := &state{}
+	db.p.Store(ns)
+	run(func() {
+		ns.n = 1 // want `after it was published`
+	})
+}
+
+// mapWrite mutates an element of published state.
+func mapWrite(db *DB) {
+	ns := &state{idx: map[string]int{}}
+	db.p.Store(ns)
+	ns.idx["a"] = 1 // want `after it was published`
+}
+
+// condStore: the write is reachable without the Store having run, so
+// the publication does not dominate it — clean (the build-phase
+// pattern with an optional early publish).
+func condStore(db *DB, c bool) {
+	ns := &state{}
+	if c {
+		db.p.Store(ns)
+		return
+	}
+	ns.n = 1
+}
+
+// rebindFresh publishes one value, then rebinds the variable to a new
+// unpublished one: the write targets the fresh copy. The tracker has
+// no strong updates, so this is sanctioned with a directive.
+func rebindFresh(db *DB) {
+	ns := &state{}
+	db.p.Store(ns)
+	ns = &state{n: 1}
+	ns.n = 2 //wcojlint:mutates ns was rebound to an unpublished copy above
+	db.p.Store(ns)
+}
+
+// writerOwned: a sanctioned post-publish write.
+func writerOwned(db *DB) {
+	ns := &state{}
+	db.p.Store(ns)
+	ns.stats[3] = 1 //wcojlint:mutates stats page is read only by the publishing goroutine
+}
+
+// readAfterStore only reads: clean.
+func readAfterStore(db *DB) int {
+	ns := &state{n: 3}
+	db.p.Store(ns)
+	return ns.n
+}

@@ -84,7 +84,10 @@ func mixedWidth(ranges []LevelRange) bool {
 }
 
 // widenRanges converts every narrowed range to a wide copy — the
-// correctness-first slow path for mixed-width intersections.
+// correctness-first slow path for mixed-width intersections. Already
+// wide ranges pass through with their arena-loaned Keys intact.
+//
+//wcojlint:retains passthrough loans are consumed by the same intersection call, under one snapshot
 func widenRanges(ranges []LevelRange) []LevelRange {
 	out := make([]LevelRange, len(ranges))
 	for i, r := range ranges {
@@ -101,6 +104,9 @@ func widenRanges(ranges []LevelRange) []LevelRange {
 	return out
 }
 
+// toSpans64 rewraps the loaned Keys arenas as intersection cursors.
+//
+//wcojlint:retains spans are cursors consumed within the same intersection call, under one snapshot
 func toSpans64(ranges []LevelRange) []span[relation.Value] {
 	spans := make([]span[relation.Value], len(ranges))
 	for i, r := range ranges {
@@ -109,6 +115,9 @@ func toSpans64(ranges []LevelRange) []span[relation.Value] {
 	return spans
 }
 
+// toSpans32 rewraps the loaned Keys32 arenas as intersection cursors.
+//
+//wcojlint:retains spans are cursors consumed within the same intersection call, under one snapshot
 func toSpans32(ranges []LevelRange) []span[uint32] {
 	spans := make([]span[uint32], len(ranges))
 	for i, r := range ranges {
