@@ -15,7 +15,15 @@
 //	               "count": true | "exists": true | "limit": 50,
 //	               "project": ["A","C"], "algo": "...", "planner": "..."}
 //	POST /update  {"insert": {"E": [[1,2],[3,4]]}, "delete": {"E": [[5,6]]}}
+//	POST /materialize      {"query": "...", "mode": "count"|"exists"|"rows",
+//	                        "project": [...], "algo": "...", "parallel": N}
+//	                       register a maintained view: the answer is kept
+//	                       continuously correct across /update batches
+//	GET  /materialized     list maintained views (id, epoch, count, stale)
+//	GET  /materialized/{id}  one view; rows mode includes the tuples
+//	DELETE /materialized/{id} retire a view
 //	GET  /stats   engine counters (relations, deltas, trie store, plan cache)
+//	              plus one entry per maintained view
 //	GET  /metrics Prometheus text exposition
 //	GET  /healthz liveness (always 200 while the process runs)
 //	GET  /readyz  readiness (503 while loading/replaying or draining)
@@ -23,8 +31,9 @@
 // With -dir the DB is durable: every applied batch is written (and
 // fsynced) to a write-ahead log under the directory before it becomes
 // visible, and a restart replays the newest snapshot plus the log tail
-// back to the exact pre-crash epoch. -rel files then only seed
-// relations the directory does not already hold.
+// back to the exact pre-crash epoch — including re-arming every
+// registered maintained view at its pre-crash answer. -rel files then
+// only seed relations the directory does not already hold.
 //
 // Serve mode is production-hardened: requests are bounded by a
 // concurrency semaphore (-max-inflight, overflow answered 429), a body

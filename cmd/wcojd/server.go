@@ -326,6 +326,7 @@ func (s *server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		f("wcojd_db_trie_entries %d\n", st.TrieEntries)
 		f("# TYPE wcojd_db_trie_bytes gauge\n")
 		f("wcojd_db_trie_bytes %d\n", st.TrieBytes)
+		materializedMetrics(db, f)
 	}
 	w.Write(b)
 }
@@ -349,7 +350,18 @@ func (s *server) serveStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "loading", http.StatusServiceUnavailable)
 		return
 	}
-	writeJSON(w, db.Stats())
+	// The engine counters plus one line per maintained view, so an
+	// operator sees at a glance which views exist and whether each has
+	// kept up with the epoch (a lagging or stale view is the first
+	// thing to check after an incident).
+	stats := struct {
+		wcoj.DBStats
+		Materialized []materializedView `json:"materialized,omitempty"`
+	}{DBStats: db.Stats()}
+	for _, mq := range db.MaterializedViews() {
+		stats.Materialized = append(stats.Materialized, viewOf(mq, false))
+	}
+	writeJSON(w, stats)
 }
 
 // handler builds the route table.
@@ -365,6 +377,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/stats", s.serveStats)
 	mux.HandleFunc("/query", s.handleQueryHTTP)
 	mux.HandleFunc("/update", s.handleUpdateHTTP)
+	mux.HandleFunc("/materialize", s.handleMaterializeHTTP)
+	mux.HandleFunc("/materialized", s.handleMaterializedHTTP)
+	mux.HandleFunc("/materialized/", s.handleMaterializedHTTP)
 	return mux
 }
 
@@ -379,7 +394,7 @@ func serve(c config) error {
 	}
 	// The bound address line is load-bearing for orchestration (and the
 	// soak harness): with ":0" it is the only way to learn the port.
-	fmt.Printf("serving on %s (POST /query, POST /update, GET /stats /metrics /healthz /readyz)\n", ln.Addr())
+	fmt.Printf("serving on %s (POST /query /update /materialize, GET /materialized /stats /metrics /healthz /readyz)\n", ln.Addr())
 	srv := &http.Server{
 		Handler: s.handler(),
 		// A serving daemon must not let stalled clients pin goroutines

@@ -88,6 +88,13 @@ type DB struct {
 	insertNoops, deleteNoops  atomic.Uint64
 	compactions               atomic.Uint64
 
+	// views holds the maintained queries (see dbmaterialize.go): writers
+	// mutate the registry under writeMu and publish membership changes
+	// under mu, so Apply's maintenance pass and a snapshot reader agree
+	// on which views exist at an epoch. matSeq allocates view ids.
+	views  map[string]*MaterializedQuery //wcojlint:guardedby mu
+	matSeq uint64                        //wcojlint:guardedby writeMu
+
 	plansMu    sync.Mutex
 	plans      map[string]*planCacheEntry //wcojlint:guardedby plansMu
 	planLimit  int                        //wcojlint:guardedby plansMu
@@ -121,6 +128,7 @@ func NewDB() *DB {
 		store:          core.NewTrieStore(core.DefaultTrieCacheLimit),
 		compactMinBase: defaultCompactionMinBase,
 		compacting:     make(map[string]bool),
+		views:          make(map[string]*MaterializedQuery),
 		plans:          make(map[string]*planCacheEntry),
 		planLimit:      DefaultPlanCacheLimit,
 	}
@@ -158,6 +166,10 @@ func (db *DB) Register(rels ...*Relation) error {
 		db.versions[r.Name()] = delta.New(r)
 	}
 	db.mu.Unlock()
+	// Replacing a relation invalidates any differential state bound to
+	// it, and there is no per-batch delta to fold — recompute every
+	// maintained view from scratch before releasing the writer lock.
+	db.rematerializeAllLocked()
 	db.writeMu.Unlock()
 	db.plansMu.Lock()
 	db.plans = make(map[string]*planCacheEntry)
@@ -315,12 +327,16 @@ type DBStats struct {
 	Inserted, Deleted        uint64
 	InsertNoops, DeleteNoops uint64
 	Compactions              uint64
+	// MaterializedViews counts the registered maintained queries
+	// (DB.Materialize).
+	MaterializedViews int
 }
 
 // Stats snapshots the engine counters.
 func (db *DB) Stats() DBStats {
 	db.mu.RLock()
 	rels := len(db.versions)
+	nviews := len(db.views)
 	tuples, deltaTuples := 0, 0
 	var maxEpoch uint64
 	for _, v := range db.versions {
@@ -349,6 +365,8 @@ func (db *DB) Stats() DBStats {
 		Inserted:    db.inserts.Load(), Deleted: db.deletes.Load(),
 		InsertNoops: db.insertNoops.Load(), DeleteNoops: db.deleteNoops.Load(),
 		Compactions: db.compactions.Load(),
+
+		MaterializedViews: nviews,
 	}
 }
 

@@ -177,11 +177,23 @@ func (db *DB) Apply(b *Batch) (UpdateStats, error) {
 		}
 	}
 
+	// Maintain registered views against (pre-batch, post-batch) before
+	// publishing: their successor values are computed here, off-lock,
+	// and land in the same critical section as the version swap, so a
+	// reader never pairs a view value with the wrong DBStats.Epoch.
+	var ups []viewUpdate
+	if len(next) > 0 {
+		ups = db.maintainViews(next)
+	}
+
 	// Publish every touched relation in one critical section: a reader
 	// snapshotting under mu.RLock sees all of the batch or none of it.
 	db.mu.Lock()
 	for name, nv := range next {
 		db.versions[name] = nv //wcojlint:nosync loop runs only when next is non-empty, and then the batch was synced above
+	}
+	for _, u := range ups {
+		u.mq.val.Store(u.res) //wcojlint:nosync the batch driving this value was synced above
 	}
 	if len(next) > 0 {
 		db.updEpoch.Add(1)
@@ -352,14 +364,20 @@ type dbTrieSource struct {
 
 // Get implements core.TrieSource.
 func (s dbTrieSource) Get(a core.Atom, atomOrder []string) (*trie.Trie, error) {
-	ver := s.vers[a.Name]
+	return versionTrie(s.store, a, atomOrder, s.vers[a.Name])
+}
+
+// versionTrie resolves one atom's trie against one version snapshot —
+// the shared core of dbTrieSource (prepared queries) and matTrieSource
+// (view maintenance, dbmaterialize.go).
+func versionTrie(store *core.TrieStore, a core.Atom, atomOrder []string, ver *delta.Version) (*trie.Trie, error) {
 	if ver == nil || ver.DeltaLen() == 0 {
-		return s.store.Get(a, atomOrder)
+		return store.Get(a, atomOrder)
 	}
 	// a.Rel is the snapshot's effective relation (atoms are rebound
 	// before planning), so the store key is stable per (version,
 	// binding, order): later executions and sibling plans hit here.
-	if tr, ok := s.store.Lookup(a, atomOrder); ok {
+	if tr, ok := store.Lookup(a, atomOrder); ok {
 		return tr, nil
 	}
 	// Native-order binding: the snapshot refresh already materialized
@@ -376,11 +394,11 @@ func (s dbTrieSource) Get(a core.Atom, atomOrder []string) (*trie.Trie, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.store.Add(a, atomOrder, tr), nil
+		return store.Add(a, atomOrder, tr), nil
 	}
 	baseAtom := a
 	baseAtom.Rel = ver.Base
-	bt, err := s.store.Get(baseAtom, atomOrder)
+	bt, err := store.Get(baseAtom, atomOrder)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +414,7 @@ func (s dbTrieSource) Get(a core.Atom, atomOrder []string) (*trie.Trie, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.store.Add(a, atomOrder, merged), nil
+	return store.Add(a, atomOrder, merged), nil
 }
 
 // renameSort renames a delta relation to the atom's variables and

@@ -46,11 +46,44 @@ func OpenDir(dir string) (*DB, error) {
 			return nil, err
 		}
 	}
+	// View registrations replay out of line: the records are collected
+	// (in order, with retirements folded in) and the surviving views are
+	// re-armed once, against the fully replayed state — re-running each
+	// view's maintenance through the batch replays would redo work whose
+	// outcome the final recompute determines anyway.
+	var mats []*wal.Record
+	var matFloor uint64
 	for _, rec := range recs {
-		if err := db.replayRecord(rec); err != nil {
-			l.Close()
-			return nil, fmt.Errorf("wcoj: OpenDir %s: %w", dir, err)
+		switch rec.Kind {
+		case wal.KindMaterialize:
+			if got := db.updEpoch.Load(); got != rec.Epoch {
+				l.Close()
+				return nil, fmt.Errorf("wcoj: OpenDir %s: materialize %q at epoch %d, log says %d", dir, rec.MatID, got, rec.Epoch)
+			}
+			// The id floor counts every registration ever logged — views
+			// retired below must not have their ids reissued.
+			var seq uint64
+			if _, err := fmt.Sscanf(rec.MatID, "m%d", &seq); err == nil && seq+1 > matFloor {
+				matFloor = seq + 1
+			}
+			mats = append(mats, rec)
+		case wal.KindUnmaterialize:
+			for i, m := range mats {
+				if m.MatID == rec.MatID {
+					mats = append(mats[:i], mats[i+1:]...)
+					break
+				}
+			}
+		default:
+			if err := db.replayRecord(rec); err != nil {
+				l.Close()
+				return nil, fmt.Errorf("wcoj: OpenDir %s: %w", dir, err)
+			}
 		}
+	}
+	if err := db.rearmViews(mats, matFloor); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("wcoj: OpenDir %s: %w", dir, err)
 	}
 	db.writeMu.Lock()
 	db.walDictN = db.Dict().Len() //wcojlint:nosync recovery: the DB is not yet visible to any reader
@@ -195,6 +228,82 @@ func (db *DB) walAppendBatchLocked(b *Batch) error {
 	return db.wal.Sync()
 }
 
+// rearmViews re-registers the maintained views the replayed log
+// carries, in registration order, computing each against the recovered
+// state. Runs before db.wal is installed, so nothing is re-logged; a
+// view whose recompute fails is re-armed stale-with-error (the exact
+// pre-crash possibility), while a record that no longer parses or
+// validates fails recovery — a healthy engine could not have written
+// it.
+func (db *DB) rearmViews(recs []*wal.Record, matFloor uint64) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.matSeq = matFloor //wcojlint:nosync replay reconstructs already-synced state; db.wal is not installed yet
+	for _, rec := range recs {
+		opts := MaterializeOptions{
+			Mode:        MaterializeMode(rec.MatMode),
+			Algorithm:   Algorithm(rec.MatAlgo),
+			Parallelism: int(rec.MatParallel),
+			Project:     rec.MatProject,
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(rec.MatID, "m%d", &seq); err != nil {
+			return fmt.Errorf("materialize replay: bad view id %q", rec.MatID)
+		}
+		if _, err := db.materializeLocked(rec.MatID, seq, rec.MatSrc, opts, true); err != nil {
+			return fmt.Errorf("materialize replay %s: %w", rec.MatID, err)
+		}
+		if seq >= db.matSeq {
+			db.matSeq = seq + 1
+		}
+	}
+	return nil
+}
+
+// walAppendMaterializeLocked logs one view registration and forces it
+// to stable storage before the view becomes visible. Callers hold
+// writeMu.
+func (db *DB) walAppendMaterializeLocked(mq *MaterializedQuery) error {
+	if db.wal == nil {
+		return nil
+	}
+	par := mq.opts.Parallelism
+	if par < 0 {
+		par = 0 // both mean "default": workers() treats <=0 as GOMAXPROCS
+	}
+	rec := &wal.Record{
+		Kind:        wal.KindMaterialize,
+		Epoch:       db.updEpoch.Load(),
+		MatID:       mq.id,
+		MatSrc:      mq.src,
+		MatMode:     uint8(mq.opts.Mode),
+		MatAlgo:     uint8(mq.opts.Algorithm),
+		MatParallel: uint64(par),
+		MatProject:  mq.opts.Project,
+	}
+	if err := db.wal.Append(rec); err != nil {
+		return err
+	}
+	return db.wal.Sync()
+}
+
+// walAppendUnmaterializeLocked logs one view retirement. Callers hold
+// writeMu.
+func (db *DB) walAppendUnmaterializeLocked(id string) error {
+	if db.wal == nil {
+		return nil
+	}
+	rec := &wal.Record{
+		Kind:  wal.KindUnmaterialize,
+		Epoch: db.updEpoch.Load(),
+		MatID: id,
+	}
+	if err := db.wal.Append(rec); err != nil {
+		return err
+	}
+	return db.wal.Sync()
+}
+
 // walAppendRegisterLocked logs full-relation register records for rels
 // before they are published. Callers hold writeMu.
 func (db *DB) walAppendRegisterLocked(rels []*Relation) error {
@@ -243,6 +352,14 @@ func (db *DB) walSnapshotLocked() error {
 		return err
 	}
 	db.walDictN = n
+	// The snapshot captures relations, not view registrations; re-log
+	// each live view into the fresh generation or recovery would drop
+	// them.
+	for _, mq := range db.MaterializedViews() {
+		if err := db.walAppendMaterializeLocked(mq); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

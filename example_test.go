@@ -175,10 +175,6 @@ func ExampleExecute_costBasedPlanner() {
 	// (2, 3, 4)
 }
 
-// ExampleCountFast counts 2-paths without enumerating them: the
-// endpoints A and C occur in one atom each, so the planner sinks them
-// to the end of the order where their subtree cardinalities are
-// multiplied instead of recursed into.
 // ExampleCount counts without enumerating: Count runs the aggregate
 // pushdown plan by default, and Explain reports that plan in its Count
 // field — single-atom variables are sunk past CountFrom and multiplied
@@ -336,7 +332,7 @@ func ExampleDB_Insert() {
 		log.Fatal(err)
 	}
 	ctx := context.Background()
-	n, _, _ := pq.CountFast(ctx)
+	n, _, _ := pq.Count(ctx)
 	fmt.Println("triangles before:", n)
 
 	// One atomic batch: close a second triangle, retract an edge of the
@@ -350,10 +346,48 @@ func ExampleDB_Insert() {
 	fmt.Printf("inserted %d (noops %d), deleted %d\n", stats.Inserted, stats.InsertNoops, stats.Deleted)
 
 	// The held prepared query sees the new snapshot without replanning.
-	n, _, _ = pq.CountFast(ctx)
+	n, _, _ = pq.Count(ctx)
 	fmt.Println("triangles after:", n)
 	// Output:
 	// triangles before: 1
 	// inserted 2 (noops 1), deleted 1
 	// triangles after: 1
+}
+
+// ExampleDB_Materialize keeps a standing triangle count over an edge
+// stream. Materialize computes the answer once; every subsequent batch
+// folds its signed delta into the registered result differentially, so
+// reading the count is one atomic load — no join runs at read time,
+// and the value is always exactly the epoch the last Apply published.
+func ExampleDB_Materialize() {
+	db := wcoj.NewDB()
+	if err := db.Register(wcoj.NewRelation("E", []string{"src", "dst"}, []wcoj.Tuple{
+		{1, 2}, {2, 3},
+	})); err != nil {
+		log.Fatal(err)
+	}
+	mq, err := db.Materialize("Q(A,B,C) :- E(A,B), E(B,C), E(A,C)", wcoj.MaterializeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("triangles:", mq.Count())
+
+	// Stream edges in one at a time; the view tracks every batch.
+	for _, e := range []wcoj.Tuple{{1, 3}, {3, 4}, {2, 4}} {
+		if _, err := db.Insert("E", e); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("triangles:", mq.Count())
+	}
+	// Retraction subtracts the triangles the edge carried.
+	if _, err := db.Delete("E", wcoj.Tuple{1, 3}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("triangles:", mq.Count())
+	// Output:
+	// triangles: 0
+	// triangles: 1
+	// triangles: 1
+	// triangles: 2
+	// triangles: 1
 }

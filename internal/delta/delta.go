@@ -19,6 +19,18 @@
 // Compacted promotes that merged view to the new base, emptying the
 // delta, which the trie layer observes as "the cached merged tries
 // became the base tries" (their backing relation is pointer-identical).
+//
+// Besides the cumulative delta log (Add/Del relative to Base), each
+// version produced by Apply carries the per-batch Δ view of the step
+// that created it: LastBatch records, as a BatchDelta tagged with the
+// successor's epoch, exactly which tuples the batch effectively
+// inserted (Ins) and deleted (Del) relative to the predecessor's
+// effective set. No-ops never appear in it, and a tuple resurrected
+// from a tombstone (or retracted from the Add log) is reported as the
+// plain insert (or delete) it effectively is. These Δ views are what
+// incremental view maintenance evaluates differentials against: a
+// maintained query folds the signed contribution of (Ins, Del) into
+// its standing result instead of recomputing from the merged view.
 package delta
 
 import (
@@ -40,8 +52,30 @@ type Version struct {
 	// (sorted, deduplicated, schema-identical to Base).
 	Base, Add, Del *relation.Relation
 
+	// LastBatch is the per-batch Δ view of the Apply step that produced
+	// this version: the tuples that step effectively inserted and
+	// deleted relative to the predecessor's effective set. It is nil on
+	// epoch-0 versions and on Compacted copies (compaction changes the
+	// representation, not the tuple set — there is no batch to report).
+	LastBatch *BatchDelta
+
 	effOnce sync.Once
 	eff     *relation.Relation
+}
+
+// BatchDelta is the effective change one applied batch made to one
+// relation: Ins and Del are disjoint sorted relations (schema-identical
+// to the version's base) holding the tuples the batch net-inserted and
+// net-deleted, with batch-internal churn (insert-then-delete of the
+// same tuple) and no-ops already cancelled out. Epoch tags the version
+// the batch produced, so a consumer can check it processes consecutive
+// deltas with no gap. Incremental view maintenance evaluates query
+// differentials against these views: one atom occurrence is bound to
+// Ins (contributing positively) and to Del (negatively) while the other
+// occurrences read full snapshots.
+type BatchDelta struct {
+	Epoch    uint64
+	Ins, Del *relation.Relation
 }
 
 // New returns the epoch-0 version of a freshly registered relation:
@@ -254,12 +288,40 @@ func (v *Version) Apply(ops []Op) (*Version, Stats, error) {
 	if !st.Changed() {
 		return v, st, nil
 	}
-	return &Version{
+	next := &Version{
 		Epoch: v.Epoch + 1,
 		Base:  v.Base,
 		Add:   add.apply(v.Add),
 		Del:   del.apply(v.Del),
-	}, st, nil
+	}
+	// The effective inserts are the tuples newly logged as adds plus the
+	// tombstones the batch cancelled (resurrections); the effective
+	// deletes are the new tombstones plus the logged adds the batch
+	// retracted. The four churn sides are pairwise disjoint, so the two
+	// unions are disjoint relations.
+	next.LastBatch = &BatchDelta{
+		Epoch: next.Epoch,
+		Ins:   buildUnion(v.Base, add.plus, del.minus),
+		Del:   buildUnion(v.Base, del.plus, add.minus),
+	}
+	return next, st, nil
+}
+
+// buildUnion builds a sorted relation (schema-identical to base) from
+// the union of two disjoint churn sides.
+func buildUnion(base *relation.Relation, a, b map[string]relation.Tuple) *relation.Relation {
+	bl := relation.NewBuilder(base.Name(), base.Attrs()...)
+	for _, t := range a {
+		if err := bl.Add(t...); err != nil {
+			panic(err) // unreachable: arity checked by Apply
+		}
+	}
+	for _, t := range b {
+		if err := bl.Add(t...); err != nil {
+			panic(err) // unreachable: arity checked by Apply
+		}
+	}
+	return bl.Build()
 }
 
 // tupleKey is an injective byte encoding of a tuple, for the working

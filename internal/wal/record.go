@@ -20,6 +20,9 @@ package wal
 //	batch    := uvarint rels | per rel: str name | uvarint arity |
 //	            uvarint ops | per op: u8 del | arity values
 //	dict     := uvarint firstID | uvarint count | count strings
+//	mat      := str id | str query | u8 mode | u8 algo |
+//	            uvarint parallelism | uvarint nproj | nproj strings
+//	unmat    := str id
 //
 // Decoding is defensive: every count is validated against the bytes
 // that remain (each element costs at least one byte), so a corrupt
@@ -50,6 +53,15 @@ const (
 	// KindDict carries newly interned dictionary strings, in ID order,
 	// logged before any record whose tuples may reference them.
 	KindDict Kind = 3
+	// KindMaterialize carries a maintained-view registration
+	// (DB.Materialize): the view id, the canonical query text and its
+	// options, so recovery can re-arm the view against the replayed
+	// state. Log rotation re-appends one per live view after the
+	// snapshot.
+	KindMaterialize Kind = 4
+	// KindUnmaterialize retires a maintained view by id
+	// (MaterializedQuery.Close).
+	KindUnmaterialize Kind = 5
 )
 
 // RelOps is one relation's slice of a batch record, in application
@@ -76,6 +88,18 @@ type Record struct {
 	// KindDict: strings interned as IDs DictFirst, DictFirst+1, ...
 	DictFirst uint64
 	DictStrs  []string
+
+	// KindMaterialize / KindUnmaterialize: the view id, and (materialize
+	// only) the canonical query text and its options — mode, algorithm,
+	// parallelism and projection, encoded as the plain integers the
+	// engine enums map to. A nil MatProject round-trips as nil (an empty
+	// projection never validates).
+	MatID       string
+	MatSrc      string
+	MatMode     uint8
+	MatAlgo     uint8
+	MatParallel uint64
+	MatProject  []string
 }
 
 // maxFrame bounds a single record frame; a declared length past it is
@@ -128,6 +152,17 @@ func appendPayload(dst []byte, rec *Record) []byte {
 		for _, s := range rec.DictStrs {
 			dst = appendString(dst, s)
 		}
+	case KindMaterialize:
+		dst = appendString(dst, rec.MatID)
+		dst = appendString(dst, rec.MatSrc)
+		dst = append(dst, rec.MatMode, rec.MatAlgo)
+		dst = binary.AppendUvarint(dst, rec.MatParallel)
+		dst = binary.AppendUvarint(dst, uint64(len(rec.MatProject)))
+		for _, s := range rec.MatProject {
+			dst = appendString(dst, s)
+		}
+	case KindUnmaterialize:
+		dst = appendString(dst, rec.MatID)
 	}
 	return dst
 }
@@ -238,6 +273,40 @@ func decodePayload(p []byte) (*Record, error) {
 				return nil, err
 			}
 			rec.DictStrs = append(rec.DictStrs, s)
+		}
+	case KindMaterialize:
+		if rec.MatID, err = r.str(); err != nil {
+			return nil, err
+		}
+		if rec.MatSrc, err = r.str(); err != nil {
+			return nil, err
+		}
+		if rec.MatMode, err = r.byte(); err != nil {
+			return nil, err
+		}
+		if rec.MatAlgo, err = r.byte(); err != nil {
+			return nil, err
+		}
+		if rec.MatParallel, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		n, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			rec.MatProject = make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				s, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				rec.MatProject = append(rec.MatProject, s)
+			}
+		}
+	case KindUnmaterialize:
+		if rec.MatID, err = r.str(); err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", k)
